@@ -1,0 +1,311 @@
+(* mcml — command-line front end for the MCML reproduction.
+
+   Subcommands mirror the workflow of the paper: inspect the subject
+   properties, enumerate/count their solutions, export DIMACS, train and
+   evaluate models (traditional and MCML metrics), quantify differences
+   between trees, and regenerate the paper's tables. *)
+
+open Cmdliner
+open Mcml
+open Mcml_logic
+open Mcml_props
+
+(* --- shared argument definitions ---------------------------------------- *)
+
+let prop_arg =
+  let prop_converter =
+    Arg.conv
+      ( (fun s ->
+          match Props.find s with
+          | Some p -> Ok p
+          | None ->
+              Error (`Msg (Printf.sprintf "unknown property %S; try 'mcml list'" s))),
+        fun fmt p -> Format.pp_print_string fmt p.Props.name )
+  in
+  Arg.(
+    required
+    & opt (some prop_converter) None
+    & info [ "p"; "property" ] ~docv:"PROP" ~doc:"Relational property (see 'mcml list').")
+
+let scope_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "s"; "scope" ] ~docv:"N"
+        ~doc:"Exact scope (number of atoms). Default: the paper's selection rule.")
+
+let symmetry_arg =
+  Arg.(value & flag & info [ "symmetry" ] ~doc:"Apply partial symmetry breaking.")
+
+let seed_arg =
+  Arg.(value & opt int 20200615 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt float 60.0
+    & info [ "budget" ] ~docv:"SECONDS" ~doc:"Per-count timeout (the paper used 5000).")
+
+let backend_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "exact" | "projmc" -> Ok Mcml_counting.Counter.Exact
+    | "approx" | "approxmc" -> Ok (Mcml_counting.Counter.Approx Mcml_counting.Approx.default)
+    | "brute" -> Ok Mcml_counting.Counter.Brute
+    | _ -> Error (`Msg "backend must be exact | approx | brute")
+  in
+  let print fmt b = Format.pp_print_string fmt (Mcml_counting.Counter.name b) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Mcml_counting.Counter.Exact
+    & info [ "backend" ] ~docv:"B" ~doc:"Model counter: exact (ProjMC-style), approx (ApproxMC-style), brute.")
+
+let default_scope prop ~symmetry =
+  Experiments.scope_for Experiments.fast prop ~symmetry
+
+(* --- list ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-16s %-7s %s\n" "Property" "Paper" "Description";
+    Printf.printf "%s\n" (String.make 72 '-');
+    List.iter
+      (fun p ->
+        Printf.printf "%-16s %-7d %s\n" p.Props.name p.Props.paper_scope
+          p.Props.description)
+      Props.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the 16 relational properties of the study.")
+    Term.(const run $ const ())
+
+(* --- count ------------------------------------------------------------------ *)
+
+let count_cmd =
+  let negate = Arg.(value & flag & info [ "negate" ] ~doc:"Count the negation.") in
+  let run prop scope symmetry negate backend budget =
+    let scope = Option.value scope ~default:(default_scope prop ~symmetry) in
+    let analyzer = Props.analyzer ~scope in
+    Printf.printf "%s at scope %d (%s, %s): counting...\n%!" prop.Props.name scope
+      (if symmetry then "symmetry-broken" else "full space")
+      (Mcml_counting.Counter.name backend);
+    match
+      Mcml_alloy.Analyzer.count ~negate ~symmetry ~budget ~backend analyzer
+        ~pred:prop.Props.pred
+    with
+    | Some o ->
+        Printf.printf "count = %s (%s) in %.2fs\n"
+          (Bignat.to_string o.Mcml_counting.Counter.count)
+          (if o.Mcml_counting.Counter.exact then "exact" else "approximate")
+          o.Mcml_counting.Counter.time;
+        (match prop.Props.closed_form scope with
+        | Some cf when (not symmetry) && not negate ->
+            Printf.printf "closed form = %s\n" (Bignat.to_string cf)
+        | _ -> ())
+    | None -> print_endline "timeout"
+  in
+  Cmd.v
+    (Cmd.info "count" ~doc:"Model-count a property at a scope.")
+    Term.(const run $ prop_arg $ scope_arg $ symmetry_arg $ negate $ backend_arg $ budget_arg)
+
+(* --- enumerate --------------------------------------------------------------- *)
+
+let enumerate_cmd =
+  let limit =
+    Arg.(value & opt int 10 & info [ "limit" ] ~docv:"K" ~doc:"Max solutions to show.")
+  in
+  let run prop scope symmetry limit =
+    let scope = Option.value scope ~default:(default_scope prop ~symmetry) in
+    let analyzer = Props.analyzer ~scope in
+    let insts, complete =
+      Mcml_alloy.Analyzer.enumerate ~symmetry ~limit analyzer ~pred:prop.Props.pred
+    in
+    List.iteri
+      (fun i inst ->
+        Printf.printf "solution %d:\n%s\n" (i + 1)
+          (Format.asprintf "%a" Mcml_alloy.Instance.pp inst))
+      insts;
+    Printf.printf "%d solution(s)%s\n" (List.length insts)
+      (if complete then "" else " (more exist; raise --limit)")
+  in
+  Cmd.v
+    (Cmd.info "enumerate" ~doc:"Enumerate solutions of a property at a scope.")
+    Term.(const run $ prop_arg $ scope_arg $ symmetry_arg $ limit)
+
+(* --- dimacs -------------------------------------------------------------------- *)
+
+let dimacs_cmd =
+  let negate = Arg.(value & flag & info [ "negate" ] ~doc:"Emit the negation.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (default: stdout).")
+  in
+  let run prop scope symmetry negate out =
+    let scope = Option.value scope ~default:(default_scope prop ~symmetry) in
+    let analyzer = Props.analyzer ~scope in
+    let cnf = Mcml_alloy.Analyzer.cnf ~negate ~symmetry analyzer ~pred:prop.Props.pred in
+    match out with
+    | Some path ->
+        Dimacs.save path cnf;
+        Printf.printf "wrote %s (%s)\n" path (Format.asprintf "%a" Cnf.pp_stats cnf)
+    | None -> print_string (Dimacs.to_string cnf)
+  in
+  Cmd.v
+    (Cmd.info "dimacs" ~doc:"Export a property's CNF (with 'c ind' sampling set).")
+    Term.(const run $ prop_arg $ scope_arg $ symmetry_arg $ negate $ out)
+
+(* --- train-eval --------------------------------------------------------------------- *)
+
+let train_eval_cmd =
+  let model_arg =
+    let model_converter =
+      Arg.conv
+        ( (fun s ->
+            match Mcml_ml.Model.kind_of_name s with
+            | Some k -> Ok k
+            | None -> Error (`Msg "model must be DT | RFT | ABT | GBDT | SVM | MLP")),
+          fun fmt k -> Format.pp_print_string fmt (Mcml_ml.Model.name_of k) )
+    in
+    Arg.(value & opt model_converter Mcml_ml.Model.DT & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Model kind.")
+  in
+  let fraction =
+    Arg.(value & opt float 0.75 & info [ "train-fraction" ] ~docv:"F" ~doc:"Training fraction (0.75 = the 75:25 split).")
+  in
+  let run prop scope symmetry model fraction seed budget backend =
+    let scope = Option.value scope ~default:(default_scope prop ~symmetry) in
+    Printf.printf "# %s, scope %d, %s data, model %s, train fraction %.2f\n%!"
+      prop.Props.name scope
+      (if symmetry then "symmetry-broken" else "unrestricted")
+      (Mcml_ml.Model.name_of model) fraction;
+    let data =
+      Pipeline.generate prop
+        { Pipeline.scope; symmetry; max_positives = 3000; seed }
+    in
+    Printf.printf "dataset: %d samples (%d positive solutions%s)\n%!"
+      (Mcml_ml.Dataset.size data.Pipeline.dataset)
+      data.Pipeline.num_positive_solutions
+      (if data.Pipeline.positives_complete then "" else ", capped");
+    let rng = Splitmix.create (seed + 5) in
+    let train, test = Mcml_ml.Dataset.split rng ~train_fraction:fraction data.Pipeline.dataset in
+    let m = Mcml_ml.Model.train ~sizes:Mcml_ml.Model.fast_sizes ~seed model train in
+    let c = Mcml_ml.Model.evaluate m test in
+    Printf.printf "test    : acc=%.4f prec=%.4f rec=%.4f f1=%.4f\n"
+      (Mcml_ml.Metrics.accuracy c) (Mcml_ml.Metrics.precision c)
+      (Mcml_ml.Metrics.recall c) (Mcml_ml.Metrics.f1 c);
+    match m.Mcml_ml.Model.tree with
+    | None -> print_endline "(MCML metrics need a decision tree; use --model DT)"
+    | Some tree -> (
+        match
+          Pipeline.accmc ~budget ~backend ~prop ~scope ~eval_symmetry:symmetry tree
+        with
+        | Some counts ->
+            let c = Accmc.confusion counts in
+            Printf.printf
+              "phi     : acc=%.4f prec=%.4f rec=%.4f f1=%.4f   (tp=%s fp=%s tn=%s fn=%s, %.1fs)\n"
+              (Mcml_ml.Metrics.accuracy c) (Mcml_ml.Metrics.precision c)
+              (Mcml_ml.Metrics.recall c) (Mcml_ml.Metrics.f1 c)
+              (Bignat.to_scientific counts.Accmc.tp)
+              (Bignat.to_scientific counts.Accmc.fp)
+              (Bignat.to_scientific counts.Accmc.tn)
+              (Bignat.to_scientific counts.Accmc.fn)
+              counts.Accmc.time
+        | None -> print_endline "phi     : timeout")
+  in
+  Cmd.v
+    (Cmd.info "train-eval"
+       ~doc:"Train a model and evaluate it on the test set and (for DT) the entire space.")
+    Term.(
+      const run $ prop_arg $ scope_arg $ symmetry_arg $ model_arg $ fraction $ seed_arg
+      $ budget_arg $ backend_arg)
+
+(* --- diff ------------------------------------------------------------------------ *)
+
+let diff_cmd =
+  let run prop scope symmetry seed budget backend =
+    let scope = Option.value scope ~default:(default_scope prop ~symmetry) in
+    let data =
+      Pipeline.generate prop { Pipeline.scope; symmetry; max_positives = 3000; seed }
+    in
+    let rng = Splitmix.create (seed + 29) in
+    let train, _ = Mcml_ml.Dataset.split rng ~train_fraction:0.5 data.Pipeline.dataset in
+    let t1 = Option.get (Mcml_ml.Model.train_tree ~seed:(seed + 1) train).Mcml_ml.Model.tree in
+    let t2 =
+      Option.get
+        (Mcml_ml.Model.train_tree
+           ~params:{ Mcml_ml.Decision_tree.max_depth = Some 4; min_samples_split = 8; max_features = None }
+           ~seed:(seed + 2) train)
+          .Mcml_ml.Model.tree
+    in
+    let nprimary = scope * scope in
+    match Diffmc.counts ~budget ~backend ~nprimary t1 t2 with
+    | Some c ->
+        Printf.printf "TT=%s TF=%s FT=%s FF=%s  diff=%.2f%% sim=%.2f%%  (%.1fs)\n"
+          (Bignat.to_scientific c.Diffmc.tt) (Bignat.to_scientific c.Diffmc.tf)
+          (Bignat.to_scientific c.Diffmc.ft) (Bignat.to_scientific c.Diffmc.ff)
+          (100.0 *. Diffmc.diff c ~nprimary)
+          (100.0 *. Diffmc.sim c ~nprimary)
+          c.Diffmc.time
+    | None -> print_endline "timeout"
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"DiffMC: quantify the semantic difference between two trees trained with different hyperparameters.")
+    Term.(const run $ prop_arg $ scope_arg $ symmetry_arg $ seed_arg $ budget_arg $ backend_arg)
+
+(* --- exp ------------------------------------------------------------------------- *)
+
+let exp_cmd =
+  let table =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"TABLE" ~doc:"Paper table number (1-9).")
+  in
+  let run table seed budget =
+    let cfg = { Experiments.fast with Experiments.seed; budget } in
+    let fmt = Format.std_formatter in
+    match table with
+    | 1 -> Report.table1 fmt (Experiments.table1 cfg)
+    | 2 ->
+        let prop = Props.find_exn "PartialOrder" in
+        Report.model_performance fmt
+          ~title:"Table 2: classification on the test set, PartialOrder (symmetry-broken data)"
+          (Experiments.model_performance cfg ~prop ~symmetry:true)
+    | 3 ->
+        Report.dt_generalization fmt
+          ~title:"Table 3: DT test-set vs entire state space (symmetries broken; phi constrained)"
+          (Experiments.dt_generalization cfg ~data_symmetry:true ~eval_symmetry:true)
+    | 4 ->
+        let prop = Props.find_exn "PartialOrder" in
+        Report.model_performance fmt
+          ~title:"Table 4: classification on the test set, PartialOrder (no symmetry breaking)"
+          (Experiments.model_performance cfg ~prop ~symmetry:false)
+    | 5 ->
+        Report.dt_generalization fmt
+          ~title:"Table 5: DT test-set vs entire state space (no symmetry breaking)"
+          (Experiments.dt_generalization cfg ~data_symmetry:false ~eval_symmetry:false)
+    | 6 ->
+        Report.dt_generalization fmt
+          ~title:"Table 6: train with symmetries broken, evaluate on the full space"
+          (Experiments.dt_generalization cfg ~data_symmetry:true ~eval_symmetry:false)
+    | 7 ->
+        Report.dt_generalization fmt
+          ~title:"Table 7: train without symmetry breaking, evaluate on the constrained space"
+          (Experiments.dt_generalization cfg ~data_symmetry:false ~eval_symmetry:true)
+    | 8 -> Report.tree_differences fmt (Experiments.tree_differences cfg)
+    | 9 ->
+        let prop = Props.find_exn "Antisymmetric" in
+        Report.class_ratio fmt (Experiments.class_ratio_study cfg ~prop)
+    | n -> Printf.eprintf "no such table: %d (the paper has Tables 1-9)\n" n
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Regenerate one of the paper's tables (scaled-down configuration).")
+    Term.(const run $ table $ seed_arg $ budget_arg)
+
+(* --- main ------------------------------------------------------------------------ *)
+
+let () =
+  let doc = "MCML: model counting meets machine learning (PLDI 2020 reproduction)" in
+  let info = Cmd.info "mcml" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; count_cmd; enumerate_cmd; dimacs_cmd; train_eval_cmd; diff_cmd; exp_cmd ]))

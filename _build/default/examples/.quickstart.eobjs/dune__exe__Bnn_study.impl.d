@@ -1,0 +1,1 @@
+examples/bnn_study.ml: Accmc Array Bnn2cnf Cnf Format Mcml Mcml_counting Mcml_logic Mcml_ml Mcml_props Option Pipeline Printf Props Splitmix

@@ -1,0 +1,1 @@
+examples/bnn_study.mli:

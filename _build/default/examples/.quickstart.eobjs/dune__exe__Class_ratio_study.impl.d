@@ -1,0 +1,1 @@
+examples/class_ratio_study.ml: Experiments Format Mcml Mcml_logic Mcml_props Printf Props Report

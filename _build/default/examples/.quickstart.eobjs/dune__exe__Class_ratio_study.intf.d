@@ -1,0 +1,1 @@
+examples/class_ratio_study.mli:

@@ -1,0 +1,1 @@
+examples/model_diff.ml: Array Bignat Diffmc Mcml Mcml_counting Mcml_logic Mcml_ml Mcml_props Option Pipeline Printf Props Splitmix

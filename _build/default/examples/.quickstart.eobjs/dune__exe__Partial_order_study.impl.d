@@ -1,0 +1,1 @@
+examples/partial_order_study.ml: Accmc Experiments Format List Mcml Mcml_counting Mcml_logic Mcml_ml Mcml_props Option Pipeline Printf Props Report

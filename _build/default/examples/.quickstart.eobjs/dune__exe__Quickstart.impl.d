@@ -1,0 +1,1 @@
+examples/quickstart.ml: Accmc Bignat Format List Mcml Mcml_alloy Mcml_counting Mcml_logic Mcml_ml Mcml_props Option Pipeline Printf Splitmix

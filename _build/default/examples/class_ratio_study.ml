@@ -1,0 +1,29 @@
+(* Class-ratio study (the paper's Table 9): traditional precision looks
+   flat and excellent whatever the training class ratio; MCML precision
+   exposes how far the trained tree really is from the property when
+   the training distribution drifts from the true one.
+
+   Run with:  dune exec examples/class_ratio_study.exe *)
+
+open Mcml
+open Mcml_props
+
+let () =
+  let prop = Props.find_exn "Antisymmetric" in
+  Printf.printf
+    "Antisymmetric: training a DT at class ratios from 99:1 to 1:99\n\
+     (true positive:negative ratio of the whole space at this scope is shown below)\n\n%!";
+  let cfg = Experiments.fast in
+  let scope = Experiments.scope_for cfg prop ~symmetry:false in
+  (match prop.Props.closed_form scope with
+  | Some positives ->
+      let space = Mcml_logic.Bignat.to_float (Mcml_logic.Bignat.pow2 (scope * scope)) in
+      let p = Mcml_logic.Bignat.to_float positives /. space in
+      Printf.printf "scope %d: %.1f%% of the space is antisymmetric (ratio 1:%.1f)\n\n"
+        scope (100.0 *. p) ((1.0 -. p) /. p)
+  | None -> ());
+  let rows = Experiments.class_ratio_study cfg ~prop in
+  Report.class_ratio Format.std_formatter rows;
+  Printf.printf
+    "\nTraditional precision stays high for every ratio; MCML precision reveals the\n\
+     degradation as the training ratio drifts from the true distribution (cf. Table 9).\n"

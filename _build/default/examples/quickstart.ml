@@ -1,0 +1,110 @@
+(* Quickstart: the paper's running example (§3), end to end.
+
+   1. Parse the Alloy spec of Figure 1 (equivalence relations).
+   2. Enumerate all solutions at scope 4 with symmetry breaking — the
+      five non-isomorphic equivalence relations of Figure 2.
+   3. Model-count the property with both backends (the §3 ApproxMC /
+      ProjMC demonstration, at a laptop-sized scope).
+   4. Train a decision tree on a balanced dataset and evaluate it both
+      the traditional way and with MCML's counting metrics.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Mcml
+open Mcml_logic
+
+let figure1 =
+  {|
+sig S { r: set S } // r is a binary relation of type SxS
+pred Reflexive() { all s: S | s->s in r }
+pred Symmetric() {
+  all s, t: S | s->t in r implies t->s in r }
+pred Transitive() { all s, t, u: S |
+  s->t in r and t->u in r implies s->u in r }
+pred Equivalence() {
+  Reflexive and Symmetric and Transitive }
+E4: run Equivalence for exactly 4 S
+|}
+
+let () =
+  (* 1. parse + check *)
+  let spec = Mcml_alloy.Parser.parse_spec figure1 in
+  let scope =
+    match spec.Mcml_alloy.Ast.commands with
+    | c :: _ -> c.Mcml_alloy.Ast.cmd_scope
+    | [] -> 4
+  in
+  let analyzer = Mcml_alloy.Analyzer.make spec ~scope in
+  Printf.printf "Parsed Figure 1; command scope = %d, state space = 2^%d\n\n" scope
+    (Mcml_alloy.Analyzer.nprimary analyzer);
+
+  (* 2. the five non-isomorphic equivalence relations (Figure 2) *)
+  let solutions, _ =
+    Mcml_alloy.Analyzer.enumerate ~symmetry:true analyzer ~pred:"Equivalence"
+  in
+  Printf.printf "Equivalence relations at scope 4, symmetry-broken: %d (Figure 2 shows 5)\n"
+    (List.length solutions);
+  List.iteri
+    (fun i inst ->
+      Printf.printf "-- solution %d --\n%s" (i + 1)
+        (Format.asprintf "%a" Mcml_alloy.Instance.pp inst))
+    solutions;
+
+  (* 3. both model counters on the same problem (§3's demonstration) *)
+  print_newline ();
+  List.iter
+    (fun backend ->
+      match
+        Mcml_alloy.Analyzer.count ~backend analyzer ~pred:"Equivalence"
+      with
+      | Some o ->
+          Printf.printf "%-18s count = %-6s (%.2fs)\n"
+            (Mcml_counting.Counter.name backend)
+            (Bignat.to_string o.Mcml_counting.Counter.count)
+            o.Mcml_counting.Counter.time
+      | None -> print_endline "timeout")
+    [
+      Mcml_counting.Counter.Exact;
+      Mcml_counting.Counter.Approx Mcml_counting.Approx.default;
+    ];
+  Printf.printf "(Bell(4) = 15: every partition of 4 atoms is one equivalence relation)\n\n";
+
+  (* 4. train a decision tree, evaluate traditionally and with MCML *)
+  let prop = Mcml_props.Props.find_exn "Equivalence" in
+  let data =
+    Pipeline.generate prop
+      { Pipeline.scope = 5; symmetry = false; max_positives = 3000; seed = 42 }
+  in
+  let rng = Splitmix.create 43 in
+  let train, test =
+    Mcml_ml.Dataset.split rng ~train_fraction:0.75 data.Pipeline.dataset
+  in
+  let model = Mcml_ml.Model.train ~seed:44 Mcml_ml.Model.DT train in
+  let test_metrics = Mcml_ml.Model.evaluate model test in
+  Printf.printf "Decision tree on Equivalence at scope 5 (25 boolean features):\n";
+  Printf.printf "  test set : acc=%.4f prec=%.4f rec=%.4f f1=%.4f\n"
+    (Mcml_ml.Metrics.accuracy test_metrics)
+    (Mcml_ml.Metrics.precision test_metrics)
+    (Mcml_ml.Metrics.recall test_metrics)
+    (Mcml_ml.Metrics.f1 test_metrics);
+  let tree = Option.get model.Mcml_ml.Model.tree in
+  (match
+     Pipeline.accmc ~backend:Mcml_counting.Counter.Exact ~prop ~scope:5
+       ~eval_symmetry:false tree
+   with
+  | Some counts ->
+      let c = Accmc.confusion counts in
+      Printf.printf "  entire 2^25 space (MCML): acc=%.4f prec=%.4f rec=%.4f f1=%.4f\n"
+        (Mcml_ml.Metrics.accuracy c)
+        (Mcml_ml.Metrics.precision c)
+        (Mcml_ml.Metrics.recall c) (Mcml_ml.Metrics.f1 c);
+      Printf.printf "  counts: tp=%s fp=%s tn=%s fn=%s\n"
+        (Bignat.to_string counts.Accmc.tp)
+        (Bignat.to_string counts.Accmc.fp)
+        (Bignat.to_string counts.Accmc.tn)
+        (Bignat.to_string counts.Accmc.fn)
+  | None -> print_endline "  MCML metrics timed out");
+  print_newline ();
+  Printf.printf
+    "The test-set numbers look excellent; the whole-space precision collapses.\n\
+     That gap — invisible to train/test evaluation — is MCML's headline result.\n"

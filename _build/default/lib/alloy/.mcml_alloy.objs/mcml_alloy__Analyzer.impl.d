@@ -1,0 +1,1 @@
+lib/alloy/analyzer.ml: Ast Bignat Check Formula Instance List Mcml_counting Mcml_logic Mcml_sat Parser Printf Semantics Symmetry Tseitin

@@ -1,0 +1,1 @@
+lib/alloy/analyzer.mli: Ast Bignat Cnf Formula Instance Mcml_counting Mcml_logic

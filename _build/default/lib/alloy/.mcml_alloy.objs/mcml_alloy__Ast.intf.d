@@ -1,0 +1,1 @@
+lib/alloy/ast.mli: Format

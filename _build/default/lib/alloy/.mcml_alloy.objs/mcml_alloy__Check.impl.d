@@ -1,0 +1,1 @@
+lib/alloy/check.ml: Ast Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/alloy/check.mli: Ast

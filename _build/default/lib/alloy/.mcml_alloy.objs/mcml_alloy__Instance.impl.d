@@ -1,0 +1,1 @@
+lib/alloy/instance.ml: Array Ast Format List Mcml_logic Printf Splitmix

@@ -1,0 +1,1 @@
+lib/alloy/instance.mli: Ast Format Mcml_logic Splitmix

@@ -1,0 +1,1 @@
+lib/alloy/lexer.ml: Ast List Printf String

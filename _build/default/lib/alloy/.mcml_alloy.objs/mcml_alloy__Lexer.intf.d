@@ -1,0 +1,1 @@
+lib/alloy/lexer.mli: Ast

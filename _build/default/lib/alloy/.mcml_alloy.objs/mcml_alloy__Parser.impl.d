@@ -1,0 +1,1 @@
+lib/alloy/parser.ml: Array Ast Lexer List Printf

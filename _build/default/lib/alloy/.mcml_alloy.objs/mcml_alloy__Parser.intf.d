@@ -1,0 +1,1 @@
+lib/alloy/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/alloy/semantics.ml: Ast Check Formula Hashtbl List Mcml_logic Option Printf Stdlib

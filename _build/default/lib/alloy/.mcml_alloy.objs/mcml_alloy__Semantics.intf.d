@@ -1,0 +1,1 @@
+lib/alloy/semantics.mli: Ast Mcml_logic

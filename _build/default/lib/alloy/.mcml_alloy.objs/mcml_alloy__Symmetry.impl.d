@@ -1,0 +1,1 @@
+lib/alloy/symmetry.ml: Array Ast Formula Instance List Mcml_logic

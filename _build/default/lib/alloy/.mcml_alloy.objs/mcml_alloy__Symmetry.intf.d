@@ -1,0 +1,1 @@
+lib/alloy/symmetry.mli: Ast Formula Instance Mcml_logic

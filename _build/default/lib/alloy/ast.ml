@@ -1,0 +1,112 @@
+type pos = { line : int; col : int }
+
+type expr =
+  | Rel of string
+  | Iden
+  | Univ
+  | None_
+  | Transpose of expr
+  | Closure of expr
+  | RClosure of expr
+  | Join of expr * expr
+  | Product of expr * expr
+  | Union of expr * expr
+  | Inter of expr * expr
+  | Diff of expr * expr
+
+type mult = Some_ | No | One | Lone
+
+type quant = All | Exists
+
+type fmla =
+  | True
+  | False
+  | In of expr * expr
+  | Eq of expr * expr
+  | Neq of expr * expr
+  | Mult of mult * expr
+  | Not of fmla
+  | And of fmla * fmla
+  | Or of fmla * fmla
+  | Implies of fmla * fmla
+  | Iff of fmla * fmla
+  | Quant of quant * string list * fmla
+  | Call of string
+
+type field = { field_name : string; field_arity : int }
+type pred = { pred_name : string; body : fmla }
+
+type command = {
+  cmd_label : string option;
+  cmd_pred : string;
+  cmd_scope : int;
+  cmd_exact : bool;
+}
+
+type spec = {
+  sig_name : string;
+  fields : field list;
+  preds : pred list;
+  commands : command list;
+}
+
+let rec pp_expr fmt = function
+  | Rel s -> Format.pp_print_string fmt s
+  | Iden -> Format.pp_print_string fmt "iden"
+  | Univ -> Format.pp_print_string fmt "univ"
+  | None_ -> Format.pp_print_string fmt "none"
+  | Transpose e -> Format.fprintf fmt "~%a" pp_expr e
+  | Closure e -> Format.fprintf fmt "^%a" pp_expr e
+  | RClosure e -> Format.fprintf fmt "*%a" pp_expr e
+  | Join (a, b) -> Format.fprintf fmt "(%a.%a)" pp_expr a pp_expr b
+  | Product (a, b) -> Format.fprintf fmt "(%a->%a)" pp_expr a pp_expr b
+  | Union (a, b) -> Format.fprintf fmt "(%a + %a)" pp_expr a pp_expr b
+  | Inter (a, b) -> Format.fprintf fmt "(%a & %a)" pp_expr a pp_expr b
+  | Diff (a, b) -> Format.fprintf fmt "(%a - %a)" pp_expr a pp_expr b
+
+let string_of_mult = function
+  | Some_ -> "some"
+  | No -> "no"
+  | One -> "one"
+  | Lone -> "lone"
+
+let rec pp_fmla fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | In (a, b) -> Format.fprintf fmt "%a in %a" pp_expr a pp_expr b
+  | Eq (a, b) -> Format.fprintf fmt "%a = %a" pp_expr a pp_expr b
+  | Neq (a, b) -> Format.fprintf fmt "%a != %a" pp_expr a pp_expr b
+  | Mult (m, e) -> Format.fprintf fmt "%s %a" (string_of_mult m) pp_expr e
+  | Not f -> Format.fprintf fmt "!(%a)" pp_fmla f
+  | And (a, b) -> Format.fprintf fmt "(%a and %a)" pp_fmla a pp_fmla b
+  | Or (a, b) -> Format.fprintf fmt "(%a or %a)" pp_fmla a pp_fmla b
+  | Implies (a, b) -> Format.fprintf fmt "(%a implies %a)" pp_fmla a pp_fmla b
+  | Iff (a, b) -> Format.fprintf fmt "(%a iff %a)" pp_fmla a pp_fmla b
+  | Quant (q, vars, body) ->
+      Format.fprintf fmt "%s %s: S | %a"
+        (match q with All -> "all" | Exists -> "some")
+        (String.concat ", " vars) pp_fmla body
+  | Call p -> Format.fprintf fmt "%s[]" p
+
+let pp_spec fmt (s : spec) =
+  Format.fprintf fmt "sig %s {" s.sig_name;
+  List.iteri
+    (fun i f ->
+      if i > 0 then Format.pp_print_string fmt ", ";
+      Format.fprintf fmt " %s: set %s " f.field_name s.sig_name)
+    s.fields;
+  Format.fprintf fmt "}@.";
+  List.iter
+    (fun p -> Format.fprintf fmt "pred %s() { %a }@." p.pred_name pp_fmla p.body)
+    s.preds;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "%srun %s for %s%d %s@."
+        (match c.cmd_label with Some l -> l ^ ": " | None -> "")
+        c.cmd_pred
+        (if c.cmd_exact then "exactly " else "")
+        c.cmd_scope s.sig_name)
+    s.commands
+
+let find_pred spec name = List.find_opt (fun p -> p.pred_name = name) spec.preds
+let find_field spec name = List.find_opt (fun f -> f.field_name = name) spec.fields

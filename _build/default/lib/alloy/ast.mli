@@ -1,0 +1,68 @@
+(** Abstract syntax for the Alloy subset used by the study.
+
+    The fragment covers what the paper's 16 relational-property specs
+    need (and a bit more): one signature, any number of binary fields,
+    first-order quantification over atoms, the relational operators
+    [~ ^ * . -> & + -], subset/equality tests, multiplicity formulas,
+    nullary predicates and [run] commands with exact scopes. *)
+
+type pos = { line : int; col : int }
+
+type expr =
+  | Rel of string  (** declared field, or quantified variable *)
+  | Iden  (** identity relation (arity 2) *)
+  | Univ  (** universe (arity 1) *)
+  | None_  (** empty set (arity 1) *)
+  | Transpose of expr  (** [~e] *)
+  | Closure of expr  (** [^e] *)
+  | RClosure of expr  (** [*e] *)
+  | Join of expr * expr  (** [e.e] *)
+  | Product of expr * expr  (** [e->e] *)
+  | Union of expr * expr  (** [e + e] *)
+  | Inter of expr * expr  (** [e & e] *)
+  | Diff of expr * expr  (** [e - e] *)
+
+type mult = Some_ | No | One | Lone
+
+type quant = All | Exists
+
+type fmla =
+  | True
+  | False
+  | In of expr * expr
+  | Eq of expr * expr
+  | Neq of expr * expr
+  | Mult of mult * expr
+  | Not of fmla
+  | And of fmla * fmla
+  | Or of fmla * fmla
+  | Implies of fmla * fmla
+  | Iff of fmla * fmla
+  | Quant of quant * string list * fmla
+      (** [all s, t : S | body] — variables range over the signature *)
+  | Call of string  (** nullary predicate call *)
+
+type field = { field_name : string; field_arity : int }
+
+type pred = { pred_name : string; body : fmla }
+
+type command = {
+  cmd_label : string option;
+  cmd_pred : string;
+  cmd_scope : int;
+  cmd_exact : bool;
+}
+
+type spec = {
+  sig_name : string;
+  fields : field list;
+  preds : pred list;
+  commands : command list;
+}
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_fmla : Format.formatter -> fmla -> unit
+val pp_spec : Format.formatter -> spec -> unit
+
+val find_pred : spec -> string -> pred option
+val find_field : spec -> string -> field option

@@ -1,0 +1,86 @@
+exception Error of string
+
+let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let rec arity_of spec ~bound (e : Ast.expr) : int =
+  match e with
+  | Ast.Rel name ->
+      if bound name then 1
+      else (
+        match Ast.find_field spec name with
+        | Some f -> f.Ast.field_arity
+        | None -> errf "unknown name %S (not a field or bound variable)" name)
+  | Ast.Iden -> 2
+  | Ast.Univ -> 1
+  | Ast.None_ -> 1
+  | Ast.Transpose e1 ->
+      let a = arity_of spec ~bound e1 in
+      if a <> 2 then errf "transpose (~) needs a binary relation, got arity %d" a;
+      2
+  | Ast.Closure e1 | Ast.RClosure e1 ->
+      let a = arity_of spec ~bound e1 in
+      if a <> 2 then errf "closure (^/*) needs a binary relation, got arity %d" a;
+      2
+  | Ast.Join (a, b) ->
+      let aa = arity_of spec ~bound a and ab = arity_of spec ~bound b in
+      let r = aa + ab - 2 in
+      if r < 1 then errf "join of arities %d and %d has illegal arity %d" aa ab r;
+      r
+  | Ast.Product (a, b) -> arity_of spec ~bound a + arity_of spec ~bound b
+  | Ast.Union (a, b) | Ast.Inter (a, b) | Ast.Diff (a, b) ->
+      let aa = arity_of spec ~bound a and ab = arity_of spec ~bound b in
+      if aa <> ab then
+        errf "set operator requires equal arities, got %d and %d" aa ab;
+      aa
+
+let rec check_fmla spec ~bound ~stack (f : Ast.fmla) : unit =
+  match f with
+  | Ast.True | Ast.False -> ()
+  | Ast.In (a, b) | Ast.Eq (a, b) | Ast.Neq (a, b) ->
+      let aa = arity_of spec ~bound a and ab = arity_of spec ~bound b in
+      if aa <> ab then errf "comparison requires equal arities, got %d and %d" aa ab
+  | Ast.Mult (_, e) -> ignore (arity_of spec ~bound e)
+  | Ast.Not g -> check_fmla spec ~bound ~stack g
+  | Ast.And (a, b) | Ast.Or (a, b) | Ast.Implies (a, b) | Ast.Iff (a, b) ->
+      check_fmla spec ~bound ~stack a;
+      check_fmla spec ~bound ~stack b
+  | Ast.Quant (_, vars, body) ->
+      List.iter
+        (fun v ->
+          if Ast.find_field spec v <> None then
+            errf "quantified variable %S shadows a field" v)
+        vars;
+      let bound' name = List.mem name vars || bound name in
+      check_fmla spec ~bound:bound' ~stack body
+  | Ast.Call p -> (
+      if List.mem p stack then
+        errf "recursive predicate call involving %S is not allowed" p;
+      match Ast.find_pred spec p with
+      | None -> errf "call to unknown predicate %S" p
+      | Some pred -> check_fmla spec ~bound ~stack:(p :: stack) pred.Ast.body)
+
+let check_spec (spec : Ast.spec) : unit =
+  if spec.Ast.fields = [] then errf "signature %s declares no fields" spec.Ast.sig_name;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Ast.field) ->
+      if Hashtbl.mem seen f.Ast.field_name then
+        errf "duplicate field %S" f.Ast.field_name;
+      Hashtbl.add seen f.Ast.field_name ())
+    spec.Ast.fields;
+  let pseen = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Ast.pred) ->
+      if Hashtbl.mem pseen p.Ast.pred_name then
+        errf "duplicate predicate %S" p.Ast.pred_name;
+      Hashtbl.add pseen p.Ast.pred_name ();
+      check_fmla spec ~bound:(fun _ -> false) ~stack:[ p.Ast.pred_name ] p.Ast.body)
+    spec.Ast.preds;
+  List.iter
+    (fun (c : Ast.command) ->
+      if Ast.find_pred spec c.Ast.cmd_pred = None then
+        errf "command runs unknown predicate %S" c.Ast.cmd_pred;
+      if c.Ast.cmd_scope < 1 then errf "scope must be at least 1";
+      if not c.Ast.cmd_exact then
+        errf "only 'exactly' scopes are supported (run %s)" c.Ast.cmd_pred)
+    spec.Ast.commands

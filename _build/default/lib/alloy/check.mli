@@ -1,0 +1,14 @@
+(** Static checks: name resolution, arity checking, and detection of
+    recursive predicate calls (the subset has no recursion, so cycles
+    are rejected rather than unrolled). *)
+
+exception Error of string
+
+val arity_of : Ast.spec -> bound:(string -> bool) -> Ast.expr -> int
+(** Arity of an expression; [bound] says whether a name is a quantified
+    variable (arity 1).  @raise Error on unknown names or arity
+    mismatches. *)
+
+val check_spec : Ast.spec -> unit
+(** Check every predicate body and every command.  @raise Error with a
+    descriptive message on the first problem found. *)

@@ -1,0 +1,85 @@
+open Mcml_logic
+
+type t = { scope : int; rels : (string * bool array) list }
+
+let create (spec : Ast.spec) ~scope =
+  {
+    scope;
+    rels =
+      List.map
+        (fun (f : Ast.field) -> (f.Ast.field_name, Array.make (scope * scope) false))
+        spec.Ast.fields;
+  }
+
+let matrix t field =
+  match List.assoc_opt field t.rels with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Instance: unknown field %S" field)
+
+let get t ~field i j = (matrix t field).(i * t.scope + j)
+
+let set t ~field i j v =
+  {
+    t with
+    rels =
+      List.map
+        (fun (name, m) ->
+          if name = field then begin
+            let m' = Array.copy m in
+            m'.(i * t.scope + j) <- v;
+            (name, m')
+          end
+          else (name, m))
+        t.rels;
+  }
+
+let to_bits t = Array.concat (List.map snd t.rels)
+
+let of_bits (spec : Ast.spec) ~scope bits =
+  let per = scope * scope in
+  let nfields = List.length spec.Ast.fields in
+  if Array.length bits <> nfields * per then
+    invalid_arg
+      (Printf.sprintf "Instance.of_bits: expected %d bits, got %d" (nfields * per)
+         (Array.length bits));
+  {
+    scope;
+    rels =
+      List.mapi
+        (fun k (f : Ast.field) -> (f.Ast.field_name, Array.sub bits (k * per) per))
+        spec.Ast.fields;
+  }
+
+let random rng (spec : Ast.spec) ~scope =
+  {
+    scope;
+    rels =
+      List.map
+        (fun (f : Ast.field) ->
+          (f.Ast.field_name, Array.init (scope * scope) (fun _ -> Splitmix.bool rng)))
+        spec.Ast.fields;
+  }
+
+let equal a b =
+  a.scope = b.scope
+  && List.length a.rels = List.length b.rels
+  && List.for_all2 (fun (n1, m1) (n2, m2) -> n1 = n2 && m1 = m2) a.rels b.rels
+
+let hash t =
+  List.fold_left
+    (fun acc (_, m) ->
+      Array.fold_left (fun h b -> (h * 131) + if b then 1 else 0) acc m)
+    t.scope t.rels
+
+let pp fmt t =
+  List.iter
+    (fun (name, m) ->
+      Format.fprintf fmt "%s:@." name;
+      for i = 0 to t.scope - 1 do
+        Format.pp_print_string fmt "  ";
+        for j = 0 to t.scope - 1 do
+          Format.pp_print_string fmt (if m.(i * t.scope + j) then "1" else "0")
+        done;
+        Format.pp_print_newline fmt ()
+      done)
+    t.rels

@@ -1,0 +1,36 @@
+(** Concrete instances (bounded models) of a specification: one boolean
+    adjacency matrix per field.
+
+    Instances are both the solutions the analyzer enumerates and the
+    feature vectors the ML pipeline consumes (the paper represents each
+    sample as the flattened adjacency matrix). *)
+
+open Mcml_logic
+
+type t = { scope : int; rels : (string * bool array) list }
+(** each [bool array] is row-major of length [scope * scope] *)
+
+val create : Ast.spec -> scope:int -> t
+(** All-false instance with one matrix per declared field. *)
+
+val get : t -> field:string -> int -> int -> bool
+val set : t -> field:string -> int -> int -> bool -> t
+(** Functional update (copies the touched matrix). *)
+
+val to_bits : t -> bool array
+(** Concatenation of the matrices in field-declaration order — the
+    feature vector of the sample. *)
+
+val of_bits : Ast.spec -> scope:int -> bool array -> t
+(** Inverse of {!to_bits}.  @raise Invalid_argument on a length
+    mismatch. *)
+
+val random : Splitmix.t -> Ast.spec -> scope:int -> t
+(** Uniformly random instance (each edge present with probability
+    1/2) — the paper's candidate generator for negative sampling. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Matrix rendering, e.g. for the quickstart's Figure-2 display. *)

@@ -1,0 +1,235 @@
+type token =
+  | IDENT of string
+  | NUMBER of int
+  | KW_SIG
+  | KW_PRED
+  | KW_FACT
+  | KW_RUN
+  | KW_FOR
+  | KW_EXACTLY
+  | KW_ALL
+  | KW_SOME
+  | KW_NO
+  | KW_ONE
+  | KW_LONE
+  | KW_SET
+  | KW_IN
+  | KW_AND
+  | KW_OR
+  | KW_IMPLIES
+  | KW_ELSE
+  | KW_IFF
+  | KW_NOT
+  | KW_IDEN
+  | KW_UNIV
+  | KW_NONE
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COLON
+  | COMMA
+  | BAR
+  | DOT
+  | TILDE
+  | CARET
+  | STAR
+  | ARROW
+  | PLUS
+  | MINUS
+  | AMP
+  | EQ
+  | NEQ
+  | BANG
+  | AMPAMP
+  | BARBAR
+  | FATARROW
+  | IFFARROW
+  | NOTIN
+  | EOF
+
+exception Error of string * Ast.pos
+
+let keywords =
+  [
+    ("sig", KW_SIG);
+    ("pred", KW_PRED);
+    ("fact", KW_FACT);
+    ("run", KW_RUN);
+    ("for", KW_FOR);
+    ("exactly", KW_EXACTLY);
+    ("all", KW_ALL);
+    ("some", KW_SOME);
+    ("no", KW_NO);
+    ("one", KW_ONE);
+    ("lone", KW_LONE);
+    ("set", KW_SET);
+    ("in", KW_IN);
+    ("and", KW_AND);
+    ("or", KW_OR);
+    ("implies", KW_IMPLIES);
+    ("else", KW_ELSE);
+    ("iff", KW_IFF);
+    ("not", KW_NOT);
+    ("iden", KW_IDEN);
+    ("univ", KW_UNIV);
+    ("none", KW_NONE);
+  ]
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUMBER n -> Printf.sprintf "number %d" n
+  | EOF -> "end of input"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COLON -> "':'"
+  | COMMA -> "','"
+  | BAR -> "'|'"
+  | DOT -> "'.'"
+  | TILDE -> "'~'"
+  | CARET -> "'^'"
+  | STAR -> "'*'"
+  | ARROW -> "'->'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | AMP -> "'&'"
+  | EQ -> "'='"
+  | NEQ -> "'!='"
+  | BANG -> "'!'"
+  | AMPAMP -> "'&&'"
+  | BARBAR -> "'||'"
+  | FATARROW -> "'=>'"
+  | IFFARROW -> "'<=>'"
+  | NOTIN -> "'!in'"
+  | t -> (
+      match List.find_opt (fun (_, tok) -> tok = t) keywords with
+      | Some (kw, _) -> Printf.sprintf "keyword %S" kw
+      | None -> "token")
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : (token * Ast.pos) list =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let pos () : Ast.pos = { Ast.line = !line; col = !col } in
+  let advance () =
+    if !i < n then begin
+      if src.[!i] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr i
+    end
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let emit tok p = tokens := (tok, p) :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    let p = pos () in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '-' && peek 1 = Some '-' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then raise (Error ("unterminated block comment", p))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let word = String.sub src start (!i - start) in
+      match List.assoc_opt word keywords with
+      | Some kw -> emit kw p
+      | None -> emit (IDENT word) p
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      emit (NUMBER (int_of_string (String.sub src start (!i - start)))) p
+    end
+    else begin
+      let two a b tok =
+        if c = a && peek 1 = Some b then begin
+          advance ();
+          advance ();
+          emit tok p;
+          true
+        end
+        else false
+      in
+      let three a b c3 tok =
+        if c = a && peek 1 = Some b && peek 2 = Some c3 then begin
+          advance ();
+          advance ();
+          advance ();
+          emit tok p;
+          true
+        end
+        else false
+      in
+      if three '<' '=' '>' IFFARROW then ()
+      else if two '-' '>' ARROW then ()
+      else if two '=' '>' FATARROW then ()
+      else if two '!' '=' NEQ then ()
+      else if two '&' '&' AMPAMP then ()
+      else if two '|' '|' BARBAR then ()
+      else begin
+        let single tok =
+          advance ();
+          emit tok p
+        in
+        match c with
+        | '{' -> single LBRACE
+        | '}' -> single RBRACE
+        | '(' -> single LPAREN
+        | ')' -> single RPAREN
+        | '[' -> single LBRACKET
+        | ']' -> single RBRACKET
+        | ':' -> single COLON
+        | ',' -> single COMMA
+        | '|' -> single BAR
+        | '.' -> single DOT
+        | '~' -> single TILDE
+        | '^' -> single CARET
+        | '*' -> single STAR
+        | '+' -> single PLUS
+        | '-' -> single MINUS
+        | '&' -> single AMP
+        | '=' -> single EQ
+        | '!' -> single BANG
+        | _ -> raise (Error (Printf.sprintf "illegal character %C" c, p))
+      end
+    end
+  done;
+  emit EOF (pos ());
+  List.rev !tokens

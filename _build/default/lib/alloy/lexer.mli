@@ -1,0 +1,64 @@
+(** Hand-written lexer for the Alloy subset (Menhir is not available in
+    the build environment, so the front end is recursive descent over
+    this token stream). *)
+
+type token =
+  | IDENT of string
+  | NUMBER of int
+  | KW_SIG
+  | KW_PRED
+  | KW_FACT
+  | KW_RUN
+  | KW_FOR
+  | KW_EXACTLY
+  | KW_ALL
+  | KW_SOME
+  | KW_NO
+  | KW_ONE
+  | KW_LONE
+  | KW_SET
+  | KW_IN
+  | KW_AND
+  | KW_OR
+  | KW_IMPLIES
+  | KW_ELSE
+  | KW_IFF
+  | KW_NOT
+  | KW_IDEN
+  | KW_UNIV
+  | KW_NONE
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COLON
+  | COMMA
+  | BAR
+  | DOT
+  | TILDE
+  | CARET
+  | STAR
+  | ARROW  (** [->] *)
+  | PLUS
+  | MINUS
+  | AMP
+  | EQ
+  | NEQ  (** [!=] *)
+  | BANG
+  | AMPAMP  (** [&&] *)
+  | BARBAR  (** [||] *)
+  | FATARROW  (** [=>] *)
+  | IFFARROW  (** [<=>] *)
+  | NOTIN  (** [!in] is lexed as BANG KW_IN; [not in] likewise *)
+  | EOF
+
+exception Error of string * Ast.pos
+
+val tokenize : string -> (token * Ast.pos) list
+(** Tokenize a whole source string.  Comments ([//], [--], [/* */]) and
+    whitespace are skipped.  @raise Error on an illegal character or an
+    unterminated block comment. *)
+
+val describe : token -> string

@@ -1,0 +1,404 @@
+open Lexer
+
+exception Error of string * Ast.pos
+
+type state = { toks : (token * Ast.pos) array; mutable cursor : int }
+
+let peek st = fst st.toks.(st.cursor)
+let peek_pos st = snd st.toks.(st.cursor)
+let peek_at st k =
+  let i = st.cursor + k in
+  if i < Array.length st.toks then fst st.toks.(i) else EOF
+
+let advance st = if st.cursor < Array.length st.toks - 1 then st.cursor <- st.cursor + 1
+
+let fail st msg = raise (Error (msg, peek_pos st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail st (Printf.sprintf "expected %s but found %s" (describe tok) (describe (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | IDENT s ->
+      advance st;
+      s
+  | t -> fail st (Printf.sprintf "expected an identifier but found %s" (describe t))
+
+let expect_number st =
+  match peek st with
+  | NUMBER n ->
+      advance st;
+      n
+  | t -> fail st (Printf.sprintf "expected a number but found %s" (describe t))
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec parse_union st =
+  let rec loop acc =
+    match peek st with
+    | PLUS ->
+        advance st;
+        loop (Ast.Union (acc, parse_inter st))
+    | MINUS ->
+        advance st;
+        loop (Ast.Diff (acc, parse_inter st))
+    | _ -> acc
+  in
+  loop (parse_inter st)
+
+and parse_inter st =
+  let rec loop acc =
+    match peek st with
+    | AMP ->
+        advance st;
+        loop (Ast.Inter (acc, parse_product st))
+    | _ -> acc
+  in
+  loop (parse_product st)
+
+and parse_product st =
+  let rec loop acc =
+    match peek st with
+    | ARROW ->
+        advance st;
+        loop (Ast.Product (acc, parse_join st))
+    | _ -> acc
+  in
+  loop (parse_join st)
+
+and parse_join st =
+  let rec loop acc =
+    match peek st with
+    | DOT ->
+        advance st;
+        loop (Ast.Join (acc, parse_unary st))
+    | _ -> acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | TILDE ->
+      advance st;
+      Ast.Transpose (parse_unary st)
+  | CARET ->
+      advance st;
+      Ast.Closure (parse_unary st)
+  | STAR ->
+      advance st;
+      Ast.RClosure (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | IDENT s ->
+      advance st;
+      Ast.Rel s
+  | KW_IDEN ->
+      advance st;
+      Ast.Iden
+  | KW_UNIV ->
+      advance st;
+      Ast.Univ
+  | KW_NONE ->
+      advance st;
+      Ast.None_
+  | LPAREN ->
+      advance st;
+      let e = parse_union st in
+      expect st RPAREN;
+      e
+  | t -> fail st (Printf.sprintf "expected an expression but found %s" (describe t))
+
+let parse_expr = parse_union
+
+(* --- formulas ----------------------------------------------------------
+
+   Precedence (loosest to tightest):
+     quantifier body | iff | implies | or | and | not | atomic        *)
+
+(* [some x, y : S | f] must be told apart from the multiplicity formula
+   [some expr]; we look ahead for "ident (, ident)* :". *)
+let looks_like_quant_binding st =
+  let rec scan k expect_ident =
+    match peek_at st k with
+    | IDENT _ when expect_ident -> scan (k + 1) false
+    | COMMA when not expect_ident -> scan (k + 1) true
+    | COLON when not expect_ident -> true
+    | _ -> false
+  in
+  scan 1 true
+
+let rec parse_fmla_inner st = parse_iff st
+
+and parse_iff st =
+  let lhs = parse_implies st in
+  match peek st with
+  | KW_IFF | IFFARROW ->
+      advance st;
+      Ast.Iff (lhs, parse_iff st)
+  | _ -> lhs
+
+and parse_implies st =
+  let lhs = parse_or st in
+  match peek st with
+  | KW_IMPLIES | FATARROW ->
+      advance st;
+      let rhs = parse_implies st in
+      (match peek st with
+      | KW_ELSE ->
+          advance st;
+          let els = parse_implies st in
+          (* a => b else c  ≡  (a and b) or (!a and c) *)
+          Ast.Or (Ast.And (lhs, rhs), Ast.And (Ast.Not lhs, els))
+      | _ -> Ast.Implies (lhs, rhs))
+  | _ -> lhs
+
+and parse_or st =
+  let rec loop acc =
+    match peek st with
+    | KW_OR | BARBAR ->
+        advance st;
+        loop (Ast.Or (acc, parse_and st))
+    | _ -> acc
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop acc =
+    match peek st with
+    | KW_AND | AMPAMP ->
+        advance st;
+        loop (Ast.And (acc, parse_not st))
+    | _ -> acc
+  in
+  loop (parse_not st)
+
+and parse_not st =
+  match peek st with
+  | BANG | KW_NOT ->
+      advance st;
+      Ast.Not (parse_not st)
+  | _ -> parse_atomic st
+
+and parse_quant st q =
+  advance st;
+  let rec vars acc =
+    let v = expect_ident st in
+    match peek st with
+    | COMMA ->
+        advance st;
+        vars (v :: acc)
+    | _ -> List.rev (v :: acc)
+  in
+  let vs = vars [] in
+  expect st COLON;
+  let _sig_name = expect_ident st in
+  expect st BAR;
+  let body = parse_fmla_inner st in
+  Ast.Quant (q, vs, body)
+
+and parse_atomic st =
+  match peek st with
+  | KW_ALL -> parse_quant st Ast.All
+  | KW_SOME when looks_like_quant_binding st -> parse_quant st Ast.Exists
+  | KW_SOME ->
+      advance st;
+      Ast.Mult (Ast.Some_, parse_expr st)
+  | KW_NO ->
+      advance st;
+      Ast.Mult (Ast.No, parse_expr st)
+  | KW_ONE ->
+      advance st;
+      Ast.Mult (Ast.One, parse_expr st)
+  | KW_LONE ->
+      advance st;
+      Ast.Mult (Ast.Lone, parse_expr st)
+  | LPAREN ->
+      (* Could open a parenthesized formula or a parenthesized
+         expression; try the formula first and backtrack. *)
+      let saved = st.cursor in
+      (try
+         advance st;
+         let f = parse_fmla_inner st in
+         expect st RPAREN;
+         f
+       with Error _ ->
+         st.cursor <- saved;
+         parse_comparison st)
+  | _ -> parse_comparison st
+
+and parse_comparison st =
+  let e1 = parse_expr st in
+  match peek st with
+  | KW_IN ->
+      advance st;
+      Ast.In (e1, parse_expr st)
+  | EQ ->
+      advance st;
+      Ast.Eq (e1, parse_expr st)
+  | NEQ ->
+      advance st;
+      Ast.Neq (e1, parse_expr st)
+  | BANG when peek_at st 1 = KW_IN ->
+      advance st;
+      advance st;
+      Ast.Not (Ast.In (e1, parse_expr st))
+  | KW_NOT when peek_at st 1 = KW_IN ->
+      advance st;
+      advance st;
+      Ast.Not (Ast.In (e1, parse_expr st))
+  | _ -> (
+      (* a bare name is a nullary predicate call; optionally with [] or () *)
+      match e1 with
+      | Ast.Rel name ->
+          (match peek st with
+          | LBRACKET when peek_at st 1 = RBRACKET ->
+              advance st;
+              advance st
+          | LPAREN when peek_at st 1 = RPAREN ->
+              advance st;
+              advance st
+          | _ -> ());
+          Ast.Call name
+      | _ ->
+          fail st
+            (Printf.sprintf "expected 'in', '=' or '!=' after expression, found %s"
+               (describe (peek st))))
+
+(* --- declarations ------------------------------------------------------ *)
+
+let parse_field st sig_name =
+  let name = expect_ident st in
+  expect st COLON;
+  (match peek st with
+  | KW_SET -> advance st
+  | t -> fail st (Printf.sprintf "expected 'set' in field declaration, found %s" (describe t)));
+  let target = expect_ident st in
+  if target <> sig_name then
+    fail st
+      (Printf.sprintf "field %s must map into the signature %s (found %s)" name sig_name target);
+  { Ast.field_name = name; field_arity = 2 }
+
+let parse_sig st =
+  expect st KW_SIG;
+  let name = expect_ident st in
+  expect st LBRACE;
+  let rec fields acc =
+    match peek st with
+    | RBRACE ->
+        advance st;
+        List.rev acc
+    | COMMA ->
+        advance st;
+        fields acc
+    | _ -> fields (parse_field st name :: acc)
+  in
+  let fs = fields [] in
+  (name, fs)
+
+let parse_pred st =
+  expect st KW_PRED;
+  let name = expect_ident st in
+  (match peek st with
+  | LPAREN when peek_at st 1 = RPAREN ->
+      advance st;
+      advance st
+  | LBRACKET when peek_at st 1 = RBRACKET ->
+      advance st;
+      advance st
+  | _ -> ());
+  expect st LBRACE;
+  (* a pred body is a conjunction of newline-separated formulas; since
+     the lexer drops line structure, we conjoin until the closing brace *)
+  let rec body acc =
+    match peek st with
+    | RBRACE ->
+        advance st;
+        acc
+    | _ ->
+        let f = parse_fmla_inner st in
+        let acc = match acc with Ast.True -> f | _ -> Ast.And (acc, f) in
+        body acc
+  in
+  let b = body Ast.True in
+  { Ast.pred_name = name; body = b }
+
+let parse_command st label =
+  expect st KW_RUN;
+  let pred = expect_ident st in
+  (match peek st with
+  | LPAREN when peek_at st 1 = RPAREN ->
+      advance st;
+      advance st
+  | LBRACKET when peek_at st 1 = RBRACKET ->
+      advance st;
+      advance st
+  | _ -> ());
+  expect st KW_FOR;
+  let exact =
+    match peek st with
+    | KW_EXACTLY ->
+        advance st;
+        true
+    | _ -> false
+  in
+  let scope = expect_number st in
+  (match peek st with
+  | IDENT _ -> ignore (expect_ident st)
+  | _ -> ());
+  { Ast.cmd_label = label; cmd_pred = pred; cmd_scope = scope; cmd_exact = exact }
+
+let parse_spec_tokens st : Ast.spec =
+  let sig_info = ref None in
+  let preds = ref [] in
+  let commands = ref [] in
+  let rec loop () =
+    match peek st with
+    | EOF -> ()
+    | KW_SIG ->
+        if !sig_info <> None then fail st "only one signature is supported";
+        sig_info := Some (parse_sig st);
+        loop ()
+    | KW_PRED ->
+        preds := parse_pred st :: !preds;
+        loop ()
+    | KW_FACT -> fail st "facts are not supported in this Alloy subset; use a pred"
+    | KW_RUN ->
+        commands := parse_command st None :: !commands;
+        loop ()
+    | IDENT label when peek_at st 1 = COLON && peek_at st 2 = KW_RUN ->
+        advance st;
+        advance st;
+        commands := parse_command st (Some label) :: !commands;
+        loop ()
+    | t -> fail st (Printf.sprintf "expected a declaration but found %s" (describe t))
+  in
+  loop ();
+  match !sig_info with
+  | None -> fail st "specification declares no signature"
+  | Some (sig_name, fields) ->
+      {
+        Ast.sig_name;
+        fields;
+        preds = List.rev !preds;
+        commands = List.rev !commands;
+      }
+
+let with_state src f =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; cursor = 0 } in
+  let result = f st in
+  (match peek st with
+  | EOF -> ()
+  | t -> fail st (Printf.sprintf "trailing input: %s" (describe t)));
+  result
+
+let parse_spec src =
+  try with_state src parse_spec_tokens
+  with Lexer.Error (msg, pos) -> raise (Error (msg, pos))
+
+let parse_fmla src =
+  try with_state src parse_fmla_inner
+  with Lexer.Error (msg, pos) -> raise (Error (msg, pos))

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the Alloy subset. *)
+
+exception Error of string * Ast.pos
+
+val parse_spec : string -> Ast.spec
+(** Parse a whole specification (one [sig], predicates, commands).
+    @raise Error with a position on malformed input. *)
+
+val parse_fmla : string -> Ast.fmla
+(** Parse a stand-alone formula (handy in tests and the REPL-ish
+    examples). *)

@@ -1,0 +1,226 @@
+module type BOOL = sig
+  type t
+
+  val tru : t
+  val fls : t
+  val and_ : t list -> t
+  val or_ : t list -> t
+  val not_ : t -> t
+  val is_fls : t -> bool
+end
+
+module Make (B : BOOL) = struct
+  type env = {
+    scope : int;
+    field : string -> int -> int -> B.t;
+    spec : Ast.spec;
+  }
+
+  type denot = { arity : int; tuples : (int list * B.t) list }
+
+  (* Build a denotation from an association list, dropping entries that
+     are definitely false and merging duplicate tuples with [or]. *)
+  let mk_denot arity entries =
+    let tbl : (int list, B.t list) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (t, v) ->
+        if not (B.is_fls v) then
+          Hashtbl.replace tbl t (v :: Option.value ~default:[] (Hashtbl.find_opt tbl t)))
+      entries;
+    let tuples =
+      Hashtbl.fold
+        (fun t vs acc -> (t, match vs with [ v ] -> v | _ -> B.or_ vs) :: acc)
+        tbl []
+    in
+    (* deterministic order: sort by tuple *)
+    let tuples = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) tuples in
+    { arity; tuples }
+
+  let lookup denot tuple =
+    match List.assoc_opt tuple denot.tuples with Some v -> v | None -> B.fls
+
+  let rec expr env ~bound (e : Ast.expr) : denot =
+    match e with
+    | Ast.Rel name -> (
+        match bound name with
+        | Some atom -> { arity = 1; tuples = [ ([ atom ], B.tru) ] }
+        | None ->
+            let entries = ref [] in
+            for i = 0 to env.scope - 1 do
+              for j = 0 to env.scope - 1 do
+                let v = env.field name i j in
+                if not (B.is_fls v) then entries := ([ i; j ], v) :: !entries
+              done
+            done;
+            mk_denot 2 !entries)
+    | Ast.Iden ->
+        { arity = 2; tuples = List.init env.scope (fun i -> ([ i; i ], B.tru)) }
+    | Ast.Univ -> { arity = 1; tuples = List.init env.scope (fun i -> ([ i ], B.tru)) }
+    | Ast.None_ -> { arity = 1; tuples = [] }
+    | Ast.Transpose e1 ->
+        let d = expr env ~bound e1 in
+        mk_denot 2
+          (List.map (function [ i; j ], v -> ([ j; i ], v) | _ -> assert false) d.tuples)
+    | Ast.Closure e1 ->
+        let d = expr env ~bound e1 in
+        closure env d
+    | Ast.RClosure e1 ->
+        let d = expr env ~bound e1 in
+        let c = closure env d in
+        mk_denot 2
+          (List.init env.scope (fun i -> ([ i; i ], B.tru)) @ c.tuples)
+    | Ast.Join (a, b) ->
+        let da = expr env ~bound a and db = expr env ~bound b in
+        let entries = ref [] in
+        List.iter
+          (fun (ta, va) ->
+            let mid_a = List.nth ta (da.arity - 1) in
+            let init_a = List.filteri (fun i _ -> i < da.arity - 1) ta in
+            List.iter
+              (fun (tb, vb) ->
+                match tb with
+                | mid_b :: rest when mid_b = mid_a ->
+                    entries := (init_a @ rest, B.and_ [ va; vb ]) :: !entries
+                | _ -> ())
+              db.tuples)
+          da.tuples;
+        mk_denot (da.arity + db.arity - 2) !entries
+    | Ast.Product (a, b) ->
+        let da = expr env ~bound a and db = expr env ~bound b in
+        let entries =
+          List.concat_map
+            (fun (ta, va) ->
+              List.map (fun (tb, vb) -> (ta @ tb, B.and_ [ va; vb ])) db.tuples)
+            da.tuples
+        in
+        mk_denot (da.arity + db.arity) entries
+    | Ast.Union (a, b) ->
+        let da = expr env ~bound a and db = expr env ~bound b in
+        mk_denot da.arity (da.tuples @ db.tuples)
+    | Ast.Inter (a, b) ->
+        let da = expr env ~bound a and db = expr env ~bound b in
+        let entries =
+          List.filter_map
+            (fun (t, va) ->
+              let vb = lookup db t in
+              if B.is_fls vb then None else Some (t, B.and_ [ va; vb ]))
+            da.tuples
+        in
+        mk_denot da.arity entries
+    | Ast.Diff (a, b) ->
+        let da = expr env ~bound a and db = expr env ~bound b in
+        let entries =
+          List.map (fun (t, va) -> (t, B.and_ [ va; B.not_ (lookup db t) ])) da.tuples
+        in
+        mk_denot da.arity entries
+
+  (* Transitive closure by iterative squaring:
+     c_1 = d;  c_{2k} = c_k + c_k . c_k;  done after ceil(log2 scope) rounds. *)
+  and closure env (d : denot) : denot =
+    let square (c : denot) : denot =
+      let entries = ref (List.map (fun (t, v) -> (t, v)) c.tuples) in
+      List.iter
+        (fun (ta, va) ->
+          match ta with
+          | [ i; k1 ] ->
+              List.iter
+                (fun (tb, vb) ->
+                  match tb with
+                  | [ k2; j ] when k1 = k2 ->
+                      entries := ([ i; j ], B.and_ [ va; vb ]) :: !entries
+                  | _ -> ())
+                c.tuples
+          | _ -> assert false)
+        c.tuples;
+      mk_denot 2 !entries
+    in
+    let rounds =
+      let rec go k acc = if acc >= env.scope then k else go (k + 1) (acc * 2) in
+      go 0 1
+    in
+    let rec iterate c k = if k = 0 then c else iterate (square c) (k - 1) in
+    iterate d (max rounds 1)
+
+  let multiplicity (m : Ast.mult) (conds : B.t list) : B.t =
+    let some = B.or_ conds in
+    let lone =
+      let rec pairs = function
+        | [] -> []
+        | x :: rest ->
+            List.map (fun y -> B.not_ (B.and_ [ x; y ])) rest @ pairs rest
+      in
+      B.and_ (pairs conds)
+    in
+    match m with
+    | Ast.Some_ -> some
+    | Ast.No -> B.not_ some
+    | Ast.Lone -> lone
+    | Ast.One -> B.and_ [ some; lone ]
+
+  let rec fmla env ~bound (f : Ast.fmla) : B.t =
+    match f with
+    | Ast.True -> B.tru
+    | Ast.False -> B.fls
+    | Ast.In (a, b) ->
+        let da = expr env ~bound a and db = expr env ~bound b in
+        B.and_
+          (List.map
+             (fun (t, va) -> B.or_ [ B.not_ va; lookup db t ])
+             da.tuples)
+    | Ast.Eq (a, b) -> fmla env ~bound (Ast.And (Ast.In (a, b), Ast.In (b, a)))
+    | Ast.Neq (a, b) -> B.not_ (fmla env ~bound (Ast.Eq (a, b)))
+    | Ast.Mult (m, e) ->
+        let d = expr env ~bound e in
+        multiplicity m (List.map snd d.tuples)
+    | Ast.Not g -> B.not_ (fmla env ~bound g)
+    | Ast.And (a, b) -> B.and_ [ fmla env ~bound a; fmla env ~bound b ]
+    | Ast.Or (a, b) -> B.or_ [ fmla env ~bound a; fmla env ~bound b ]
+    | Ast.Implies (a, b) -> B.or_ [ B.not_ (fmla env ~bound a); fmla env ~bound b ]
+    | Ast.Iff (a, b) ->
+        let va = fmla env ~bound a and vb = fmla env ~bound b in
+        B.and_ [ B.or_ [ B.not_ va; vb ]; B.or_ [ va; B.not_ vb ] ]
+    | Ast.Quant (q, vars, body) ->
+        let rec unroll bound = function
+          | [] -> [ fmla env ~bound body ]
+          | v :: rest ->
+              List.concat
+                (List.init env.scope (fun atom ->
+                     let bound' name = if name = v then Some atom else bound name in
+                     unroll bound' rest))
+        in
+        let instances = unroll bound vars in
+        (match q with Ast.All -> B.and_ instances | Ast.Exists -> B.or_ instances)
+    | Ast.Call p -> (
+        match Ast.find_pred env.spec p with
+        | Some pr -> fmla env ~bound pr.Ast.body
+        | None -> raise (Check.Error (Printf.sprintf "unknown predicate %S" p)))
+
+  let pred env name =
+    match Ast.find_pred env.spec name with
+    | Some pr -> fmla env ~bound:(fun _ -> None) pr.Ast.body
+    | None -> raise (Check.Error (Printf.sprintf "unknown predicate %S" name))
+end
+
+module Bools : BOOL with type t = bool = struct
+  type t = bool
+
+  let tru = true
+  let fls = false
+  let and_ = List.for_all (fun b -> b)
+  let or_ = List.exists (fun b -> b)
+  let not_ b = not b
+  let is_fls b = not b
+end
+
+module Formulas : BOOL with type t = Mcml_logic.Formula.t = struct
+  open Mcml_logic
+
+  type t = Formula.t
+
+  let tru = Formula.tru
+  let fls = Formula.fls
+  let and_ = Formula.and_
+  let or_ = Formula.or_
+  let not_ = Formula.not_
+  let is_fls = Formula.is_false
+end

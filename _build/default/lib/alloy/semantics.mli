@@ -1,0 +1,47 @@
+(** Bounded relational semantics, parameterized by a boolean algebra.
+
+    Instantiated at [bool] this is the {e Alloy Evaluator} of the paper
+    (constant propagation over a concrete instance, no solving);
+    instantiated at hash-consed propositional formulas it is the
+    {e bounded translation} the Alloy Analyzer performs before handing
+    the problem to SAT.  Sharing one implementation for both guarantees
+    the evaluator and the translator agree — and the test suite checks
+    that agreement on random instances. *)
+
+module type BOOL = sig
+  type t
+
+  val tru : t
+  val fls : t
+  val and_ : t list -> t
+  val or_ : t list -> t
+  val not_ : t -> t
+  val is_fls : t -> bool
+end
+
+module Make (B : BOOL) : sig
+  type env = {
+    scope : int;  (** number of atoms; atoms are [0 .. scope-1] *)
+    field : string -> int -> int -> B.t;
+        (** valuation of a binary field at a pair of atoms *)
+    spec : Ast.spec;
+  }
+
+  type denot = { arity : int; tuples : (int list * B.t) list }
+  (** Sparse denotation: tuples absent from the list denote [B.fls]. *)
+
+  val expr : env -> bound:(string -> int option) -> Ast.expr -> denot
+  (** Denotation of an expression; [bound] maps quantified variables to
+      their current atom. *)
+
+  val fmla : env -> bound:(string -> int option) -> Ast.fmla -> B.t
+  (** Truth value (in [B]) of a formula. *)
+
+  val pred : env -> string -> B.t
+  (** Truth value of a nullary predicate of the spec (memoized per
+      call site via the underlying algebra's sharing, if any). *)
+end
+
+module Bools : BOOL with type t = bool
+
+module Formulas : BOOL with type t = Mcml_logic.Formula.t

@@ -1,0 +1,99 @@
+open Mcml_logic
+
+(* a <=_lex b over equal-length formula vectors, with the prefix-equal
+   chain shared through hash-consing:
+     leq = /\_k  (eq_{k-1} -> (¬a_k \/ b_k)),   eq_k = eq_{k-1} /\ (a_k <-> b_k) *)
+let lex_leq (a : Formula.t array) (b : Formula.t array) : Formula.t =
+  let n = Array.length a in
+  assert (n = Array.length b);
+  let conjuncts = ref [] in
+  let prefix_eq = ref Formula.tru in
+  for k = 0 to n - 1 do
+    conjuncts :=
+      Formula.implies !prefix_eq (Formula.or_ [ Formula.not_ a.(k); b.(k) ])
+      :: !conjuncts;
+    prefix_eq := Formula.and_ [ !prefix_eq; Formula.iff a.(k) b.(k) ]
+  done;
+  Formula.and_ (List.rev !conjuncts)
+
+(* The flattened valuation vector of all fields under an atom
+   permutation [perm]: entry for (field, i, j) is the variable of
+   (field, perm i, perm j). *)
+let vector_under ~var_of (spec : Ast.spec) ~scope perm : Formula.t array =
+  let parts =
+    List.map
+      (fun (f : Ast.field) ->
+        Array.init (scope * scope) (fun idx ->
+            let i = idx / scope and j = idx mod scope in
+            Formula.var (var_of ~field:f.Ast.field_name (perm i) (perm j))))
+      spec.Ast.fields
+  in
+  Array.concat parts
+
+let breaking_formula ~var_of (spec : Ast.spec) ~scope : Formula.t =
+  if scope <= 1 then Formula.tru
+  else begin
+    let identity = vector_under ~var_of spec ~scope (fun i -> i) in
+    let constraints =
+      List.init (scope - 1) (fun k ->
+          (* adjacent transposition (k, k+1) *)
+          let perm i = if i = k then k + 1 else if i = k + 1 then k else i in
+          lex_leq identity (vector_under ~var_of spec ~scope perm))
+    in
+    Formula.and_ constraints
+  end
+
+(* --- instance-level mirrors ------------------------------------------- *)
+
+let apply_perm (inst : Instance.t) (perm : int array) : Instance.t =
+  let n = inst.Instance.scope in
+  {
+    inst with
+    Instance.rels =
+      List.map
+        (fun (name, m) ->
+          ( name,
+            Array.init (n * n) (fun idx ->
+                let i = idx / n and j = idx mod n in
+                m.((perm.(i) * n) + perm.(j))) ))
+        inst.Instance.rels;
+  }
+
+let flat (inst : Instance.t) : bool array = Instance.to_bits inst
+
+let lex_compare (a : bool array) (b : bool array) : int =
+  let rec go k =
+    if k = Array.length a then 0
+    else if a.(k) = b.(k) then go (k + 1)
+    else if a.(k) then 1
+    else -1
+  in
+  go 0
+
+let is_lex_leader (inst : Instance.t) : bool =
+  let n = inst.Instance.scope in
+  let base = flat inst in
+  let ok = ref true in
+  for k = 0 to n - 2 do
+    let perm = Array.init n (fun i -> if i = k then k + 1 else if i = k + 1 then k else i) in
+    if lex_compare base (flat (apply_perm inst perm)) > 0 then ok := false
+  done;
+  !ok
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) xs in
+          List.map (fun p -> x :: p) (permutations rest))
+        xs
+
+let canonicalize (inst : Instance.t) : Instance.t =
+  let n = inst.Instance.scope in
+  let perms = permutations (List.init n (fun i -> i)) in
+  List.fold_left
+    (fun best perm ->
+      let candidate = apply_perm inst (Array.of_list perm) in
+      if lex_compare (flat candidate) (flat best) < 0 then candidate else best)
+    inst perms

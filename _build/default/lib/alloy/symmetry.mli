@@ -1,0 +1,31 @@
+(** Partial symmetry-breaking predicates.
+
+    Mirrors Alloy's default scheme in spirit: a {e partial} lex-leader
+    constraint that keeps an instance only if its flattened relational
+    valuation is lexicographically no larger than each of its images
+    under the n−1 adjacent atom transpositions (Shlyakhter's classic
+    construction).  Like Alloy's, the scheme removes many — but in
+    general not all — isomorphic solutions, which is exactly the
+    property RQ3/RQ4 of the study exercise. *)
+
+open Mcml_logic
+
+val breaking_formula :
+  var_of:(field:string -> int -> int -> int) ->
+  Ast.spec ->
+  scope:int ->
+  Formula.t
+(** [breaking_formula ~var_of spec ~scope] builds the conjunction of
+    lex-leader constraints over the primary variables given by
+    [var_of]. *)
+
+val canonicalize : Instance.t -> Instance.t
+(** Full canonical form under ALL atom permutations (minimum flattened
+    bit string); exponential in the scope, used by tests to reason
+    about orbits and by the "full symmetry breaking" ablation.
+    Practical for scopes up to ~7. *)
+
+val is_lex_leader : Instance.t -> bool
+(** Whether the instance satisfies the partial (adjacent-transposition)
+    lex-leader constraint — the instance-level mirror of
+    {!breaking_formula}, used for differential testing. *)

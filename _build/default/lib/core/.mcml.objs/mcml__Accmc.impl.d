@@ -1,0 +1,1 @@
+lib/core/accmc.ml: Bignat Cnf Counter Decision_tree List Mcml_counting Mcml_logic Mcml_ml Metrics Option Tree2cnf Unix

@@ -1,0 +1,1 @@
+lib/core/accmc.mli: Bignat Cnf Counter Decision_tree Mcml_counting Mcml_logic Mcml_ml Metrics

@@ -1,0 +1,1 @@
+lib/core/bnn2cnf.ml: Accmc Array Bnn Cnf Formula List Mcml_logic Mcml_ml Tseitin

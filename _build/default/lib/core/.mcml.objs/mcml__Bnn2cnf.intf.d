@@ -1,0 +1,1 @@
+lib/core/bnn2cnf.mli: Accmc Bnn Cnf Formula Mcml_counting Mcml_logic Mcml_ml

@@ -1,0 +1,1 @@
+lib/core/diffmc.ml: Bignat Cnf Counter List Mcml_counting Mcml_logic Option Tree2cnf Unix

@@ -1,0 +1,1 @@
+lib/core/diffmc.mli: Bignat Counter Decision_tree Mcml_counting Mcml_logic Mcml_ml

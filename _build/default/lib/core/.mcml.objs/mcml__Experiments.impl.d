@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Accmc Approx Bignat Counter Dataset Decision_tree Diffmc Float List Mcml_alloy Mcml_counting Mcml_logic Mcml_ml Mcml_props Metrics Model Option Pipeline Printf Props Splitmix

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Accmc Approx Counter Diffmc Mcml_counting Mcml_ml Mcml_props Metrics Model Props

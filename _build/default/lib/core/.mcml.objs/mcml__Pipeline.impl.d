@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Accmc Array Cnf Dataset Hashtbl List Mcml_alloy Mcml_logic Mcml_ml Mcml_props Printf Props Splitmix String Tseitin

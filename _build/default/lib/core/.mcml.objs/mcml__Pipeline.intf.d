@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Accmc Cnf Counter Dataset Decision_tree Mcml_counting Mcml_logic Mcml_ml Mcml_props

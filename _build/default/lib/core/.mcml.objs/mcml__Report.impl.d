@@ -1,0 +1,1 @@
+lib/core/report.ml: Accmc Diffmc Experiments Format List Mcml_logic Mcml_ml Metrics Model Printf String

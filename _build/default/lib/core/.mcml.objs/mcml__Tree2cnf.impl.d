@@ -1,0 +1,1 @@
+lib/core/tree2cnf.ml: Array Cnf Decision_tree Formula List Lit Mcml_logic Mcml_ml

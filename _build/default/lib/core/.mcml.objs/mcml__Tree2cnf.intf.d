@@ -1,0 +1,1 @@
+lib/core/tree2cnf.mli: Cnf Decision_tree Formula Mcml_logic Mcml_ml

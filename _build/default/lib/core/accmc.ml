@@ -1,0 +1,72 @@
+open Mcml_logic
+open Mcml_ml
+open Mcml_counting
+
+type counts = {
+  tp : Bignat.t;
+  fp : Bignat.t;
+  tn : Bignat.t;
+  fn : Bignat.t;
+  time : float;
+}
+
+type style = Direct | Complement
+
+let default_style = function
+  | Counter.Exact | Counter.Brute -> Complement
+  | Counter.Approx _ -> Direct
+
+(* Generalized core: works for any classifier whose true/false sides are
+   given as (count-preserving) CNFs over the primary variables — decision
+   trees via Tree2cnf, binarized networks via Bnn2cnf. *)
+let counts_sides ?budget ?style ~backend ~phi ~not_phi ~space ~nprimary
+    ((side_true : Cnf.t), (side_false : Cnf.t)) =
+  let style = match style with Some s -> s | None -> default_style backend in
+  let tree_true = side_true and tree_false = side_false in
+  let start = Unix.gettimeofday () in
+  let mc gt side =
+    let problem = Cnf.conjoin ~nshared:nprimary gt side in
+    Option.map (fun o -> o.Counter.count) (Counter.count ?budget ~backend problem)
+  in
+  let ( let* ) = Option.bind in
+  let* result =
+    match style with
+    | Direct ->
+        (* the literal reduction of the paper: four counting calls *)
+        let* tp = mc phi tree_true in
+        let* fp = mc not_phi tree_true in
+        let* tn = mc not_phi tree_false in
+        let* fn = mc phi tree_false in
+        Some (tp, fp, tn, fn)
+    | Complement ->
+        (* ϕ is a total function of the primary variables, so within the
+           evaluation universe the models of [τ] split exactly into
+           [ϕ ∧ τ] and [¬ϕ ∧ τ]; counting the universe side and
+           subtracting avoids the expensive ¬ϕ formulas entirely.  Only
+           valid with an exact backend. *)
+        let* tp = mc phi tree_true in
+        let* denom_t = mc space tree_true in
+        let* fn = mc phi tree_false in
+        let* denom_f = mc space tree_false in
+        Some (tp, Bignat.sub denom_t tp, Bignat.sub denom_f fn, fn)
+  in
+  let tp, fp, tn, fn = result in
+  Some { tp; fp; tn; fn; time = Unix.gettimeofday () -. start }
+
+let counts ?budget ?style ~backend ~phi ~not_phi ~space ~nprimary
+    (tree : Decision_tree.t) =
+  counts_sides ?budget ?style ~backend ~phi ~not_phi ~space ~nprimary
+    ( Tree2cnf.cnf_of_label ~nfeatures:nprimary tree ~label:true,
+      Tree2cnf.cnf_of_label ~nfeatures:nprimary tree ~label:false )
+
+let confusion c =
+  {
+    Metrics.tp = Bignat.to_float c.tp;
+    fp = Bignat.to_float c.fp;
+    tn = Bignat.to_float c.tn;
+    fn = Bignat.to_float c.fn;
+  }
+
+let check_total c ~nprimary =
+  let total = List.fold_left Bignat.add Bignat.zero [ c.tp; c.fp; c.tn; c.fn ] in
+  Bignat.compare total (Bignat.pow2 nprimary) <= 0

@@ -1,0 +1,40 @@
+open Mcml_logic
+open Mcml_counting
+
+type counts = {
+  tt : Bignat.t;
+  tf : Bignat.t;
+  ft : Bignat.t;
+  ff : Bignat.t;
+  time : float;
+}
+
+let counts ?budget ~backend ~nprimary d1 d2 =
+  let side tree label = Tree2cnf.cnf_of_label ~nfeatures:nprimary tree ~label in
+  let start = Unix.gettimeofday () in
+  let one l1 l2 =
+    let problem = Cnf.conjoin ~nshared:nprimary (side d1 l1) (side d2 l2) in
+    Counter.count ?budget ~backend problem
+  in
+  let ( let* ) = Option.bind in
+  let* tt = one true true in
+  let* tf = one true false in
+  let* ft = one false true in
+  let* ff = one false false in
+  Some
+    {
+      tt = tt.Counter.count;
+      tf = tf.Counter.count;
+      ft = ft.Counter.count;
+      ff = ff.Counter.count;
+      time = Unix.gettimeofday () -. start;
+    }
+
+let diff c ~nprimary =
+  (Bignat.to_float c.tf +. Bignat.to_float c.ft) /. Bignat.to_float (Bignat.pow2 nprimary)
+
+let sim c ~nprimary = 1.0 -. diff c ~nprimary
+
+let check_total c ~nprimary =
+  let total = List.fold_left Bignat.add Bignat.zero [ c.tt; c.tf; c.ft; c.ff ] in
+  Bignat.equal total (Bignat.pow2 nprimary)

@@ -1,0 +1,33 @@
+(** DiffMC: quantifying the semantic difference between two trained
+    decision trees over the entire input space, without ground truth
+    or datasets (paper §4, equations 5–11).
+
+    [tt/tf/ft/ff] count the inputs on which the two trees predict
+    (true,true), (true,false), (false,true), (false,false);
+    [diff = (tf + ft) / 2^n] and [sim = 1 − diff]. *)
+
+open Mcml_logic
+open Mcml_ml
+open Mcml_counting
+
+type counts = {
+  tt : Bignat.t;
+  tf : Bignat.t;
+  ft : Bignat.t;
+  ff : Bignat.t;
+  time : float;
+}
+
+val counts :
+  ?budget:float ->
+  backend:Counter.backend ->
+  nprimary:int ->
+  Decision_tree.t ->
+  Decision_tree.t ->
+  counts option
+
+val diff : counts -> nprimary:int -> float
+val sim : counts -> nprimary:int -> float
+
+val check_total : counts -> nprimary:int -> bool
+(** The four counts partition the [2^n] input space (exact backends). *)

@@ -1,0 +1,101 @@
+open Mcml_logic
+open Mcml_ml
+open Mcml_props
+
+type data_config = {
+  scope : int;
+  symmetry : bool;
+  max_positives : int;
+  seed : int;
+}
+
+type generated = {
+  dataset : Dataset.t;
+  num_positive_solutions : int;
+  positives_complete : bool;
+  scope : int;
+  symmetry : bool;
+}
+
+let generate (prop : Props.t) (cfg : data_config) : generated =
+  let analyzer = Props.analyzer ~scope:cfg.scope in
+  let insts, complete =
+    Mcml_alloy.Analyzer.enumerate ~symmetry:cfg.symmetry ~limit:cfg.max_positives
+      analyzer ~pred:prop.Props.pred
+  in
+  let positives = List.map Mcml_alloy.Instance.to_bits insts in
+  let num_pos = List.length positives in
+  if num_pos = 0 then
+    invalid_arg
+      (Printf.sprintf "Pipeline.generate: %s has no solutions at scope %d"
+         prop.Props.name cfg.scope);
+  (* rejection-sample distinct negatives, one per positive *)
+  let rng = Splitmix.create cfg.seed in
+  let nfeatures = cfg.scope * cfg.scope in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create (2 * num_pos) in
+  let key bits =
+    String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
+  in
+  let negatives = ref [] in
+  let found = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 1000 * num_pos in
+  while !found < num_pos && !attempts < max_attempts do
+    incr attempts;
+    let bits = Array.init nfeatures (fun _ -> Splitmix.bool rng) in
+    if not (prop.Props.check ~scope:cfg.scope bits) then begin
+      let k = key bits in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        negatives := bits :: !negatives;
+        incr found
+      end
+    end
+  done;
+  if !found < num_pos then
+    invalid_arg
+      (Printf.sprintf
+         "Pipeline.generate: could not sample %d distinct negatives for %s (scope %d)"
+         num_pos prop.Props.name cfg.scope);
+  let dataset =
+    Dataset.balanced
+      (Splitmix.create (cfg.seed + 1))
+      ~positives ~negatives:!negatives ~nfeatures
+  in
+  {
+    dataset;
+    num_positive_solutions = num_pos;
+    positives_complete = complete;
+    scope = cfg.scope;
+    symmetry = cfg.symmetry;
+  }
+
+let ground_truth (prop : Props.t) ~scope ~symmetry =
+  let analyzer = Props.analyzer ~scope in
+  let phi = Mcml_alloy.Analyzer.cnf ~symmetry analyzer ~pred:prop.Props.pred in
+  let not_phi =
+    Mcml_alloy.Analyzer.cnf ~negate:true ~symmetry analyzer ~pred:prop.Props.pred
+  in
+  (phi, not_phi)
+
+let space_cnf (prop : Props.t) ~scope ~symmetry =
+  let nprimary = scope * scope in
+  if not symmetry then
+    Cnf.make ~projection:(Array.init nprimary (fun i -> i + 1)) ~nvars:nprimary []
+  else begin
+    let analyzer = Props.analyzer ~scope in
+    let var_of ~field i j = Mcml_alloy.Analyzer.var_of analyzer ~field i j in
+    let breaking =
+      Mcml_alloy.Symmetry.breaking_formula ~var_of (Props.spec ()) ~scope
+    in
+    ignore prop;
+    Tseitin.cnf_of ~nprimary breaking
+  end
+
+let accmc ?budget ?style ~backend ~prop ~scope ~eval_symmetry tree =
+  let phi, not_phi = ground_truth prop ~scope ~symmetry:eval_symmetry in
+  let space = space_cnf prop ~scope ~symmetry:eval_symmetry in
+  Accmc.counts ?budget ?style ~backend ~phi ~not_phi ~space ~nprimary:(scope * scope)
+    tree
+
+let train_fraction_of_ratio (a, b) = float_of_int a /. float_of_int (a + b)

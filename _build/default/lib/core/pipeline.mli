@@ -1,0 +1,55 @@
+(** End-to-end data pipeline: property → bounded-exhaustive positives,
+    random rejection-sampled negatives, balanced dataset — the
+    "Generation of positive and negative samples" procedure of §5. *)
+
+open Mcml_logic
+open Mcml_ml
+open Mcml_counting
+
+type data_config = {
+  scope : int;
+  symmetry : bool;  (** apply partial symmetry breaking to the positives *)
+  max_positives : int;
+      (** enumeration cap (the paper enumerates exhaustively; the cap
+          keeps scaled-down runs fast and is recorded in the result) *)
+  seed : int;
+}
+
+type generated = {
+  dataset : Dataset.t;  (** balanced, shuffled *)
+  num_positive_solutions : int;  (** positives found before balancing *)
+  positives_complete : bool;  (** [false] iff the cap interrupted enumeration *)
+  scope : int;
+  symmetry : bool;
+}
+
+val generate : Mcml_props.Props.t -> data_config -> generated
+(** Positives: all solutions of the property's predicate at the scope
+    (up to the cap), via the analyzer's SAT enumeration.  Negatives:
+    uniformly random instances filtered by the property's direct
+    checker (the Alloy-Evaluator fast path), deduplicated, one per
+    positive. *)
+
+val ground_truth :
+  Mcml_props.Props.t -> scope:int -> symmetry:bool -> Cnf.t * Cnf.t
+(** [(ϕ, ¬ϕ)] as CNFs over the primary variables; when [symmetry],
+    both are conjoined with the lex-leader predicate (the
+    symmetry-constrained evaluation universe of Tables 3 and 7). *)
+
+val space_cnf : Mcml_props.Props.t -> scope:int -> symmetry:bool -> Cnf.t
+(** The evaluation universe as a CNF: trivial (full space) or the
+    symmetry-breaking predicate alone. *)
+
+val accmc :
+  ?budget:float ->
+  ?style:Accmc.style ->
+  backend:Counter.backend ->
+  prop:Mcml_props.Props.t ->
+  scope:int ->
+  eval_symmetry:bool ->
+  Decision_tree.t ->
+  Accmc.counts option
+(** Convenience wrapper: build the ground truth and run {!Accmc}. *)
+
+val train_fraction_of_ratio : int * int -> float
+(** [(75, 25)] ↦ [0.75] etc. *)

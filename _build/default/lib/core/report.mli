@@ -1,0 +1,9 @@
+(** Paper-style rendering of the experiment rows. *)
+
+val table1 : Format.formatter -> Experiments.t1_row list -> unit
+val model_performance : Format.formatter -> title:string -> Experiments.perf_row list -> unit
+val dt_generalization : Format.formatter -> title:string -> Experiments.dt_row list -> unit
+val tree_differences : Format.formatter -> Experiments.diff_row list -> unit
+val class_ratio : Format.formatter -> Experiments.t9_row list -> unit
+val symmetry_ablation : Format.formatter -> Experiments.sym_row list -> unit
+val accmc_style_ablation : Format.formatter -> Experiments.style_row list -> unit

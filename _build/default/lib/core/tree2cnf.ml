@@ -1,0 +1,32 @@
+open Mcml_logic
+open Mcml_ml
+
+let lit_of_condition (feature, value) = Lit.make (feature + 1) value
+
+let cnf_of_label ~nfeatures (tree : Decision_tree.t) ~label : Cnf.t =
+  if tree.Decision_tree.nfeatures > nfeatures then
+    invalid_arg "Tree2cnf.cnf_of_label: tree uses more features than nfeatures";
+  let clauses =
+    Decision_tree.paths tree
+    |> List.filter (fun (_, leaf) -> leaf <> label)
+    |> List.map (fun (conds, _) ->
+           (* ¬(l1 ∧ ... ∧ lk) = (¬l1 ∨ ... ∨ ¬lk) *)
+           Array.of_list (List.map (fun c -> Lit.neg (lit_of_condition c)) conds))
+  in
+  Cnf.make ~projection:(Array.init nfeatures (fun i -> i + 1)) ~nvars:nfeatures clauses
+
+let formula_of_label ~nfeatures (tree : Decision_tree.t) ~label : Formula.t =
+  ignore nfeatures;
+  Decision_tree.paths tree
+  |> List.filter (fun (_, leaf) -> leaf = label)
+  |> List.map (fun (conds, _) ->
+         Formula.and_
+           (List.map
+              (fun (feature, value) ->
+                let v = Formula.var (feature + 1) in
+                if value then v else Formula.not_ v)
+              conds))
+  |> Formula.or_
+
+let clause_count (tree : Decision_tree.t) ~label =
+  Decision_tree.paths tree |> List.filter (fun (_, leaf) -> leaf <> label) |> List.length

@@ -1,0 +1,1 @@
+lib/counting/approx.ml: Array Bignat Cnf Hashtbl List Lit Mcml_logic Mcml_sat Solver Splitmix Unix Xor

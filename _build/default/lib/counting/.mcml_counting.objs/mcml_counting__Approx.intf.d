@@ -1,0 +1,1 @@
+lib/counting/approx.mli: Bignat Cnf Mcml_logic

@@ -1,0 +1,1 @@
+lib/counting/brute.ml: Array Bignat Cnf Dpll Lit Mcml_logic

@@ -1,0 +1,1 @@
+lib/counting/brute.mli: Bignat Cnf Mcml_logic

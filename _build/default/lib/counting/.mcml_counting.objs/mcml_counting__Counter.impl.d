@@ -1,0 +1,1 @@
+lib/counting/counter.ml: Approx Bignat Brute Cnf Exact Mcml_logic Unix

@@ -1,0 +1,1 @@
+lib/counting/counter.mli: Approx Bignat Cnf Mcml_logic

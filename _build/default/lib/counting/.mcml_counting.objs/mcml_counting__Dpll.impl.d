@@ -1,0 +1,1 @@
+lib/counting/dpll.ml: Array List Lit Mcml_logic

@@ -1,0 +1,1 @@
+lib/counting/dpll.mli: Lit Mcml_logic

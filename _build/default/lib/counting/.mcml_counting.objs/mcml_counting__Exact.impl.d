@@ -1,0 +1,1 @@
+lib/counting/exact.ml: Array Bignat Buffer Cnf Hashtbl Int List Lit Mcml_logic Mcml_sat Option Unix Vec

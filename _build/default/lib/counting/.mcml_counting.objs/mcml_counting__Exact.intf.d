@@ -1,0 +1,1 @@
+lib/counting/exact.mli: Bignat Cnf Mcml_logic

@@ -1,0 +1,1 @@
+lib/counting/metamorphic.ml: Array Bignat Cnf Lit Mcml_logic Option Splitmix

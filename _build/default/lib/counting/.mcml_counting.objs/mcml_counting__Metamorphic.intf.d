@@ -1,0 +1,1 @@
+lib/counting/metamorphic.mli: Bignat Cnf Lit Mcml_logic

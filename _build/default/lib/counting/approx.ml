@@ -1,0 +1,138 @@
+open Mcml_logic
+open Mcml_sat
+
+type config = {
+  epsilon : float;
+  delta : float;
+  seed : int;
+  max_rounds : int option;
+}
+
+let default = { epsilon = 0.8; delta = 0.2; seed = 1; max_rounds = None }
+
+exception Timeout
+
+let pivot_of_epsilon epsilon =
+  2 * int_of_float (ceil (4.92 *. ((1.0 +. (1.0 /. epsilon)) ** 2.0)))
+
+(* Number of median rounds for confidence 1-δ (ApproxMC's table-driven
+   choice, conservatively ⌈17 log₂(3/δ)⌉ capped to keep runtimes sane;
+   callers override with [max_rounds] for benchmarking). *)
+let rounds_of_delta delta =
+  let t = int_of_float (ceil (17.0 *. log (3.0 /. delta) /. log 2.0)) in
+  let t = max 1 (min t 33) in
+  if t mod 2 = 0 then t + 1 else t
+
+(* Count models of [cnf ∧ (m random xors)] up to [thresh], by blocking
+   enumeration.  Returns the number found (≤ thresh). *)
+let bounded_count ~check_time ~rng (cnf : Cnf.t) m thresh =
+  let proj = Cnf.projection_vars cnf in
+  let s = Solver.of_cnf cnf in
+  for _ = 1 to m do
+    (* random parity constraint: each sampling variable with prob. 1/2,
+       random right-hand side *)
+    let vars =
+      Array.to_list proj |> List.filter (fun _ -> Splitmix.bool rng)
+    in
+    let rhs = Splitmix.bool rng in
+    Xor.add_to_solver s ~vars ~rhs
+  done;
+  let found = ref 0 in
+  let continue = ref true in
+  while !continue && !found <= thresh do
+    check_time ();
+    match Solver.solve s with
+    | Solver.Sat ->
+        incr found;
+        let blocking =
+          Array.to_list proj
+          |> List.map (fun v -> Lit.make v (not (Solver.model_value s v)))
+        in
+        Solver.add_clause s blocking
+    | Solver.Unsat -> continue := false
+    | Solver.Unknown -> continue := false
+  done;
+  !found
+
+let count ?budget ?(config = default) (cnf : Cnf.t) : Bignat.t =
+  let deadline =
+    match budget with None -> None | Some b -> Some (Unix.gettimeofday () +. b)
+  in
+  let check_time () =
+    match deadline with
+    | Some d when Unix.gettimeofday () > d -> raise Timeout
+    | _ -> ()
+  in
+  let rng = Splitmix.create config.seed in
+  let proj = Cnf.projection_vars cnf in
+  let n = Array.length proj in
+  let pivot = pivot_of_epsilon config.epsilon in
+  (* quick exact path: if the formula has at most [pivot] solutions, the
+     enumeration is already an exact count *)
+  let c0 = bounded_count ~check_time ~rng cnf 0 pivot in
+  if c0 <= pivot then Bignat.of_int c0
+  else begin
+    let rounds =
+      match config.max_rounds with
+      | Some r -> max 1 r
+      | None -> rounds_of_delta config.delta
+    in
+    let estimates = ref [] in
+    let prev_m = ref (max 1 (n / 2)) in
+    for _round = 1 to rounds do
+      check_time ();
+      (* binary search for the smallest m with cell count <= pivot;
+         cell counts decrease (in expectation) as m grows *)
+      let cell_count = Hashtbl.create 16 in
+      let query m =
+        match Hashtbl.find_opt cell_count m with
+        | Some c -> c
+        | None ->
+            let c = bounded_count ~check_time ~rng cnf m pivot in
+            Hashtbl.add cell_count m c;
+            c
+      in
+      (* gallop from the previous round's m to bracket the crossover *)
+      let lo = ref 0 and hi = ref n in
+      let m = ref (max 1 (min n !prev_m)) in
+      if query !m > pivot then begin
+        (* need more constraints *)
+        lo := !m;
+        let step = ref 1 in
+        while !m + !step < n && query (!m + !step) > pivot do
+          lo := !m + !step;
+          step := !step * 2
+        done;
+        hi := min n (!m + !step)
+      end
+      else begin
+        hi := !m;
+        let step = ref 1 in
+        while !m - !step > 0 && query (!m - !step) <= pivot do
+          hi := !m - !step;
+          step := !step * 2
+        done;
+        lo := max 0 (!m - !step)
+      end;
+      (* invariant: query lo > pivot (or lo = 0), query hi <= pivot *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if query mid > pivot then lo := mid else hi := mid
+      done;
+      let m_star = !hi in
+      prev_m := m_star;
+      let c = query m_star in
+      if c > 0 && c <= pivot then
+        estimates := Bignat.shift_left (Bignat.of_int c) m_star :: !estimates
+    done;
+    match List.sort Bignat.compare !estimates with
+    | [] -> Bignat.zero (* every round failed: report the degenerate estimate *)
+    | sorted ->
+        let k = List.length sorted in
+        List.nth sorted (k / 2)
+  end
+
+let count_opt ?budget ?config cnf =
+  match count ?budget ?config cnf with
+  | c -> Some c
+  | exception Timeout -> None

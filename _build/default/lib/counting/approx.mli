@@ -1,0 +1,36 @@
+(** Approximate projected model counting with XOR hashing (the
+    ApproxMC stand-in).
+
+    Follows the ApproxMC2 scheme: partition the projected solution
+    space with [m] random parity constraints over the sampling set,
+    count the surviving solutions up to a pivot with a bounded SAT
+    enumeration, and search for the [m] at which the cell count falls
+    below the pivot; the estimate is [cell_count * 2^m].  The median of
+    [t] independent rounds gives the usual
+    [(1+ε)]-approximation-with-probability-[1-δ] guarantee.
+
+    All randomness is drawn from a seeded SplitMix64 stream, so counts
+    are reproducible. *)
+
+open Mcml_logic
+
+type config = {
+  epsilon : float;  (** tolerance; pivot = 2⌈4.92 (1 + 1/ε)²⌉ *)
+  delta : float;  (** failure probability; drives the round count *)
+  seed : int;
+  max_rounds : int option;
+      (** override the δ-derived number of medians (speed knob) *)
+}
+
+val default : config
+(** ε = 0.8, δ = 0.2, seed 1, rounds as dictated by δ. *)
+
+exception Timeout
+
+val count : ?budget:float -> ?config:config -> Cnf.t -> Bignat.t
+(** [count cnf] estimates the projected model count.
+
+    @param budget wall-clock limit in seconds.
+    @raise Timeout when the budget is exhausted. *)
+
+val count_opt : ?budget:float -> ?config:config -> Cnf.t -> Bignat.t option

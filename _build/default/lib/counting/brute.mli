@@ -1,0 +1,15 @@
+(** Brute-force projected model counting by exhaustive enumeration.
+
+    Reference implementation used to validate the exact and approximate
+    counters in tests; practical only up to roughly 20 projection
+    variables. *)
+
+open Mcml_logic
+
+val count : Cnf.t -> Bignat.t
+(** [count cnf] enumerates every assignment of the projection
+    variables and counts those that extend to a model (a DPLL check on
+    the residual clauses).
+
+    @raise Invalid_argument when the projection set exceeds 24
+    variables. *)

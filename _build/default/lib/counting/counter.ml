@@ -1,0 +1,26 @@
+open Mcml_logic
+
+type backend = Exact | Approx of Approx.config | Brute
+
+type outcome = { count : Bignat.t; exact : bool; time : float }
+
+let name = function
+  | Exact -> "exact(projmc)"
+  | Approx _ -> "approx(approxmc)"
+  | Brute -> "brute"
+
+let count ?(budget = 5000.0) ~backend (cnf : Cnf.t) : outcome option =
+  let start = Unix.gettimeofday () in
+  let finish count exact =
+    Some { count; exact; time = Unix.gettimeofday () -. start }
+  in
+  match backend with
+  | Exact -> (
+      match Exact.count_opt ~budget cnf with
+      | Some c -> finish c true
+      | None -> None)
+  | Approx config -> (
+      match Approx.count_opt ~budget ~config cnf with
+      | Some c -> finish c false
+      | None -> None)
+  | Brute -> finish (Brute.count cnf) true

@@ -1,0 +1,25 @@
+(** Unified front end over the model-counting backends.
+
+    The paper's tooling treats the counter as a pluggable component
+    (ApproxMC or ProjMC); this module provides the corresponding
+    dispatch, timing, and timeout discipline (the paper uses a 5000 s
+    timeout; ours defaults lower and is configurable). *)
+
+open Mcml_logic
+
+type backend =
+  | Exact  (** the ProjMC stand-in: exact projected counting *)
+  | Approx of Approx.config  (** the ApproxMC stand-in *)
+  | Brute  (** exhaustive reference counter (tests, tiny instances) *)
+
+type outcome = {
+  count : Bignat.t;
+  exact : bool;  (** whether the backend guarantees exactness *)
+  time : float;  (** wall-clock seconds *)
+}
+
+val name : backend -> string
+
+val count : ?budget:float -> backend:backend -> Cnf.t -> outcome option
+(** [count ~backend cnf] runs the chosen counter; [None] on timeout
+    ([budget] in seconds, default 5000 like the paper). *)

@@ -1,0 +1,52 @@
+open Mcml_logic
+
+(* Restrict clauses by [l := true].  Returns [None] if an empty clause
+   appears, otherwise the simplified clause list. *)
+let restrict (clauses : Lit.t array list) (l : Lit.t) : Lit.t array list option =
+  let nl = Lit.neg l in
+  let rec go acc = function
+    | [] -> Some acc
+    | c :: rest ->
+        if Array.exists (Lit.equal l) c then go acc rest
+        else begin
+          let c' = Array.of_list (List.filter (fun x -> not (Lit.equal nl x)) (Array.to_list c)) in
+          if Array.length c' = 0 then None else go (c' :: acc) rest
+        end
+  in
+  go [] clauses
+
+let rec bcp clauses =
+  if List.exists (fun c -> Array.length c = 0) clauses then None
+  else
+    match clauses with
+    | [] -> Some []
+    | _ -> (
+        match List.find_opt (fun c -> Array.length c = 1) clauses with
+        | None -> Some clauses
+        | Some unit_clause -> (
+            match restrict clauses unit_clause.(0) with
+            | None -> None
+            | Some clauses' -> bcp clauses'))
+
+let bcp_track clauses =
+  let rec go clauses assigned =
+    match List.find_opt (fun c -> Array.length c = 1) clauses with
+    | None -> Some (clauses, assigned)
+    | Some u -> (
+        let l = u.(0) in
+        match restrict clauses l with
+        | None -> None
+        | Some clauses' -> go clauses' (Lit.var l :: assigned))
+  in
+  if List.exists (fun c -> Array.length c = 0) clauses then None
+  else go clauses []
+
+let rec sat clauses =
+  match bcp clauses with
+  | None -> false
+  | Some [] -> true
+  | Some (c :: _ as clauses) ->
+      let l = c.(0) in
+      (match restrict clauses l with None -> false | Some cs -> sat cs)
+      ||
+      (match restrict clauses (Lit.neg l) with None -> false | Some cs -> sat cs)

@@ -1,0 +1,24 @@
+(** A small DPLL satisfiability check on raw clause lists.
+
+    Used by the exact counter to decide whether a residual component —
+    one containing no projection variables — is satisfiable, without
+    paying for a full CDCL solver instantiation.  Clauses are literal
+    arrays; variables need not be contiguous. *)
+
+open Mcml_logic
+
+val sat : Lit.t array list -> bool
+(** [sat clauses] decides satisfiability.  An empty clause yields
+    [false]; an empty list yields [true]. *)
+
+val restrict : Lit.t array list -> Lit.t -> Lit.t array list option
+(** [restrict clauses l] simplifies under [l := true]; [None] signals a
+    falsified clause. *)
+
+val bcp : Lit.t array list -> Lit.t array list option
+(** Exhaustive unit propagation; [None] signals a conflict. *)
+
+val bcp_track : Lit.t array list -> (Lit.t array list * int list) option
+(** Like {!bcp} but also returns the variables assigned by the
+    propagation (needed by the projected counter to distinguish forced
+    projection variables from freed ones). *)

@@ -1,0 +1,372 @@
+open Mcml_logic
+open Mcml_sat
+
+exception Timeout
+
+(* Exact projected counting with an imperative core: one global
+   assignment array and trail (assignments are undone on backtrack, the
+   clause database is never copied), counter-based unit propagation,
+   connected-component decomposition over the active clauses, and a
+   component cache keyed on (clause id, mask of falsified literals) —
+   which identifies a residual subformula exactly but costs only a few
+   bytes per clause to compute.
+
+   Invariant of [count_comp]: given a set of active (unsatisfied)
+   clause indices closed under variable sharing, it returns the number
+   of assignments of exactly the projection variables OCCURRING
+   UNASSIGNED in those clauses that extend to a model of them. *)
+
+type state = {
+  clauses : Lit.t array array;
+  occurs : int array array; (* var -> clause indices containing var *)
+  is_proj : bool array;
+  assign : int array; (* var -> -1 / 0 / 1 *)
+  trail : int Vec.t; (* assigned vars, in order *)
+  n_false : int array; (* clause -> # falsified literals *)
+  sat_by : int array; (* clause -> satigning var count: # true literals *)
+  cache : (string, Bignat.t) Hashtbl.t;
+  mutable ticks : int;
+  deadline : float option;
+}
+
+let check_time st =
+  st.ticks <- st.ticks + 1;
+  if st.ticks land 1023 = 0 then
+    match st.deadline with
+    | Some d when Unix.gettimeofday () > d -> raise Timeout
+    | _ -> ()
+
+let value_lit st (l : Lit.t) =
+  let a = st.assign.(Lit.var l) in
+  if a = -1 then -1 else if Lit.sign l then a else 1 - a
+
+let clause_satisfied st ci = st.sat_by.(ci) > 0
+
+exception Conflict
+
+(* Assign l := true, updating clause counters.  Record on trail. *)
+let assign_lit st (l : Lit.t) =
+  let v = Lit.var l in
+  st.assign.(v) <- (if Lit.sign l then 1 else 0);
+  Vec.push st.trail v;
+  Array.iter
+    (fun ci ->
+      Array.iter
+        (fun cl ->
+          if Lit.var cl = v then
+            if Lit.sign cl = Lit.sign l then st.sat_by.(ci) <- st.sat_by.(ci) + 1
+            else st.n_false.(ci) <- st.n_false.(ci) + 1)
+        st.clauses.(ci))
+    st.occurs.(v)
+
+let undo_to st mark =
+  while Vec.size st.trail > mark do
+    let v = Vec.pop st.trail in
+    let was_true = st.assign.(v) = 1 in
+    st.assign.(v) <- -1;
+    Array.iter
+      (fun ci ->
+        Array.iter
+          (fun cl ->
+            if Lit.var cl = v then
+              if Lit.sign cl = was_true then st.sat_by.(ci) <- st.sat_by.(ci) - 1
+              else st.n_false.(ci) <- st.n_false.(ci) - 1)
+          st.clauses.(ci))
+      st.occurs.(v)
+  done
+
+(* Unit propagation over a set of clause indices.  Raises [Conflict];
+   caller must [undo_to].  Returns the list of variables assigned. *)
+let propagate st (active : int list) =
+  let start_mark = Vec.size st.trail in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun ci ->
+        if not (clause_satisfied st ci) then begin
+          let c = st.clauses.(ci) in
+          let len = Array.length c in
+          if st.n_false.(ci) = len then raise Conflict
+          else if st.n_false.(ci) = len - 1 then begin
+            (* unit: find the unassigned literal *)
+            let rec find k =
+              if k >= len then raise Conflict (* stale counters; defensive *)
+              else if value_lit st c.(k) = -1 then c.(k)
+              else find (k + 1)
+            in
+            assign_lit st (find 0);
+            progress := true
+          end
+        end)
+      active
+  done;
+  let assigned = ref [] in
+  for i = start_mark to Vec.size st.trail - 1 do
+    assigned := Vec.get st.trail i :: !assigned
+  done;
+  !assigned
+
+(* Distinct unassigned projection variables occurring in the active
+   (unsatisfied) clauses of [comp]. *)
+let proj_vars_of st comp =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun ci ->
+      if not (clause_satisfied st ci) then
+        Array.iter
+          (fun l ->
+            let v = Lit.var l in
+            if st.is_proj.(v) && st.assign.(v) = -1 then Hashtbl.replace seen v ())
+          st.clauses.(ci))
+    comp;
+  seen
+
+(* Connected components (by shared unassigned variables) of the active
+   clauses in [comp]. *)
+let split_components st (comp : int list) : int list list =
+  let active = List.filter (fun ci -> not (clause_satisfied st ci)) comp in
+  match active with
+  | [] | [ _ ] -> [ active ]
+  | _ ->
+      let arr = Array.of_list active in
+      let n = Array.length arr in
+      let parent = Array.init n (fun i -> i) in
+      let rec find i =
+        if parent.(i) = i then i
+        else begin
+          parent.(i) <- find parent.(i);
+          parent.(i)
+        end
+      in
+      let union i j =
+        let ri = find i and rj = find j in
+        if ri <> rj then parent.(ri) <- rj
+      in
+      let owner = Hashtbl.create 64 in
+      Array.iteri
+        (fun i ci ->
+          Array.iter
+            (fun l ->
+              let v = Lit.var l in
+              if st.assign.(v) = -1 then
+                match Hashtbl.find_opt owner v with
+                | None -> Hashtbl.add owner v i
+                | Some j -> union i j)
+            st.clauses.(ci))
+        arr;
+      let buckets = Hashtbl.create 8 in
+      Array.iteri
+        (fun i ci ->
+          let r = find i in
+          match Hashtbl.find_opt buckets r with
+          | Some cell -> cell := ci :: !cell
+          | None -> Hashtbl.add buckets r (ref [ ci ]))
+        arr;
+      Hashtbl.fold (fun _ cell acc -> !cell :: acc) buckets []
+
+(* Cache key of a component: sorted (clause id, falsified-literal mask)
+   pairs.  Within one counting run the clause database is fixed, so the
+   pair determines the residual clause exactly (satisfied clauses are
+   excluded before calling). *)
+let key_of st comp =
+  let ids = List.sort Int.compare comp in
+  let buf = Buffer.create (8 * List.length ids) in
+  List.iter
+    (fun ci ->
+      Buffer.add_string buf (string_of_int ci);
+      Buffer.add_char buf ':';
+      let c = st.clauses.(ci) in
+      if Array.length c <= 60 then begin
+        let mask = ref 0 in
+        Array.iteri (fun k l -> if value_lit st l = 0 then mask := !mask lor (1 lsl k)) c;
+        Buffer.add_string buf (string_of_int !mask)
+      end
+      else
+        (* long clauses: list falsified positions explicitly *)
+        Array.iteri
+          (fun k l ->
+            if value_lit st l = 0 then begin
+              Buffer.add_string buf (string_of_int k);
+              Buffer.add_char buf ','
+            end)
+          c;
+      Buffer.add_char buf ';')
+    ids;
+  Buffer.contents buf
+
+(* SAT check on a projection-free component via simple DPLL on the
+   shared state. *)
+let rec residual_sat st comp =
+  check_time st;
+  let mark = Vec.size st.trail in
+  match propagate st comp with
+  | exception Conflict ->
+      undo_to st mark;
+      false
+  | _ ->
+      let active = List.filter (fun ci -> not (clause_satisfied st ci)) comp in
+      let result =
+        match active with
+        | [] -> true
+        | ci :: _ ->
+            let c = st.clauses.(ci) in
+            let l =
+              let rec find k = if value_lit st c.(k) = -1 then c.(k) else find (k + 1) in
+              find 0
+            in
+            let try_branch lit =
+              let m = Vec.size st.trail in
+              assign_lit st lit;
+              let ok = match residual_sat st active with b -> b | exception Conflict -> false in
+              undo_to st m;
+              ok
+            in
+            try_branch l || try_branch (Lit.neg l)
+      in
+      undo_to st mark;
+      result
+
+let rec count_comp st (comp : int list) : Bignat.t =
+  check_time st;
+  let mark = Vec.size st.trail in
+  match propagate st comp with
+  | exception Conflict ->
+      undo_to st mark;
+      Bignat.zero
+  | assigned ->
+      (* [comp] was fully active at entry, so the projection variables
+         the count ranges over are those occurring in [comp]'s clauses
+         and unassigned at entry — i.e. unassigned now, or assigned by
+         this very propagation (those were forced: factor 1).  The ones
+         still unassigned but no longer occurring in an active clause
+         were freed by clause satisfaction: factor 2 each. *)
+      let entry = Hashtbl.create 32 in
+      List.iter
+        (fun ci ->
+          Array.iter
+            (fun l ->
+              let v = Lit.var l in
+              if st.is_proj.(v) && (st.assign.(v) = -1 || List.mem v assigned) then
+                Hashtbl.replace entry v ())
+            st.clauses.(ci))
+        comp;
+      let after = proj_vars_of st comp in
+      let freed = ref 0 in
+      Hashtbl.iter
+        (fun v () ->
+          if st.assign.(v) = -1 && not (Hashtbl.mem after v) then incr freed)
+        entry;
+      let comps = split_components st comp in
+      let result =
+        List.fold_left
+          (fun acc sub ->
+            if Bignat.is_zero acc then acc
+            else if sub = [] then acc
+            else Bignat.mul acc (count_cached st sub))
+          Bignat.one comps
+      in
+      undo_to st mark;
+      Bignat.shift_left result !freed
+
+and count_cached st comp =
+  let key = key_of st comp in
+  match Hashtbl.find_opt st.cache key with
+  | Some c -> c
+  | None ->
+      let proj = proj_vars_of st comp in
+      let result =
+        if Hashtbl.length proj = 0 then
+          if residual_sat st comp then Bignat.one else Bignat.zero
+        else begin
+          (* branch on the most frequent unassigned projection variable *)
+          let occ = Hashtbl.create 32 in
+          List.iter
+            (fun ci ->
+              if not (clause_satisfied st ci) then
+                Array.iter
+                  (fun l ->
+                    let v = Lit.var l in
+                    if st.is_proj.(v) && st.assign.(v) = -1 then
+                      Hashtbl.replace occ v
+                        (1 + Option.value ~default:0 (Hashtbl.find_opt occ v)))
+                  st.clauses.(ci))
+            comp;
+          let v, _ =
+            Hashtbl.fold
+              (fun v n (bv, bn) -> if n > bn || (n = bn && v < bv) then (v, n) else (bv, bn))
+              occ (0, -1)
+          in
+          let branch sign =
+            let mark = Vec.size st.trail in
+            assign_lit st (Lit.make v sign);
+            (* the branch may free other projection vars of [comp] whose
+               clauses all became satisfied; count_comp handles vars
+               still occurring, so credit the vanished ones here *)
+            let active = List.filter (fun ci -> not (clause_satisfied st ci)) comp in
+            let still = proj_vars_of st comp in
+            let freed = ref 0 in
+            Hashtbl.iter
+              (fun u _ -> if u <> v && not (Hashtbl.mem still u) then incr freed)
+              occ;
+            let sub = if active = [] then Bignat.one else count_comp st active in
+            undo_to st mark;
+            Bignat.shift_left sub !freed
+          in
+          Bignat.add (branch true) (branch false)
+        end
+      in
+      Hashtbl.add st.cache key result;
+      result
+
+let count ?budget (cnf : Cnf.t) : Bignat.t =
+  let deadline =
+    match budget with None -> None | Some b -> Some (Unix.gettimeofday () +. b)
+  in
+  (* normalize clauses: drop tautologies and duplicates (Cnf.make did) *)
+  let clauses = cnf.Cnf.clauses in
+  let nclauses = Array.length clauses in
+  let nvars = cnf.Cnf.nvars in
+  let occurs_build = Array.make (nvars + 1) [] in
+  Array.iteri
+    (fun ci c ->
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun l ->
+          let v = Lit.var l in
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.add seen v ();
+            occurs_build.(v) <- ci :: occurs_build.(v)
+          end)
+        c)
+    clauses;
+  let is_proj = Array.make (nvars + 1) false in
+  Array.iter (fun v -> is_proj.(v) <- true) (Cnf.projection_vars cnf);
+  let st =
+    {
+      clauses;
+      occurs = Array.map Array.of_list occurs_build;
+      is_proj;
+      assign = Array.make (nvars + 1) (-1);
+      trail = Vec.create ~dummy:0 ();
+      n_false = Array.make nclauses 0;
+      sat_by = Array.make nclauses 0;
+      cache = Hashtbl.create 4096;
+      ticks = 0;
+      deadline;
+    }
+  in
+  (* projection variables not occurring anywhere are free *)
+  let never = ref 0 in
+  Array.iter
+    (fun v -> if v >= 1 && is_proj.(v) && Array.length st.occurs.(v) = 0 then incr never)
+    (Cnf.projection_vars cnf);
+  let all = List.init nclauses (fun i -> i) in
+  (* an empty clause makes the formula unsatisfiable immediately *)
+  if Array.exists (fun c -> Array.length c = 0) clauses then Bignat.zero
+  else
+    let core = if all = [] then Bignat.one else count_comp st all in
+    Bignat.shift_left core !never
+
+let count_opt ?budget cnf =
+  match count ?budget cnf with c -> Some c | exception Timeout -> None

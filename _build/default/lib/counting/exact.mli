@@ -1,0 +1,35 @@
+(** Exact projected model counting (the ProjMC stand-in).
+
+    Counts the models of a CNF projected onto its projection set: the
+    number of assignments of the projection variables that extend to at
+    least one model of the full formula.  The algorithm follows the
+    recursive scheme of Lagniez–Marquis-style projected counters:
+
+    {ul
+    {- exhaustive unit propagation, aborting a branch on conflict;}
+    {- projection variables that no longer occur contribute a
+       [2{^k}] factor;}
+    {- the residual clause set is split into variable-disjoint
+       connected components whose counts multiply;}
+    {- per-component results are memoized in a cache keyed on the
+       component's canonical clause representation;}
+    {- components free of projection variables only need a
+       satisfiability decision (a disjunctive base case);}
+    {- otherwise the counter branches on a projection variable chosen
+       by occurrence count.}}
+
+    The counter is exact and deterministic; [budget] bounds the wall
+    clock for callers that need the paper's timeout discipline. *)
+
+open Mcml_logic
+
+exception Timeout
+
+val count : ?budget:float -> Cnf.t -> Bignat.t
+(** [count cnf] is the projected model count.
+
+    @param budget wall-clock limit in seconds (default: none).
+    @raise Timeout when the budget is exhausted. *)
+
+val count_opt : ?budget:float -> Cnf.t -> Bignat.t option
+(** Like {!count}, but [None] on timeout. *)

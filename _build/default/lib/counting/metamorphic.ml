@@ -1,0 +1,81 @@
+open Mcml_logic
+
+type counter = Cnf.t -> Bignat.t
+
+let with_clause (cnf : Cnf.t) clause =
+  Cnf.make ?projection:cnf.Cnf.projection ~nvars:cnf.Cnf.nvars
+    (clause :: Array.to_list cnf.Cnf.clauses)
+
+let shannon mc (cnf : Cnf.t) ~var =
+  if not (Array.exists (( = ) var) (Cnf.projection_vars cnf)) then
+    invalid_arg "Metamorphic.shannon: variable not in the projection set";
+  let pos = with_clause cnf [| Lit.pos var |] in
+  let neg = with_clause cnf [| Lit.neg_of_var var |] in
+  Bignat.equal (mc cnf) (Bignat.add (mc pos) (mc neg))
+
+let renaming_invariant mc (cnf : Cnf.t) ~perm =
+  let n = cnf.Cnf.nvars in
+  if Array.length perm <> n + 1 then
+    invalid_arg "Metamorphic.renaming_invariant: perm length";
+  let seen = Array.make (n + 1) false in
+  for v = 1 to n do
+    let w = perm.(v) in
+    if w < 1 || w > n || seen.(w) then
+      invalid_arg "Metamorphic.renaming_invariant: not a permutation";
+    seen.(w) <- true
+  done;
+  let rename_lit l = Lit.make perm.(Lit.var l) (Lit.sign l) in
+  let renamed =
+    Cnf.make
+      ?projection:(Option.map (Array.map (fun v -> perm.(v))) cnf.Cnf.projection)
+      ~nvars:n
+      (Array.to_list (Array.map (Array.map rename_lit) cnf.Cnf.clauses))
+  in
+  Bignat.equal (mc cnf) (mc renamed)
+
+let disjoint_product mc (a : Cnf.t) (b : Cnf.t) =
+  let shift = a.Cnf.nvars in
+  let shift_lit l = Lit.make (Lit.var l + shift) (Lit.sign l) in
+  let combined =
+    Cnf.make
+      ~projection:
+        (Array.append
+           (Cnf.projection_vars a)
+           (Array.map (fun v -> v + shift) (Cnf.projection_vars b)))
+      ~nvars:(a.Cnf.nvars + b.Cnf.nvars)
+      (Array.to_list a.Cnf.clauses
+      @ Array.to_list (Array.map (Array.map shift_lit) b.Cnf.clauses))
+  in
+  Bignat.equal (mc combined) (Bignat.mul (mc a) (mc b))
+
+let clause_monotone mc (cnf : Cnf.t) ~extra =
+  Bignat.compare (mc (with_clause cnf extra)) (mc cnf) <= 0
+
+let check_all ?(seed = 1) ?(rounds = 4) mc (cnf : Cnf.t) =
+  let rng = Splitmix.create seed in
+  let proj = Cnf.projection_vars cnf in
+  let n = cnf.Cnf.nvars in
+  let ok = ref true in
+  for _ = 1 to rounds do
+    if Array.length proj > 0 then begin
+      let var = proj.(Splitmix.int rng (Array.length proj)) in
+      if not (shannon mc cnf ~var) then ok := false
+    end;
+    (* random permutation of 1..n *)
+    let perm = Array.init (n + 1) (fun i -> i) in
+    for v = n downto 2 do
+      let w = 1 + Splitmix.int rng v in
+      let tmp = perm.(v) in
+      perm.(v) <- perm.(w);
+      perm.(w) <- tmp
+    done;
+    if not (renaming_invariant mc cnf ~perm) then ok := false;
+    if n >= 1 then begin
+      let len = 1 + Splitmix.int rng (min 3 n) in
+      let extra =
+        Array.init len (fun _ -> Lit.make (1 + Splitmix.int rng n) (Splitmix.bool rng))
+      in
+      if not (clause_monotone mc cnf ~extra) then ok := false
+    end
+  done;
+  !ok && disjoint_product mc cnf cnf

@@ -1,0 +1,1 @@
+lib/logic/bignat.ml: Array Float Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/logic/cnf.ml: Array Format Hashtbl Int List Lit Option Printf

@@ -1,0 +1,1 @@
+lib/logic/dimacs.ml: Array Buffer Cnf Fun Int List Lit Printf String

@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Array Format Hashtbl Int List

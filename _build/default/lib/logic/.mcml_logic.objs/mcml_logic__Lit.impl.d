@@ -1,0 +1,1 @@
+lib/logic/lit.ml: Format Int

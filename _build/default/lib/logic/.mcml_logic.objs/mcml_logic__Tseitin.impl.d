@@ -1,0 +1,1 @@
+lib/logic/tseitin.ml: Array Cnf Formula Hashtbl List Lit

@@ -1,0 +1,185 @@
+(* Little-endian magnitude in base 2^30.  The empty array is zero and
+   every other representation has a non-zero most-significant limb. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignat.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let limbs = ref [] and n = ref n in
+    while !n > 0 do
+      limbs := (!n land mask) :: !limbs;
+      n := !n lsr base_bits
+    done;
+    normalize (Array.of_list (List.rev !limbs))
+  end
+
+let is_zero a = Array.length a = 0
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  normalize r
+
+let sub (a : t) (b : t) : t =
+  if compare a b <= 0 then zero
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make la 0 in
+    let borrow = ref 0 in
+    for i = 0 to la - 1 do
+      let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+      if d < 0 then begin
+        r.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(i) <- d;
+        borrow := 0
+      end
+    done;
+    normalize r
+  end
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        (* ai * b.(j) fits in 60 bits, plus accumulator and carry stays
+           within OCaml's 63-bit native int. *)
+        let s = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- s land mask;
+        carry := s lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry > 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let shift_left (a : t) k =
+  if k < 0 then invalid_arg "Bignat.shift_left: negative";
+  if is_zero a || k = 0 then a
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land mask);
+      r.(i + limb_shift + 1) <- r.(i + limb_shift + 1) lor (v lsr base_bits)
+    done;
+    normalize r
+  end
+
+let pow2 k =
+  if k < 0 then invalid_arg "Bignat.pow2: negative";
+  shift_left one k
+
+let to_int_opt (a : t) =
+  let la = Array.length a in
+  if la = 0 then Some 0
+  else if la * base_bits <= 62 then begin
+    let v = ref 0 in
+    for i = la - 1 downto 0 do
+      v := (!v lsl base_bits) lor a.(i)
+    done;
+    Some !v
+  end
+  else if la <= 3 && a.(la - 1) lsr (62 - (la - 1) * base_bits) = 0 then begin
+    let v = ref 0 in
+    for i = la - 1 downto 0 do
+      v := (!v lsl base_bits) lor a.(i)
+    done;
+    Some !v
+  end
+  else None
+
+let to_float (a : t) =
+  Array.to_list a
+  |> List.mapi (fun i limb -> float_of_int limb *. Float.pow 2.0 (float_of_int (i * base_bits)))
+  |> List.fold_left ( +. ) 0.0
+
+(* Division of the magnitude by a small positive int, used only for
+   decimal printing. Returns (quotient, remainder). *)
+let divmod_small (a : t) (d : int) : t * int =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize q, !rem)
+
+let to_string (a : t) =
+  if is_zero a then "0"
+  else begin
+    let chunks = ref [] in
+    let x = ref a in
+    while not (is_zero !x) do
+      let q, r = divmod_small !x 1_000_000_000 in
+      chunks := r :: !chunks;
+      x := q
+    done;
+    match !chunks with
+    | [] -> "0"
+    | hd :: tl ->
+        String.concat "" (string_of_int hd :: List.map (Printf.sprintf "%09d") tl)
+  end
+
+let to_scientific (a : t) =
+  let s = to_string a in
+  let n = String.length s in
+  if n <= 6 then s
+  else begin
+    let mantissa =
+      if n >= 3 then Printf.sprintf "%c.%c%c" s.[0] s.[1] s.[2] else String.make 1 s.[0]
+    in
+    Printf.sprintf "%sE+%02d" mantissa (n - 1)
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

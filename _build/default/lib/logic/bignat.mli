@@ -1,0 +1,49 @@
+(** Arbitrary-precision natural numbers.
+
+    Model counts in MCML routinely exceed the range of a native [int]
+    (e.g. the state space for the Equivalence property at scope 20 has
+    size [2^400]).  The sealed build environment offers no [zarith], so
+    this small module provides the exact arithmetic the counters need:
+    addition, multiplication, powers of two, comparison, and decimal /
+    scientific rendering. *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** [of_int n] is [n] as a natural number.  @raise Invalid_argument if
+    [n < 0]. *)
+
+val add : t -> t -> t
+val mul : t -> t -> t
+
+val sub : t -> t -> t
+(** [sub a b] is [a - b], clamped to zero when [b > a] (natural
+    subtraction; the clamp only matters for approximate counts). *)
+
+val pow2 : int -> t
+(** [pow2 k] is [2{^k}].  @raise Invalid_argument if [k < 0]. *)
+
+val shift_left : t -> int -> t
+(** [shift_left x k] is [x * 2{^k}]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_float : t -> float
+(** Nearest float; [infinity] on overflow. *)
+
+val to_string : t -> string
+(** Exact decimal representation. *)
+
+val to_scientific : t -> string
+(** Short scientific rendering, e.g. ["2.54e+120"], matching the style
+    of the paper's Table 8. *)
+
+val pp : Format.formatter -> t -> unit

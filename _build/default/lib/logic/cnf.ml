@@ -1,0 +1,74 @@
+type t = {
+  nvars : int;
+  clauses : Lit.t array array;
+  projection : int array option;
+}
+
+let clean_clause (c : Lit.t array) : Lit.t array option =
+  let lits = Array.to_list c |> List.sort_uniq Lit.compare in
+  let rec tautological = function
+    | a :: (b :: _ as rest) ->
+        (Lit.var a = Lit.var b && Lit.sign a <> Lit.sign b) || tautological rest
+    | _ -> false
+  in
+  if tautological lits then None else Some (Array.of_list lits)
+
+let make ?projection ~nvars clauses =
+  let clauses = List.filter_map clean_clause clauses |> Array.of_list in
+  Array.iter
+    (fun c ->
+      Array.iter
+        (fun l ->
+          if Lit.var l > nvars then
+            invalid_arg
+              (Printf.sprintf "Cnf.make: literal over var %d but nvars = %d" (Lit.var l) nvars))
+        c)
+    clauses;
+  let projection =
+    Option.map
+      (fun p ->
+        let p = Array.copy p in
+        Array.sort Int.compare p;
+        p)
+      projection
+  in
+  { nvars; clauses; projection }
+
+let num_clauses t = Array.length t.clauses
+let num_literals t = Array.fold_left (fun acc c -> acc + Array.length c) 0 t.clauses
+
+let projection_vars t =
+  match t.projection with
+  | Some p -> p
+  | None -> Array.init t.nvars (fun i -> i + 1)
+
+let eval t a =
+  Array.for_all
+    (fun c -> Array.exists (fun l -> a.(Lit.var l) = Lit.sign l) c)
+    t.clauses
+
+let conjoin ~nshared a b =
+  if nshared > a.nvars || nshared > b.nvars then
+    invalid_arg "Cnf.conjoin: nshared exceeds a side's variable count";
+  let offset = a.nvars - nshared in
+  let rename_var v = if v <= nshared then v else v + offset in
+  let rename_lit l = Lit.make (rename_var (Lit.var l)) (Lit.sign l) in
+  let b_clauses = Array.map (Array.map rename_lit) b.clauses in
+  let nvars = a.nvars + (b.nvars - nshared) in
+  let projection =
+    match (a.projection, b.projection) with
+    | None, _ | _, None -> None
+    | Some pa, Some pb ->
+        let s = Hashtbl.create 64 in
+        Array.iter (fun v -> Hashtbl.replace s v ()) pa;
+        Array.iter (fun v -> Hashtbl.replace s (rename_var v) ()) pb;
+        let p = Hashtbl.fold (fun v () acc -> v :: acc) s [] |> Array.of_list in
+        Array.sort Int.compare p;
+        Some p
+  in
+  { nvars; clauses = Array.append a.clauses b_clauses; projection }
+
+let pp_stats fmt t =
+  Format.fprintf fmt "vars=%d clauses=%d lits=%d proj=%d" t.nvars (num_clauses t)
+    (num_literals t)
+    (Array.length (projection_vars t))

@@ -1,0 +1,38 @@
+(** CNF formulas with an optional projection (sampling) set.
+
+    A CNF value records the number of variables, the clause database,
+    and optionally the set of {e projection} variables — the variables
+    a model counter should count over (everything else, typically
+    Tseitin auxiliaries, is existentially quantified away).  This
+    mirrors the [c ind] sampling-set convention used by ApproxMC. *)
+
+type t = {
+  nvars : int;
+  clauses : Lit.t array array;
+  projection : int array option;
+      (** sorted, duplicate-free variable set; [None] means all variables *)
+}
+
+val make : ?projection:int array -> nvars:int -> Lit.t array list -> t
+(** Clauses are kept in the given order; each clause is sorted and
+    deduplicated, and tautological clauses (containing [v] and [¬v])
+    are dropped. *)
+
+val num_clauses : t -> int
+val num_literals : t -> int
+
+val projection_vars : t -> int array
+(** The explicit projection set ([1..nvars] when [projection = None]). *)
+
+val eval : t -> bool array -> bool
+(** [eval cnf a] with [a] indexed by variable ([a.(v)] for [v >= 1];
+    index 0 unused). *)
+
+val conjoin : nshared:int -> t -> t -> t
+(** [conjoin ~nshared a b] is the conjunction of [a] and [b] where the
+    variables [1..nshared] are common and every variable above
+    [nshared] in [b] is renamed above [a.nvars] to avoid capture.  The
+    projection of the result is the union of the two projections
+    (after renaming). *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+let print oc (cnf : Cnf.t) =
+  (match cnf.Cnf.projection with
+  | None -> ()
+  | Some p ->
+      (* chunk the sampling set to keep comment lines short *)
+      let n = Array.length p in
+      let i = ref 0 in
+      while !i < n do
+        let j = min n (!i + 20) in
+        output_string oc "c ind";
+        for k = !i to j - 1 do
+          Printf.fprintf oc " %d" p.(k)
+        done;
+        output_string oc " 0\n";
+        i := j
+      done);
+  Printf.fprintf oc "p cnf %d %d\n" cnf.Cnf.nvars (Cnf.num_clauses cnf);
+  Array.iter
+    (fun c ->
+      Array.iter (fun l -> Printf.fprintf oc "%d " (Lit.to_dimacs l)) c;
+      output_string oc "0\n")
+    cnf.Cnf.clauses
+
+let to_string cnf =
+  let buf = Buffer.create 4096 in
+  (match cnf.Cnf.projection with
+  | None -> ()
+  | Some p ->
+      let n = Array.length p in
+      let i = ref 0 in
+      while !i < n do
+        let j = min n (!i + 20) in
+        Buffer.add_string buf "c ind";
+        for k = !i to j - 1 do
+          Buffer.add_string buf (" " ^ string_of_int p.(k))
+        done;
+        Buffer.add_string buf " 0\n";
+        i := j
+      done);
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" cnf.Cnf.nvars (Cnf.num_clauses cnf));
+  Array.iter
+    (fun c ->
+      Array.iter (fun l -> Buffer.add_string buf (string_of_int (Lit.to_dimacs l) ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    cnf.Cnf.clauses;
+  Buffer.contents buf
+
+let parse text =
+  let nvars = ref 0 in
+  let header_seen = ref false in
+  let clauses = ref [] in
+  let cur = ref [] in
+  let projection = ref [] in
+  let has_projection = ref false in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line = "" then ()
+         else if String.length line >= 5 && String.sub line 0 5 = "c ind" then begin
+           has_projection := true;
+           String.sub line 5 (String.length line - 5)
+           |> String.split_on_char ' '
+           |> List.iter (fun tok ->
+                  match int_of_string_opt (String.trim tok) with
+                  | Some v when v > 0 -> projection := v :: !projection
+                  | _ -> ())
+         end
+         else if line.[0] = 'c' then ()
+         else if line.[0] = 'p' then begin
+           match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+           | [ "p"; "cnf"; nv; _nc ] ->
+               header_seen := true;
+               nvars := int_of_string nv
+           | _ -> failwith "Dimacs.parse: malformed problem line"
+         end
+         else
+           String.split_on_char ' ' line
+           |> List.filter (( <> ) "")
+           |> List.iter (fun tok ->
+                  match int_of_string_opt tok with
+                  | Some 0 ->
+                      clauses := Array.of_list (List.rev !cur) :: !clauses;
+                      cur := []
+                  | Some n -> cur := Lit.of_dimacs n :: !cur
+                  | None -> failwith ("Dimacs.parse: bad token " ^ tok)));
+  if not !header_seen then failwith "Dimacs.parse: missing problem line";
+  if !cur <> [] then clauses := Array.of_list (List.rev !cur) :: !clauses;
+  let projection =
+    if !has_projection then
+      Some (List.sort_uniq Int.compare !projection |> Array.of_list)
+    else None
+  in
+  Cnf.make ?projection ~nvars:!nvars (List.rev !clauses)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let save path cnf =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> print oc cnf)

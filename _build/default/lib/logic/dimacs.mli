@@ -1,0 +1,16 @@
+(** DIMACS CNF reading and writing.
+
+    The printer emits the sampling set as [c ind v1 v2 ... 0] comment
+    lines, the convention understood by ApproxMC and other projected
+    model counters; the parser accepts the same. *)
+
+val to_string : Cnf.t -> string
+val print : out_channel -> Cnf.t -> unit
+
+val parse : string -> Cnf.t
+(** Parse DIMACS text. @raise Failure on malformed input. *)
+
+val load : string -> Cnf.t
+(** [load path] parses the file at [path]. *)
+
+val save : string -> Cnf.t -> unit

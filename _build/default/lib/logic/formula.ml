@@ -1,0 +1,206 @@
+type t = { id : int; node : node }
+
+and node =
+  | True
+  | False
+  | Var of int
+  | Not of t
+  | And of t array
+  | Or of t array
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash a = a.id
+
+(* --- hash-consing --- *)
+
+module Key = struct
+  type t = node
+
+  let equal k1 k2 =
+    match (k1, k2) with
+    | True, True | False, False -> true
+    | Var a, Var b -> a = b
+    | Not a, Not b -> a.id = b.id
+    | And a, And b | Or a, Or b ->
+        Array.length a = Array.length b
+        && (let ok = ref true in
+            Array.iteri (fun i x -> if x.id <> b.(i).id then ok := false) a;
+            !ok)
+    | _ -> false
+
+  let hash = function
+    | True -> 0
+    | False -> 1
+    | Var v -> (v * 2654435761) land max_int
+    | Not a -> (a.id * 40503 + 17) land max_int
+    | And xs ->
+        Array.fold_left (fun acc x -> ((acc * 131) + x.id) land max_int) 3 xs
+    | Or xs ->
+        Array.fold_left (fun acc x -> ((acc * 131) + x.id) land max_int) 5 xs
+end
+
+module Table = Hashtbl.Make (Key)
+
+let table : t Table.t = Table.create 4096
+let counter = ref 0
+
+let hashcons node =
+  match Table.find_opt table node with
+  | Some f -> f
+  | None ->
+      incr counter;
+      let f = { id = !counter; node } in
+      Table.add table node f;
+      f
+
+let tru = hashcons True
+let fls = hashcons False
+
+let var v =
+  if v < 1 then invalid_arg "Formula.var: variable must be >= 1";
+  hashcons (Var v)
+
+let not_ f =
+  match f.node with
+  | True -> fls
+  | False -> tru
+  | Not g -> g
+  | _ -> hashcons (Not f)
+
+(* Flatten same-operator children, fold constants, sort, dedup, and
+   detect complementary pairs.  [absorb] is the annihilating constant
+   (False for And, True for Or). *)
+let mk_nary ~is_and children =
+  let acc = ref [] in
+  let saw_absorb = ref false in
+  let rec push f =
+    match (f.node, is_and) with
+    | True, true | False, false -> ()
+    | False, true | True, false -> saw_absorb := true
+    | And xs, true | Or xs, false -> Array.iter push xs
+    | _ -> acc := f :: !acc
+  in
+  List.iter push children;
+  if !saw_absorb then if is_and then fls else tru
+  else begin
+    let xs = List.sort_uniq compare !acc in
+    (* complement detection: x and (Not x) together annihilate *)
+    let ids = Hashtbl.create 16 in
+    List.iter (fun f -> Hashtbl.replace ids f.id ()) xs;
+    let complementary =
+      List.exists
+        (fun f -> match f.node with Not g -> Hashtbl.mem ids g.id | _ -> false)
+        xs
+    in
+    if complementary then if is_and then fls else tru
+    else
+      match xs with
+      | [] -> if is_and then tru else fls
+      | [ x ] -> x
+      | _ ->
+          let arr = Array.of_list xs in
+          hashcons (if is_and then And arr else Or arr)
+  end
+
+let and_ fs = mk_nary ~is_and:true fs
+let or_ fs = mk_nary ~is_and:false fs
+let and_array fs = and_ (Array.to_list fs)
+let or_array fs = or_ (Array.to_list fs)
+let implies a b = or_ [ not_ a; b ]
+let iff a b = and_ [ or_ [ not_ a; b ]; or_ [ a; not_ b ] ]
+let xor a b = not_ (iff a b)
+
+let is_true f = f.id = tru.id
+let is_false f = f.id = fls.id
+
+let eval env f =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    match Hashtbl.find_opt memo f.id with
+    | Some b -> b
+    | None ->
+        let b =
+          match f.node with
+          | True -> true
+          | False -> false
+          | Var v -> env v
+          | Not g -> not (go g)
+          | And xs -> Array.for_all go xs
+          | Or xs -> Array.exists go xs
+        in
+        Hashtbl.add memo f.id b;
+        b
+  in
+  go f
+
+let iter_dag f root =
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if not (Hashtbl.mem seen n.id) then begin
+      Hashtbl.add seen n.id ();
+      f n;
+      match n.node with
+      | True | False | Var _ -> ()
+      | Not g -> go g
+      | And xs | Or xs -> Array.iter go xs
+    end
+  in
+  go root
+
+let vars f =
+  let acc = ref [] in
+  iter_dag (fun n -> match n.node with Var v -> acc := v :: !acc | _ -> ()) f;
+  List.sort_uniq Int.compare !acc
+
+let max_var f =
+  let m = ref 0 in
+  iter_dag (fun n -> match n.node with Var v -> if v > !m then m := v | _ -> ()) f;
+  !m
+
+let dag_size f =
+  let n = ref 0 in
+  iter_dag (fun _ -> incr n) f;
+  !n
+
+let map_vars subst root =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    match Hashtbl.find_opt memo f.id with
+    | Some g -> g
+    | None ->
+        let g =
+          match f.node with
+          | True -> tru
+          | False -> fls
+          | Var v -> subst v
+          | Not h -> not_ (go h)
+          | And xs -> and_ (Array.to_list (Array.map go xs))
+          | Or xs -> or_ (Array.to_list (Array.map go xs))
+        in
+        Hashtbl.add memo f.id g;
+        g
+  in
+  go root
+
+let rec pp fmt f =
+  match f.node with
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Var v -> Format.fprintf fmt "v%d" v
+  | Not g -> Format.fprintf fmt "!%a" pp_atom g
+  | And xs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_array ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " & ") pp)
+        xs
+  | Or xs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_array ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " | ") pp)
+        xs
+
+and pp_atom fmt f =
+  match f.node with
+  | True | False | Var _ | Not _ -> pp fmt f
+  | _ -> Format.fprintf fmt "%a" pp f
+
+let to_string f = Format.asprintf "%a" pp f

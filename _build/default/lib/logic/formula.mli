@@ -1,0 +1,60 @@
+(** Hash-consed propositional formulas.
+
+    Formulas are maximally shared DAGs: structurally equal subterms are
+    physically equal and carry a unique id, so equality tests are O(1)
+    and DAG-sized (rather than tree-sized) traversals are easy to
+    memoize.  Smart constructors perform light normalization (constant
+    folding, flattening of nested [And]/[Or], duplicate removal,
+    complement detection) which keeps the bounded translation of
+    relational specs compact. *)
+
+type t = private { id : int; node : node }
+
+and node = private
+  | True
+  | False
+  | Var of int  (** variable index, [>= 1] *)
+  | Not of t
+  | And of t array  (** [>= 2] children, sorted by id, duplicate-free *)
+  | Or of t array
+
+val tru : t
+val fls : t
+val var : int -> t
+
+val not_ : t -> t
+val and_ : t list -> t
+val or_ : t list -> t
+val implies : t -> t -> t
+val iff : t -> t -> t
+val xor : t -> t -> t
+
+val and_array : t array -> t
+val or_array : t array -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val is_true : t -> bool
+val is_false : t -> bool
+
+val eval : (int -> bool) -> t -> bool
+(** [eval env f] evaluates [f] under the variable valuation [env];
+    memoized over the DAG, linear in the number of distinct subterms. *)
+
+val vars : t -> int list
+(** Sorted list of distinct variables occurring in the formula. *)
+
+val max_var : t -> int
+(** Largest variable occurring in the formula; [0] for closed formulas. *)
+
+val dag_size : t -> int
+(** Number of distinct subterms. *)
+
+val map_vars : (int -> t) -> t -> t
+(** [map_vars f phi] substitutes [f v] for each variable [v]; memoized
+    over the DAG. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,23 @@
+type t = int
+
+let make v sign =
+  if v < 1 then invalid_arg "Lit.make: variable must be >= 1";
+  (v lsl 1) lor (if sign then 0 else 1)
+
+let pos v = make v true
+let neg_of_var v = make v false
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let neg l = l lxor 1
+let to_index l = l
+let of_index i = i
+
+let to_dimacs l = if sign l then var l else -var l
+
+let of_dimacs n =
+  if n = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if n > 0 then pos n else neg_of_var (-n)
+
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt l = Format.fprintf fmt "%d" (to_dimacs l)

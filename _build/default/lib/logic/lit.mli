@@ -1,0 +1,38 @@
+(** Propositional literals.
+
+    Variables are positive integers [1, 2, ...].  A literal packs a
+    variable and a sign into a single immediate integer using the
+    MiniSat convention ([2*v] for the positive literal, [2*v+1] for the
+    negative one), which makes literals cheap to store in arrays and
+    usable directly as indices into watch lists. *)
+
+type t = private int
+
+val make : int -> bool -> t
+(** [make v sign] is the literal over variable [v] ([v >= 1]); [sign =
+    true] gives the positive literal. *)
+
+val pos : int -> t
+val neg_of_var : int -> t
+
+val var : t -> int
+val sign : t -> bool
+(** [sign l] is [true] iff [l] is a positive literal. *)
+
+val neg : t -> t
+(** Complement. *)
+
+val to_index : t -> int
+(** Dense index suitable for watch-list arrays: [2*v] or [2*v+1]. *)
+
+val of_index : int -> t
+
+val to_dimacs : t -> int
+(** Signed DIMACS integer: [v] or [-v]. *)
+
+val of_dimacs : int -> t
+(** @raise Invalid_argument on [0]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+let copy g = { state = g.state }
+
+let next g =
+  g.state <- Int64.add g.state golden;
+  mix g.state
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* keep 62 bits so the value stays non-negative in OCaml's 63-bit int *)
+  let r = Int64.to_int (Int64.shift_right_logical (next g) 2) in
+  r mod bound
+
+let bool g = Int64.logand (next g) 1L = 1L
+
+let float g =
+  let bits = Int64.to_float (Int64.shift_right_logical (next g) 11) in
+  bits /. 9007199254740992.0 (* 2^53 *)
+
+let split g = { state = mix (next g) }

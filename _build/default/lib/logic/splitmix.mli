@@ -1,0 +1,27 @@
+(** Deterministic splittable pseudo-random numbers (SplitMix64).
+
+    Every randomized component of the reproduction — negative-sample
+    generation, dataset splits, the ML models' randomness, the
+    approximate counter's hash functions — draws from seeded SplitMix64
+    streams so that experiments are exactly repeatable. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator; equal seeds yield equal streams. *)
+
+val copy : t -> t
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val split : t -> t
+(** Independent child stream (also advances the parent). *)

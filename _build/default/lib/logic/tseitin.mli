@@ -1,0 +1,23 @@
+(** Tseitin transformation with bi-implicational definitions.
+
+    Translates a hash-consed formula to CNF by introducing one fresh
+    auxiliary variable per distinct [And]/[Or] subterm and asserting
+    the {e equivalence} (not merely an implication) between the
+    auxiliary and its definition.  Because every auxiliary is then
+    functionally determined by the primary variables, the translation
+    is {e model-count preserving} on the primary variables: the number
+    of models of the CNF projected onto [1..nprimary] equals the number
+    of satisfying valuations of the source formula.  This is the
+    property MCML's counting-based metrics rely on. *)
+
+val cnf_of : nprimary:int -> Formula.t -> Cnf.t
+(** [cnf_of ~nprimary f] translates [f], whose variables must all lie
+    in [1..nprimary], into a CNF whose projection set is
+    [1..nprimary].  Auxiliary variables are allocated above
+    [nprimary].
+
+    Degenerate cases: a [True] root yields an empty clause set and a
+    [False] root yields a single empty clause.
+
+    @raise Invalid_argument if [f] mentions a variable above
+    [nprimary]. *)

@@ -1,0 +1,1 @@
+lib/ml/adaboost.ml: Array Dataset Decision_tree Float List

@@ -1,0 +1,1 @@
+lib/ml/adaboost.mli: Dataset

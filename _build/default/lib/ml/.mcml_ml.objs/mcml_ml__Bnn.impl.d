@@ -1,0 +1,1 @@
+lib/ml/bnn.ml: Array Dataset Float Mcml_logic Splitmix

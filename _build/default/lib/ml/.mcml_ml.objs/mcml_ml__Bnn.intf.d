@@ -1,0 +1,1 @@
+lib/ml/bnn.mli: Dataset Mcml_logic Splitmix

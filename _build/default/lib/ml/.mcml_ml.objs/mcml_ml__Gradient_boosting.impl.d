@@ -1,0 +1,1 @@
+lib/ml/gradient_boosting.ml: Array Dataset Float List Regression_tree

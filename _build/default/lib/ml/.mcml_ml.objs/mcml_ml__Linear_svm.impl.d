@@ -1,0 +1,1 @@
+lib/ml/linear_svm.ml: Array Dataset Mcml_logic Splitmix

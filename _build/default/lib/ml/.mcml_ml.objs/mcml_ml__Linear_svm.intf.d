@@ -1,0 +1,1 @@
+lib/ml/linear_svm.mli: Dataset Mcml_logic Splitmix

@@ -1,0 +1,1 @@
+lib/ml/model.ml: Adaboost Array Dataset Decision_tree Gradient_boosting Linear_svm Mcml_logic Metrics Mlp Random_forest Splitmix String

@@ -1,0 +1,1 @@
+lib/ml/model.mli: Dataset Decision_tree Metrics

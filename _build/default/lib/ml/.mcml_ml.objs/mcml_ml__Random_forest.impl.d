@@ -1,0 +1,1 @@
+lib/ml/random_forest.ml: Array Dataset Decision_tree Float List Mcml_logic Splitmix

@@ -1,0 +1,1 @@
+lib/ml/regression_tree.ml: Array Dataset List

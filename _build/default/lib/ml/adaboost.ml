@@ -1,0 +1,57 @@
+type t = { stumps : (Decision_tree.t * float) list }
+type params = { n_estimators : int }
+
+let default_params = { n_estimators = 50 }
+
+let train ?(params = default_params) (ds : Dataset.t) =
+  let n = Dataset.size ds in
+  if n = 0 then invalid_arg "Adaboost.train: empty dataset";
+  let weights = Array.make n (1.0 /. float_of_int n) in
+  let stump_params =
+    { Decision_tree.max_depth = Some 1; min_samples_split = 2; max_features = None }
+  in
+  let stumps = ref [] in
+  (try
+     for _ = 1 to params.n_estimators do
+       let stump = Decision_tree.train ~params:stump_params ~weights ds in
+       let err = ref 0.0 in
+       Array.iteri
+         (fun i s ->
+           if Decision_tree.predict stump s.Dataset.features <> s.Dataset.label then
+             err := !err +. weights.(i))
+         ds.Dataset.samples;
+       let err = Float.max 1e-10 (Float.min (1.0 -. 1e-10) !err) in
+       if err >= 0.5 then raise Exit;
+       let alpha = 0.5 *. log ((1.0 -. err) /. err) in
+       stumps := (stump, alpha) :: !stumps;
+       (* reweight and renormalize *)
+       let z = ref 0.0 in
+       Array.iteri
+         (fun i s ->
+           let correct = Decision_tree.predict stump s.Dataset.features = s.Dataset.label in
+           weights.(i) <- weights.(i) *. exp (if correct then -.alpha else alpha);
+           z := !z +. weights.(i))
+         ds.Dataset.samples;
+       Array.iteri (fun i w -> weights.(i) <- w /. !z) weights;
+       if err <= 1e-9 then raise Exit
+     done
+   with Exit -> ());
+  (* a degenerate first stump still yields a usable (constant) model *)
+  let stumps =
+    match !stumps with
+    | [] ->
+        let stump = Decision_tree.train ~params:stump_params ds in
+        [ (stump, 1.0) ]
+    | s -> List.rev s
+  in
+  { stumps }
+
+let score t features =
+  List.fold_left
+    (fun acc (stump, alpha) ->
+      acc +. if Decision_tree.predict stump features then alpha else -.alpha)
+    0.0 t.stumps
+
+let predict t features = score t features > 0.0
+
+let stump_weights t = List.map snd t.stumps

@@ -1,0 +1,15 @@
+(** AdaBoost (discrete SAMME) over depth-1 decision stumps —
+    scikit-learn's default [AdaBoostClassifier] configuration. *)
+
+type t
+
+type params = { n_estimators : int }
+
+val default_params : params
+(** 50 stumps. *)
+
+val train : ?params:params -> Dataset.t -> t
+val predict : t -> bool array -> bool
+val stump_weights : t -> float list
+(** The α weights, positive for any stump better than chance (exposed
+    for invariant tests). *)

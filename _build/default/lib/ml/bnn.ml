@@ -1,0 +1,94 @@
+open Mcml_logic
+
+type t = {
+  w1 : int array array;
+  b1 : int array;
+  w2 : int array;
+  b2 : int;
+}
+
+type params = { hidden : int; epochs : int; learning_rate : float }
+
+let default_params = { hidden = 16; epochs = 30; learning_rate = 0.05 }
+
+let sign_pm r = if r >= 0.0 then 1 else -1
+
+(* executable semantics on the ±1 scale: input bit b |-> 2b - 1 *)
+let neuron_sum (w : int array) b (x : bool array) =
+  let acc = ref b in
+  Array.iteri (fun i wi -> acc := !acc + (wi * if x.(i) then 1 else -1)) w;
+  !acc
+
+let hidden_unit t j x = neuron_sum t.w1.(j) t.b1.(j) x >= 0
+
+let predict t x =
+  let acc = ref t.b2 in
+  Array.iteri
+    (fun j vj -> acc := !acc + (vj * if hidden_unit t j x then 1 else -1))
+    t.w2;
+  !acc >= 0
+
+let num_inputs t = Array.length t.w1.(0)
+let num_hidden t = Array.length t.w1
+
+let train ?(params = default_params) ~rng (ds : Dataset.t) =
+  let n = Dataset.size ds in
+  if n = 0 then invalid_arg "Bnn.train: empty dataset";
+  let k = ds.Dataset.nfeatures and h = params.hidden in
+  let uniform () = (2.0 *. Splitmix.float rng) -. 1.0 in
+  (* real-valued latent parameters; forward passes binarize them *)
+  let lw1 = Array.init h (fun _ -> Array.init k (fun _ -> uniform ())) in
+  let lb1 = Array.make h 0.0 in
+  let lw2 = Array.init h (fun _ -> uniform ()) in
+  let lb2 = ref 0.0 in
+  let bin v = if v >= 0.0 then 1.0 else -1.0 in
+  let hidden_pre = Array.make h 0.0 in
+  let hidden_act = Array.make h 0.0 in
+  let sigmoid z = 1.0 /. (1.0 +. exp (-.z)) in
+  for _epoch = 1 to params.epochs do
+    for _step = 1 to n do
+      let s = ds.Dataset.samples.(Splitmix.int rng n) in
+      let x = s.Dataset.features in
+      let y = if s.Dataset.label then 1.0 else 0.0 in
+      (* forward with binarized weights *)
+      for j = 0 to h - 1 do
+        let acc = ref lb1.(j) in
+        let row = lw1.(j) in
+        for i = 0 to k - 1 do
+          acc := !acc +. (bin row.(i) *. if x.(i) then 1.0 else -1.0)
+        done;
+        hidden_pre.(j) <- !acc;
+        (* hard tanh as the straight-through surrogate activation *)
+        hidden_act.(j) <- Float.max (-1.0) (Float.min 1.0 !acc)
+      done;
+      let out = ref !lb2 in
+      for j = 0 to h - 1 do
+        out := !out +. (bin lw2.(j) *. hidden_act.(j))
+      done;
+      let p = sigmoid !out in
+      let dout = p -. y in
+      let lr = params.learning_rate in
+      lb2 := !lb2 -. (lr *. dout);
+      for j = 0 to h - 1 do
+        (* straight-through: gradient flows as if bin were identity *)
+        lw2.(j) <- lw2.(j) -. (lr *. dout *. hidden_act.(j));
+        lw2.(j) <- Float.max (-1.0) (Float.min 1.0 lw2.(j));
+        let dh = dout *. bin lw2.(j) in
+        (* clipped straight-through for the hidden sign activation *)
+        if Float.abs hidden_pre.(j) <= 1.0 then begin
+          lb1.(j) <- lb1.(j) -. (lr *. dh);
+          let row = lw1.(j) in
+          for i = 0 to k - 1 do
+            row.(i) <- row.(i) -. (lr *. dh *. if x.(i) then 1.0 else -1.0);
+            row.(i) <- Float.max (-1.0) (Float.min 1.0 row.(i))
+          done
+        end
+      done
+    done
+  done;
+  {
+    w1 = Array.map (Array.map (fun v -> sign_pm v)) lw1;
+    b1 = Array.map (fun v -> int_of_float (Float.round v)) lb1;
+    w2 = Array.map (fun v -> sign_pm v) lw2;
+    b2 = int_of_float (Float.round !lb2);
+  }

@@ -1,0 +1,38 @@
+(** Binarized neural networks (BNNs) over boolean features.
+
+    One hidden layer of sign-activation neurons with ±1 weights and
+    integer thresholds, and a ±1-weighted sign output — the model class
+    of Hubara et al. that the paper's §2 singles out: because a BNN
+    admits an exact translation to SAT/CNF, MCML's counting metrics
+    "generalize beyond decision trees".  {!Mcml.Bnn2cnf} provides that
+    translation; this module provides the model and its training.
+
+    Training uses the standard straight-through estimator: real-valued
+    latent weights updated by SGD on the logistic loss, binarized by
+    [sign] on every forward pass. *)
+
+open Mcml_logic
+
+type t = {
+  w1 : int array array;  (** hidden × input, entries ±1 *)
+  b1 : int array;  (** per-neuron bias (integer, on the ±1 input scale) *)
+  w2 : int array;  (** output weights, entries ±1 *)
+  b2 : int;
+}
+
+type params = { hidden : int; epochs : int; learning_rate : float }
+
+val default_params : params
+(** 16 hidden neurons, 30 epochs, η = 0.05. *)
+
+val train : ?params:params -> rng:Splitmix.t -> Dataset.t -> t
+
+val predict : t -> bool array -> bool
+
+val hidden_unit : t -> int -> bool array -> bool
+(** [hidden_unit bnn j x] is neuron [j]'s ±1 activation (as a bool) on
+    input [x] — exposed so the CNF translation can be tested against
+    the executable semantics. *)
+
+val num_inputs : t -> int
+val num_hidden : t -> int

@@ -1,0 +1,165 @@
+open Mcml_logic
+
+type node = Leaf of bool | Split of { feature : int; if_false : node; if_true : node }
+type t = { nfeatures : int; root : node }
+
+type params = {
+  max_depth : int option;
+  min_samples_split : int;
+  max_features : int option;
+}
+
+let default_params = { max_depth = None; min_samples_split = 2; max_features = None }
+
+(* Gini impurity of a (weighted) label distribution. *)
+let gini pos neg =
+  let total = pos +. neg in
+  if total = 0.0 then 0.0
+  else begin
+    let p = pos /. total and q = neg /. total in
+    1.0 -. (p *. p) -. (q *. q)
+  end
+
+let train ?(params = default_params) ?weights ?rng (ds : Dataset.t) : t =
+  let n = Dataset.size ds in
+  let weights =
+    match weights with
+    | Some w ->
+        if Array.length w <> n then invalid_arg "Decision_tree.train: weights length";
+        w
+    | None -> Array.make n 1.0
+  in
+  let feature_pool = Array.init ds.Dataset.nfeatures (fun i -> i) in
+  let candidate_features () =
+    match (params.max_features, rng) with
+    | Some k, Some rng when k < Array.length feature_pool ->
+        (* partial Fisher-Yates to draw k distinct features *)
+        let a = Array.copy feature_pool in
+        for i = 0 to k - 1 do
+          let j = i + Splitmix.int rng (Array.length a - i) in
+          let tmp = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- tmp
+        done;
+        Array.to_list (Array.sub a 0 k)
+    | _ -> Array.to_list feature_pool
+  in
+  let weight_split indices =
+    List.fold_left
+      (fun (pos, neg) i ->
+        let s = ds.Dataset.samples.(i) in
+        if s.Dataset.label then (pos +. weights.(i), neg) else (pos, neg +. weights.(i)))
+      (0.0, 0.0) indices
+  in
+  let rec grow indices depth =
+    match indices with
+    | [] -> Leaf false
+    | _ ->
+        let pos, neg = weight_split indices in
+        let impurity = gini pos neg in
+        let stop =
+          impurity = 0.0
+          || List.length indices < params.min_samples_split
+          || match params.max_depth with Some d -> depth >= d | None -> false
+        in
+        if stop then Leaf (pos > neg)
+        else begin
+          (* best split among candidate features by weighted Gini *)
+          let best = ref None in
+          List.iter
+            (fun f ->
+              let t_idx, f_idx =
+                List.partition (fun i -> ds.Dataset.samples.(i).Dataset.features.(f)) indices
+              in
+              if t_idx <> [] && f_idx <> [] then begin
+                let tp, tn = weight_split t_idx in
+                let fp, fn = weight_split f_idx in
+                let wt = tp +. tn and wf = fp +. fn in
+                let score =
+                  ((wt *. gini tp tn) +. (wf *. gini fp fn)) /. (wt +. wf)
+                in
+                match !best with
+                | Some (s, _, _, _) when s <= score -> ()
+                | _ -> best := Some (score, f, t_idx, f_idx)
+              end)
+            (candidate_features ());
+          match !best with
+          | None -> Leaf (pos > neg)
+          | Some (_score, f, t_idx, f_idx) ->
+              (* like scikit-learn's default CART, split as long as any
+                 valid split exists (even with zero Gini improvement —
+                 needed to fit parity-like targets); both sides are
+                 non-empty so the recursion terminates *)
+              Split
+                {
+                  feature = f;
+                  if_true = grow t_idx (depth + 1);
+                  if_false = grow f_idx (depth + 1);
+                }
+        end
+  in
+  let root = grow (List.init n (fun i -> i)) 0 in
+  { nfeatures = ds.Dataset.nfeatures; root }
+
+let predict t features =
+  let rec go = function
+    | Leaf b -> b
+    | Split { feature; if_false; if_true } ->
+        go (if features.(feature) then if_true else if_false)
+  in
+  go t.root
+
+let paths t =
+  let acc = ref [] in
+  let rec go node conditions =
+    match node with
+    | Leaf b -> acc := (List.rev conditions, b) :: !acc
+    | Split { feature; if_false; if_true } ->
+        go if_true ((feature, true) :: conditions);
+        go if_false ((feature, false) :: conditions)
+  in
+  go t.root [];
+  List.rev !acc
+
+let num_leaves t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Split { if_false; if_true; _ } -> go if_false + go if_true
+  in
+  go t.root
+
+let depth t =
+  let rec go = function
+    | Leaf _ -> 0
+    | Split { if_false; if_true; _ } -> 1 + max (go if_false) (go if_true)
+  in
+  go t.root
+
+let eval_all t ~scope_bits oracle =
+  if scope_bits > 24 then invalid_arg "Decision_tree.eval_all: too many bits";
+  let c = ref Metrics.zero in
+  let features = Array.make t.nfeatures false in
+  for mask = 0 to (1 lsl scope_bits) - 1 do
+    for b = 0 to scope_bits - 1 do
+      features.(b) <- mask land (1 lsl b) <> 0
+    done;
+    let p = predict t features and a = oracle features in
+    c :=
+      Metrics.add !c
+        (match (p, a) with
+        | true, true -> { Metrics.zero with Metrics.tp = 1.0 }
+        | true, false -> { Metrics.zero with Metrics.fp = 1.0 }
+        | false, false -> { Metrics.zero with Metrics.tn = 1.0 }
+        | false, true -> { Metrics.zero with Metrics.fn = 1.0 })
+  done;
+  !c
+
+let pp fmt t =
+  let rec go indent = function
+    | Leaf b -> Format.fprintf fmt "%s=> %b@." indent b
+    | Split { feature; if_false; if_true } ->
+        Format.fprintf fmt "%sx%d?@." indent feature;
+        go (indent ^ "  ") if_false;
+        go (indent ^ "  ") if_true
+  in
+  go "" t.root

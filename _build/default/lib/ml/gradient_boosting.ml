@@ -1,0 +1,39 @@
+type t = { init : float; learning_rate : float; stages : Regression_tree.t list }
+type params = { n_estimators : int; learning_rate : float; max_depth : int }
+
+let default_params = { n_estimators = 100; learning_rate = 0.1; max_depth = 3 }
+
+let sigmoid z = 1.0 /. (1.0 +. exp (-.z))
+
+let train ?(params = default_params) (ds : Dataset.t) =
+  let n = Dataset.size ds in
+  if n = 0 then invalid_arg "Gradient_boosting.train: empty dataset";
+  let y = Array.map (fun s -> if s.Dataset.label then 1.0 else 0.0) ds.Dataset.samples in
+  let pos = Array.fold_left ( +. ) 0.0 y in
+  let prior = Float.max 1e-6 (Float.min (1.0 -. 1e-6) (pos /. float_of_int n)) in
+  let init = log (prior /. (1.0 -. prior)) in
+  let scores = Array.make n init in
+  let stages = ref [] in
+  for _ = 1 to params.n_estimators do
+    (* negative gradient of the logistic loss: residual y - p *)
+    let residuals = Array.mapi (fun i yi -> yi -. sigmoid scores.(i)) y in
+    let tree =
+      Regression_tree.train ~max_depth:params.max_depth ~min_samples_split:2 ds
+        ~targets:residuals
+    in
+    stages := tree :: !stages;
+    Array.iteri
+      (fun i s ->
+        scores.(i) <-
+          scores.(i)
+          +. (params.learning_rate *. Regression_tree.predict tree s.Dataset.features))
+      ds.Dataset.samples
+  done;
+  { init; learning_rate = params.learning_rate; stages = List.rev !stages }
+
+let decision_value (model : t) features =
+  List.fold_left
+    (fun acc tree -> acc +. (model.learning_rate *. Regression_tree.predict tree features))
+    model.init model.stages
+
+let predict t features = decision_value t features > 0.0

@@ -1,0 +1,15 @@
+(** Gradient-boosted trees with logistic loss (binomial deviance),
+    depth-3 regression trees, shrinkage 0.1 — scikit-learn's default
+    [GradientBoostingClassifier] configuration. *)
+
+type t
+
+type params = { n_estimators : int; learning_rate : float; max_depth : int }
+
+val default_params : params
+(** 100 stages, η = 0.1, depth 3. *)
+
+val train : ?params:params -> Dataset.t -> t
+val predict : t -> bool array -> bool
+val decision_value : t -> bool array -> float
+(** Raw additive score (log-odds scale). *)

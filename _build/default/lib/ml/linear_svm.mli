@@ -1,0 +1,16 @@
+(** Linear support-vector machine trained with Pegasos (stochastic
+    sub-gradient descent on the hinge loss). *)
+
+open Mcml_logic
+
+type t
+
+type params = { lambda : float; epochs : int }
+
+val default_params : params
+(** λ = 1e-4, 30 epochs. *)
+
+val train : ?params:params -> rng:Splitmix.t -> Dataset.t -> t
+val predict : t -> bool array -> bool
+val decision_value : t -> bool array -> float
+(** Signed margin [w·x + b]. *)

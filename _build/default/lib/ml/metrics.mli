@@ -1,0 +1,22 @@
+(** Classification metrics over (possibly huge) confusion counts.
+
+    Counts are floats so the same code serves both the traditional
+    test-set evaluation (small integer counts) and the MCML metrics,
+    whose counts come from model counters and can exceed [2^60].
+    Degenerate denominators follow the paper's tables: a precision
+    with [tp + fp = 0] is reported as 0, and an F1 with
+    [precision + recall = 0] is 0. *)
+
+type confusion = { tp : float; fp : float; tn : float; fn : float }
+
+val zero : confusion
+val add : confusion -> confusion -> confusion
+
+val of_predictions : predicted:bool array -> actual:bool array -> confusion
+
+val accuracy : confusion -> float
+val precision : confusion -> float
+val recall : confusion -> float
+val f1 : confusion -> float
+
+val pp : Format.formatter -> confusion -> unit

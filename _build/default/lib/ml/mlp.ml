@@ -1,0 +1,139 @@
+open Mcml_logic
+
+type t = {
+  w1 : float array array; (* hidden x input *)
+  b1 : float array;
+  w2 : float array; (* hidden *)
+  b2 : float;
+}
+
+type params = { hidden : int; epochs : int; batch : int; learning_rate : float }
+
+let default_params = { hidden = 64; epochs = 40; batch = 32; learning_rate = 5e-3 }
+
+let sigmoid z = 1.0 /. (1.0 +. exp (-.z))
+
+(* Minimal Adam state for a flat parameter vector view. *)
+type adam = { mutable t : int; m : float array; v : float array }
+
+let adam_make n = { t = 0; m = Array.make n 0.0; v = Array.make n 0.0 }
+
+let adam_step st ~lr (theta : float array) (grad : float array) =
+  let beta1 = 0.9 and beta2 = 0.999 and eps = 1e-8 in
+  st.t <- st.t + 1;
+  let t = float_of_int st.t in
+  let bc1 = 1.0 -. (beta1 ** t) and bc2 = 1.0 -. (beta2 ** t) in
+  Array.iteri
+    (fun i g ->
+      st.m.(i) <- (beta1 *. st.m.(i)) +. ((1.0 -. beta1) *. g);
+      st.v.(i) <- (beta2 *. st.v.(i)) +. ((1.0 -. beta2) *. g *. g);
+      let mhat = st.m.(i) /. bc1 and vhat = st.v.(i) /. bc2 in
+      theta.(i) <- theta.(i) -. (lr *. mhat /. (sqrt vhat +. eps)))
+    grad
+
+let train ?(params = default_params) ~rng (ds : Dataset.t) =
+  let n = Dataset.size ds in
+  if n = 0 then invalid_arg "Mlp.train: empty dataset";
+  let k = ds.Dataset.nfeatures and h = params.hidden in
+  let gauss () =
+    (* Box-Muller *)
+    let u1 = Float.max 1e-12 (Splitmix.float rng) and u2 = Splitmix.float rng in
+    sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+  in
+  let scale1 = sqrt (2.0 /. float_of_int k) in
+  let w1 = Array.init h (fun _ -> Array.init k (fun _ -> gauss () *. scale1)) in
+  let b1 = Array.make h 0.0 in
+  let w2 = Array.init h (fun _ -> gauss () *. sqrt (2.0 /. float_of_int h)) in
+  let b2 = ref 0.0 in
+  (* flatten all parameters for Adam: w1 (h*k) ++ b1 (h) ++ w2 (h) ++ b2 *)
+  let nparams = (h * k) + h + h + 1 in
+  let grads = Array.make nparams 0.0 in
+  let theta = Array.make nparams 0.0 in
+  let pack () =
+    for i = 0 to h - 1 do
+      Array.blit w1.(i) 0 theta (i * k) k
+    done;
+    Array.blit b1 0 theta (h * k) h;
+    Array.blit w2 0 theta ((h * k) + h) h;
+    theta.((h * k) + h + h) <- !b2
+  in
+  let unpack () =
+    for i = 0 to h - 1 do
+      Array.blit theta (i * k) w1.(i) 0 k
+    done;
+    Array.blit theta (h * k) b1 0 h;
+    Array.blit theta ((h * k) + h) w2 0 h;
+    b2 := theta.((h * k) + h + h)
+  in
+  let st = adam_make nparams in
+  let hidden_pre = Array.make h 0.0 in
+  let hidden_act = Array.make h 0.0 in
+  let order = Array.init n (fun i -> i) in
+  for _epoch = 1 to params.epochs do
+    (* reshuffle *)
+    for i = n - 1 downto 1 do
+      let j = Splitmix.int rng (i + 1) in
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    done;
+    let idx = ref 0 in
+    while !idx < n do
+      let batch_end = min n (!idx + params.batch) in
+      Array.fill grads 0 nparams 0.0;
+      let bsize = float_of_int (batch_end - !idx) in
+      for s = !idx to batch_end - 1 do
+        let sample = ds.Dataset.samples.(order.(s)) in
+        let x = sample.Dataset.features in
+        let y = if sample.Dataset.label then 1.0 else 0.0 in
+        (* forward *)
+        for i = 0 to h - 1 do
+          let acc = ref b1.(i) in
+          let row = w1.(i) in
+          for f = 0 to k - 1 do
+            if x.(f) then acc := !acc +. row.(f)
+          done;
+          hidden_pre.(i) <- !acc;
+          hidden_act.(i) <- Float.max 0.0 !acc
+        done;
+        let out = ref !b2 in
+        for i = 0 to h - 1 do
+          out := !out +. (w2.(i) *. hidden_act.(i))
+        done;
+        let p = sigmoid !out in
+        (* backward: dL/dout = p - y (logistic loss) *)
+        let dout = (p -. y) /. bsize in
+        grads.((h * k) + h + h) <- grads.((h * k) + h + h) +. dout;
+        for i = 0 to h - 1 do
+          grads.((h * k) + h + i) <- grads.((h * k) + h + i) +. (dout *. hidden_act.(i));
+          if hidden_pre.(i) > 0.0 then begin
+            let dh = dout *. w2.(i) in
+            grads.((h * k) + i) <- grads.((h * k) + i) +. dh;
+            let base = i * k in
+            for f = 0 to k - 1 do
+              if x.(f) then grads.(base + f) <- grads.(base + f) +. dh
+            done
+          end
+        done
+      done;
+      pack ();
+      adam_step st ~lr:params.learning_rate theta grads;
+      unpack ();
+      idx := batch_end
+    done
+  done;
+  { w1; b1; w2; b2 = !b2 }
+
+let probability t features =
+  let h = Array.length t.w1 in
+  let acc_out = ref t.b2 in
+  for i = 0 to h - 1 do
+    let acc = ref t.b1.(i) in
+    let row = t.w1.(i) in
+    Array.iteri (fun f v -> if v then acc := !acc +. row.(f)) features;
+    let a = Float.max 0.0 !acc in
+    acc_out := !acc_out +. (t.w2.(i) *. a)
+  done;
+  sigmoid !acc_out
+
+let predict t features = probability t features > 0.5

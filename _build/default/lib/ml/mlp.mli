@@ -1,0 +1,20 @@
+(** Multi-layer perceptron: one ReLU hidden layer, sigmoid output,
+    trained with Adam on the logistic loss. *)
+
+open Mcml_logic
+
+type t
+
+type params = {
+  hidden : int;
+  epochs : int;
+  batch : int;
+  learning_rate : float;
+}
+
+val default_params : params
+(** 64 hidden units, 40 epochs, batch 32, α = 5e-3. *)
+
+val train : ?params:params -> rng:Splitmix.t -> Dataset.t -> t
+val predict : t -> bool array -> bool
+val probability : t -> bool array -> float

@@ -1,0 +1,16 @@
+(** Random forests: bagged CART trees with per-split feature
+    subsampling (√k features), majority vote. *)
+
+open Mcml_logic
+
+type t
+
+type params = { n_trees : int; max_depth : int option }
+
+val default_params : params
+(** 100 trees, unbounded depth — scikit-learn's defaults (the
+    experiment configs scale [n_trees] down for runtime). *)
+
+val train : ?params:params -> rng:Splitmix.t -> Dataset.t -> t
+val predict : t -> bool array -> bool
+val trees : t -> Decision_tree.t list

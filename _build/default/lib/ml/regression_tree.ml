@@ -1,0 +1,66 @@
+type node = Leaf of float | Split of { feature : int; if_false : node; if_true : node }
+type t = { root : node }
+
+let mean targets indices =
+  match indices with
+  | [] -> 0.0
+  | _ ->
+      List.fold_left (fun acc i -> acc +. targets.(i)) 0.0 indices
+      /. float_of_int (List.length indices)
+
+let sse targets indices =
+  let m = mean targets indices in
+  List.fold_left (fun acc i -> acc +. ((targets.(i) -. m) ** 2.0)) 0.0 indices
+
+let train ~max_depth ~min_samples_split (ds : Dataset.t) ~targets =
+  if Array.length targets <> Dataset.size ds then
+    invalid_arg "Regression_tree.train: targets length";
+  let rec grow indices depth =
+    let here = sse targets indices in
+    if
+      depth >= max_depth
+      || List.length indices < min_samples_split
+      || here = 0.0
+    then Leaf (mean targets indices)
+    else begin
+      let best = ref None in
+      for f = 0 to ds.Dataset.nfeatures - 1 do
+        let t_idx, f_idx =
+          List.partition (fun i -> ds.Dataset.samples.(i).Dataset.features.(f)) indices
+        in
+        if t_idx <> [] && f_idx <> [] then begin
+          let score = sse targets t_idx +. sse targets f_idx in
+          match !best with
+          | Some (s, _, _, _) when s <= score -> ()
+          | _ -> best := Some (score, f, t_idx, f_idx)
+        end
+      done;
+      match !best with
+      | None -> Leaf (mean targets indices)
+      | Some (score, f, t_idx, f_idx) ->
+          if score >= here then Leaf (mean targets indices)
+          else
+            Split
+              {
+                feature = f;
+                if_true = grow t_idx (depth + 1);
+                if_false = grow f_idx (depth + 1);
+              }
+    end
+  in
+  { root = grow (List.init (Dataset.size ds) (fun i -> i)) 0 }
+
+let predict t features =
+  let rec go = function
+    | Leaf v -> v
+    | Split { feature; if_false; if_true } ->
+        go (if features.(feature) then if_true else if_false)
+  in
+  go t.root
+
+let num_leaves t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Split { if_false; if_true; _ } -> go if_false + go if_true
+  in
+  go t.root

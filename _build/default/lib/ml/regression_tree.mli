@@ -1,0 +1,12 @@
+(** Small regression trees on boolean features (variance-reduction
+    splits, mean leaves) — the base learner of the gradient-boosting
+    classifier. *)
+
+type t
+
+val train :
+  max_depth:int -> min_samples_split:int -> Dataset.t -> targets:float array -> t
+(** Fit to real-valued [targets] (parallel to the dataset's samples). *)
+
+val predict : t -> bool array -> float
+val num_leaves : t -> int

@@ -1,0 +1,1 @@
+lib/props/props.ml: Array Bignat List Mcml_alloy Mcml_logic Option Printf String

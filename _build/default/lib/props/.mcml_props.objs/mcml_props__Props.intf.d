@@ -1,0 +1,1 @@
+lib/props/props.mli: Bignat Mcml_alloy Mcml_logic

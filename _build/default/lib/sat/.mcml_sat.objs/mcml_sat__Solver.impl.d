@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Cnf Float List Lit Mcml_logic Vec

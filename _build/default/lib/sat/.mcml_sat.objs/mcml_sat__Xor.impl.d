@@ -1,0 +1,1 @@
+lib/sat/xor.ml: Array List Lit Mcml_logic Solver

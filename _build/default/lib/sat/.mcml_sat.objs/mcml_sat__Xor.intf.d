@@ -1,0 +1,1 @@
+lib/sat/xor.mli: Lit Mcml_logic Solver

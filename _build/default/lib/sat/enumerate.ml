@@ -1,0 +1,42 @@
+open Mcml_logic
+
+type outcome = { models : bool array list; complete : bool }
+
+let run ?(limit = max_int) ?(on_model = fun _ -> ()) (cnf : Cnf.t) =
+  let projection = Cnf.projection_vars cnf in
+  let s = Solver.of_cnf cnf in
+  let models = ref [] in
+  let n = ref 0 in
+  let complete = ref false in
+  let continue = ref true in
+  while !continue do
+    if !n >= limit then begin
+      continue := false
+    end
+    else
+      match Solver.solve s with
+      | Solver.Sat ->
+          let m = Array.map (fun v -> Solver.model_value s v) projection in
+          models := m :: !models;
+          incr n;
+          on_model m;
+          (* block this projected assignment *)
+          let blocking =
+            Array.to_list
+              (Array.mapi (fun i v -> Lit.make v (not m.(i))) projection)
+          in
+          Solver.add_clause s blocking
+      | Solver.Unsat ->
+          complete := true;
+          continue := false
+      | Solver.Unknown -> continue := false
+  done;
+  { models = !models; complete = !complete }
+
+let count ?limit cnf =
+  let n = ref 0 in
+  let outcome =
+    run ?limit ~on_model:(fun _ -> incr n) cnf
+  in
+  ignore outcome.models;
+  (!n, outcome.complete)

@@ -1,0 +1,25 @@
+(** All-solutions enumeration over a projection set.
+
+    This is how the Alloy-analyzer substrate produces the
+    bounded-exhaustive positive sample sets of the study: solve, block
+    the projection of the model with a fresh clause, repeat until
+    unsatisfiable.  Every distinct valuation of the projection
+    variables is produced exactly once. *)
+
+open Mcml_logic
+
+type outcome = {
+  models : bool array list;
+      (** each model restricted to the projection set, in the order of
+          [Cnf.projection_vars]; most recent first *)
+  complete : bool;  (** [false] iff [limit] stopped the enumeration *)
+}
+
+val run : ?limit:int -> ?on_model:(bool array -> unit) -> Cnf.t -> outcome
+(** [run cnf] enumerates all models of [cnf] projected onto its
+    projection set.  [limit] bounds the number of models (default:
+    unlimited); [on_model] is called on each model as it is found. *)
+
+val count : ?limit:int -> Cnf.t -> int * bool
+(** Number of projected models (and whether enumeration completed)
+    without retaining them. *)

@@ -1,0 +1,534 @@
+open Mcml_logic
+
+type result = Sat | Unsat | Unknown
+
+type clause = {
+  lits : Lit.t array; (* watched literals live at positions 0 and 1 *)
+  mutable activity : float;
+  mutable mark : bool; (* scratch flag used by reduce_db *)
+  learnt : bool;
+}
+
+let dummy_clause = { lits = [||]; activity = 0.0; mark = false; learnt = false }
+
+type t = {
+  mutable nvars : int;
+  mutable ok : bool; (* false once root-level unsatisfiability is detected *)
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable watches : clause Vec.t array; (* indexed by Lit.to_index *)
+  mutable assign : int array; (* var -> -1 unassigned / 0 false / 1 true *)
+  mutable level : int array; (* var -> decision level *)
+  mutable reason : clause array; (* var -> antecedent (dummy_clause if none) *)
+  mutable activity : float array; (* var -> VSIDS activity *)
+  mutable polarity : bool array; (* var -> saved phase *)
+  mutable seen : bool array; (* var -> scratch for conflict analysis *)
+  mutable heap : int array; (* binary max-heap of vars by activity *)
+  mutable heap_size : int;
+  mutable heap_pos : int array; (* var -> index in heap, or -1 *)
+  trail : int Vec.t; (* literals in assignment order, as Lit.to_index *)
+  trail_lim : int Vec.t; (* trail size at each decision level *)
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable model_snapshot : bool array;
+}
+
+let var_decay = 1.0 /. 0.95
+let clause_decay = 1.0 /. 0.999
+
+let create_raw ?(nvars = 0) () =
+  let cap = max 16 (nvars + 1) in
+  let s =
+    {
+      nvars = 0;
+      ok = true;
+      clauses = Vec.create ~dummy:dummy_clause ();
+      learnts = Vec.create ~dummy:dummy_clause ();
+      watches = Array.init (2 * cap) (fun _ -> Vec.create ~dummy:dummy_clause ());
+      assign = Array.make cap (-1);
+      level = Array.make cap 0;
+      reason = Array.make cap dummy_clause;
+      activity = Array.make cap 0.0;
+      polarity = Array.make cap false;
+      seen = Array.make cap false;
+      heap = Array.make cap 0;
+      heap_size = 0;
+      heap_pos = Array.make cap (-1);
+      trail = Vec.create ~dummy:0 ();
+      trail_lim = Vec.create ~dummy:0 ();
+      qhead = 0;
+      var_inc = 1.0;
+      cla_inc = 1.0;
+      conflicts = 0;
+      decisions = 0;
+      propagations = 0;
+      model_snapshot = [||];
+    }
+  in
+  s
+
+let ensure_capacity s v =
+  let cap = Array.length s.assign in
+  if v >= cap then begin
+    let ncap = max (2 * cap) (v + 1) in
+    let grow_arr a default =
+      let b = Array.make ncap default in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    s.assign <- grow_arr s.assign (-1);
+    s.level <- grow_arr s.level 0;
+    s.reason <- grow_arr s.reason dummy_clause;
+    s.activity <- grow_arr s.activity 0.0;
+    s.polarity <- grow_arr s.polarity false;
+    s.seen <- grow_arr s.seen false;
+    s.heap <- grow_arr s.heap 0;
+    s.heap_pos <- grow_arr s.heap_pos (-1);
+    let nw = Array.init (2 * ncap) (fun _ -> Vec.create ~dummy:dummy_clause ()) in
+    Array.blit s.watches 0 nw 0 (Array.length s.watches);
+    s.watches <- nw
+  end
+
+(* --- activity heap -------------------------------------------------- *)
+
+let heap_lt s a b = s.activity.(a) > s.activity.(b)
+
+let heap_swap s i j =
+  let vi = s.heap.(i) and vj = s.heap.(j) in
+  s.heap.(i) <- vj;
+  s.heap.(j) <- vi;
+  s.heap_pos.(vj) <- i;
+  s.heap_pos.(vi) <- j
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_lt s s.heap.(i) s.heap.(p) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && heap_lt s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_size && heap_lt s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) = -1 then begin
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    heap_up s s.heap_pos.(v)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_size > 0 then begin
+    let last = s.heap.(s.heap_size) in
+    s.heap.(0) <- last;
+    s.heap_pos.(last) <- 0;
+    heap_down s 0
+  end;
+  v
+
+let heap_update s v = if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* --- state helpers --------------------------------------------------- *)
+
+let new_var s =
+  let v = s.nvars + 1 in
+  s.nvars <- v;
+  ensure_capacity s v;
+  heap_insert s v;
+  v
+
+let nvars s = s.nvars
+
+let create ?(nvars = 0) () =
+  let s = create_raw ~nvars () in
+  for _ = 1 to nvars do
+    ignore (new_var s)
+  done;
+  s
+
+let value_lit s (l : Lit.t) =
+  let a = s.assign.(Lit.var l) in
+  if a = -1 then -1 else if Lit.sign l then a else 1 - a
+
+let decision_level s = Vec.size s.trail_lim
+
+let enqueue s (l : Lit.t) (from : clause) =
+  let v = Lit.var l in
+  s.assign.(v) <- (if Lit.sign l then 1 else 0);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- from;
+  Vec.push s.trail (Lit.to_index l)
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 1 to s.nvars do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_update s v
+
+let cla_bump s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+      Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let watch s (l : Lit.t) c = Vec.push s.watches.(Lit.to_index l) c
+
+(* --- propagation ----------------------------------------------------- *)
+
+exception Conflict of clause
+
+let propagate s : clause option =
+  let confl = ref None in
+  (try
+     while s.qhead < Vec.size s.trail do
+       let p_idx = Vec.get s.trail s.qhead in
+       s.qhead <- s.qhead + 1;
+       s.propagations <- s.propagations + 1;
+       let p = Lit.of_index p_idx in
+       let np = Lit.neg p in
+       (* clauses watching np must find a new home or propagate *)
+       let ws = s.watches.(Lit.to_index np) in
+       let n = Vec.size ws in
+       let keep = ref 0 in
+       let i = ref 0 in
+       (try
+          while !i < n do
+            let c = Vec.get ws !i in
+            incr i;
+            let lits = c.lits in
+            (* ensure the falsified watch is at position 1 *)
+            if Lit.equal lits.(0) np then begin
+              lits.(0) <- lits.(1);
+              lits.(1) <- np
+            end;
+            let first = lits.(0) in
+            if value_lit s first = 1 then begin
+              (* clause satisfied; keep the watch *)
+              Vec.set ws !keep c;
+              incr keep
+            end
+            else begin
+              (* look for a new watch among the tail literals *)
+              let len = Array.length lits in
+              let found = ref false in
+              let k = ref 2 in
+              while (not !found) && !k < len do
+                if value_lit s lits.(!k) <> 0 then begin
+                  lits.(1) <- lits.(!k);
+                  lits.(!k) <- np;
+                  watch s lits.(1) c;
+                  found := true
+                end;
+                incr k
+              done;
+              if not !found then begin
+                (* unit or conflicting *)
+                Vec.set ws !keep c;
+                incr keep;
+                if value_lit s first = 0 then begin
+                  while !i < n do
+                    Vec.set ws !keep (Vec.get ws !i);
+                    incr keep;
+                    incr i
+                  done;
+                  raise (Conflict c)
+                end
+                else enqueue s first c
+              end
+            end
+          done;
+          Vec.shrink ws !keep
+        with Conflict c ->
+          Vec.shrink ws !keep;
+          raise (Conflict c))
+     done
+   with Conflict c ->
+     s.qhead <- Vec.size s.trail;
+     confl := Some c);
+  !confl
+
+(* --- backtracking ---------------------------------------------------- *)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Lit.of_index (Vec.get s.trail i) in
+      let v = Lit.var l in
+      s.polarity.(v) <- s.assign.(v) = 1;
+      s.assign.(v) <- -1;
+      s.reason.(v) <- dummy_clause;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- Vec.size s.trail
+  end
+
+(* --- conflict analysis (first UIP) ----------------------------------- *)
+
+let analyze s (confl : clause) : Lit.t list * int =
+  let learnt = ref [] in
+  let path = ref 0 in
+  let p = ref None in
+  (* None until the first expansion *)
+  let confl = ref confl in
+  let index = ref (Vec.size s.trail - 1) in
+  let uip = ref (Lit.pos 1) in
+  let continue = ref true in
+  while !continue do
+    let c = !confl in
+    if c.learnt then cla_bump s c;
+    let start = match !p with None -> 0 | Some _ -> 1 in
+    for j = start to Array.length c.lits - 1 do
+      let q = c.lits.(j) in
+      let v = Lit.var q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        var_bump s v;
+        if s.level.(v) >= decision_level s then incr path
+        else learnt := q :: !learnt
+      end
+    done;
+    (* next literal to expand: most recent seen literal on the trail *)
+    let rec next_seen i =
+      let l = Lit.of_index (Vec.get s.trail i) in
+      if s.seen.(Lit.var l) then (i, l) else next_seen (i - 1)
+    in
+    let i, l = next_seen !index in
+    index := i - 1;
+    let v = Lit.var l in
+    s.seen.(v) <- false;
+    decr path;
+    if !path = 0 then begin
+      uip := Lit.neg l;
+      continue := false
+    end
+    else begin
+      p := Some l;
+      confl := s.reason.(v)
+    end
+  done;
+  let blevel =
+    List.fold_left (fun acc q -> max acc s.level.(Lit.var q)) 0 !learnt
+  in
+  List.iter (fun q -> s.seen.(Lit.var q) <- false) !learnt;
+  (!uip :: !learnt, blevel)
+
+(* --- clause attachment ----------------------------------------------- *)
+
+let attach_clause s c =
+  watch s c.lits.(0) c;
+  watch s c.lits.(1) c
+
+let add_clause s (lits : Lit.t list) =
+  if s.ok then begin
+    cancel_until s 0;
+    List.iter
+      (fun l ->
+        if Lit.var l > s.nvars then invalid_arg "Solver.add_clause: unknown variable")
+      lits;
+    let lits = List.sort_uniq Lit.compare lits in
+    let tautological =
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+            (Lit.var a = Lit.var b && Lit.sign a <> Lit.sign b) || go rest
+        | _ -> false
+      in
+      go lits
+    in
+    if not tautological then begin
+      let satisfied = List.exists (fun l -> value_lit s l = 1) lits in
+      if not satisfied then begin
+        let lits = List.filter (fun l -> value_lit s l <> 0) lits in
+        match lits with
+        | [] -> s.ok <- false
+        | [ l ] -> (
+            enqueue s l dummy_clause;
+            match propagate s with Some _ -> s.ok <- false | None -> ())
+        | _ ->
+            let c =
+              { lits = Array.of_list lits; activity = 0.0; mark = false; learnt = false }
+            in
+            Vec.push s.clauses c;
+            attach_clause s c
+      end
+    end
+  end
+
+let add_learnt s (lits : Lit.t list) =
+  match lits with
+  | [] -> s.ok <- false
+  | [ l ] -> (
+      enqueue s l dummy_clause;
+      match propagate s with Some _ -> s.ok <- false | None -> ())
+  | first :: _ ->
+      let arr = Array.of_list lits in
+      (* the second watch must be a literal from the backtrack level *)
+      let best = ref 1 in
+      for j = 2 to Array.length arr - 1 do
+        if s.level.(Lit.var arr.(j)) > s.level.(Lit.var arr.(!best)) then best := j
+      done;
+      let tmp = arr.(1) in
+      arr.(1) <- arr.(!best);
+      arr.(!best) <- tmp;
+      let c = { lits = arr; activity = 0.0; mark = false; learnt = true } in
+      Vec.push s.learnts c;
+      attach_clause s c;
+      cla_bump s c;
+      enqueue s first c
+
+(* --- learnt DB reduction ---------------------------------------------- *)
+
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  let v = Lit.var c.lits.(0) in
+  s.assign.(v) <> -1 && s.reason.(v) == c
+
+let reduce_db s =
+  let learnts = Vec.to_list s.learnts in
+  let sorted = List.sort (fun (a : clause) (b : clause) -> Float.compare a.activity b.activity) learnts in
+  let n = List.length sorted in
+  List.iteri
+    (fun i c ->
+      if i < n / 2 && (not (locked s c)) && Array.length c.lits > 2 then c.mark <- true)
+    sorted;
+  Array.iter
+    (fun ws ->
+      let kept = Vec.to_list ws |> List.filter (fun c -> not c.mark) in
+      Vec.clear ws;
+      List.iter (Vec.push ws) kept)
+    s.watches;
+  let kept = List.filter (fun c -> not c.mark) learnts in
+  Vec.clear s.learnts;
+  List.iter (Vec.push s.learnts) kept
+
+(* --- search ------------------------------------------------------------ *)
+
+let pick_branch_var s =
+  let rec go () =
+    if s.heap_size = 0 then 0
+    else begin
+      let v = heap_pop s in
+      if s.assign.(v) = -1 then v else go ()
+    end
+  in
+  go ()
+
+(* Standard Luby sequence: 1 1 2 1 1 2 4 ... *)
+let luby y x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  Float.pow y (float_of_int !seq)
+
+exception Done of result
+
+(* Run until SAT, UNSAT, restart-budget exhaustion (returns Unknown with
+   state reset to the root level) or global conflict budget exhaustion. *)
+let search s ~max_conflicts ~restart_budget : result =
+  let remaining = ref restart_budget in
+  try
+    while true do
+      (match propagate s with
+      | Some confl ->
+          s.conflicts <- s.conflicts + 1;
+          if decision_level s = 0 then begin
+            s.ok <- false;
+            raise (Done Unsat)
+          end;
+          let lits, blevel = analyze s confl in
+          cancel_until s blevel;
+          add_learnt s lits;
+          if not s.ok then raise (Done Unsat);
+          s.var_inc <- s.var_inc *. var_decay;
+          s.cla_inc <- s.cla_inc *. clause_decay;
+          decr remaining;
+          if max_conflicts > 0 && s.conflicts >= max_conflicts then begin
+            cancel_until s 0;
+            raise (Done Unknown)
+          end;
+          if !remaining <= 0 then begin
+            cancel_until s 0;
+            raise (Done Unknown)
+          end
+      | None ->
+          if Vec.size s.learnts >= max 4000 (Vec.size s.clauses / 2) then reduce_db s;
+          let v = pick_branch_var s in
+          if v = 0 then raise (Done Sat)
+          else begin
+            s.decisions <- s.decisions + 1;
+            Vec.push s.trail_lim (Vec.size s.trail);
+            enqueue s (Lit.make v s.polarity.(v)) dummy_clause
+          end)
+    done;
+    assert false
+  with Done r -> r
+
+let solve ?(max_conflicts = 0) s =
+  if not s.ok then Unsat
+  else begin
+    cancel_until s 0;
+    let rec loop round =
+      let budget = int_of_float (100.0 *. luby 2.0 round) in
+      match search s ~max_conflicts ~restart_budget:budget with
+      | Sat ->
+          s.model_snapshot <-
+            Array.init (s.nvars + 1) (fun v -> v >= 1 && s.assign.(v) = 1);
+          cancel_until s 0;
+          Sat
+      | Unsat -> Unsat
+      | Unknown ->
+          if max_conflicts > 0 && s.conflicts >= max_conflicts then Unknown
+          else loop (round + 1)
+    in
+    loop 0
+  end
+
+let model_value s v =
+  if v < 1 || v > s.nvars then invalid_arg "Solver.model_value";
+  v < Array.length s.model_snapshot && s.model_snapshot.(v)
+
+let model s = Array.copy s.model_snapshot
+let num_conflicts s = s.conflicts
+let num_decisions s = s.decisions
+let num_propagations s = s.propagations
+
+let of_cnf (cnf : Cnf.t) =
+  let s = create () in
+  for _ = 1 to cnf.Cnf.nvars do
+    ignore (new_var s)
+  done;
+  Array.iter (fun c -> add_clause s (Array.to_list c)) cnf.Cnf.clauses;
+  s

@@ -1,0 +1,45 @@
+(** A CDCL SAT solver.
+
+    This is the SAT backend that stands in for MiniSat in the paper's
+    toolchain: conflict-driven clause learning with two-watched-literal
+    propagation, first-UIP learning, exponential VSIDS variable
+    activities, phase saving, Luby restarts and activity-based deletion
+    of learnt clauses.  The solver is used (a) by the Alloy analyzer
+    substrate to enumerate all solutions of a relational spec within a
+    scope, and (b) by the approximate model counter for bounded
+    counting under XOR hash constraints. *)
+
+open Mcml_logic
+
+type t
+
+type result = Sat | Unsat | Unknown  (** [Unknown]: conflict budget exhausted *)
+
+val create : ?nvars:int -> unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable (variables are [1..nvars]). *)
+
+val nvars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a problem clause.  May be called between [solve] calls (the
+    solver backtracks to the root level first); adding an empty clause
+    (or a clause falsified at the root) makes the instance trivially
+    unsatisfiable. *)
+
+val solve : ?max_conflicts:int -> t -> result
+
+val model_value : t -> int -> bool
+(** [model_value s v] is the value of variable [v] in the last model.
+    Only meaningful right after [solve] returned [Sat]. *)
+
+val model : t -> bool array
+(** Snapshot of the full model, indexed by variable (slot 0 unused). *)
+
+val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int
+
+val of_cnf : Cnf.t -> t
+(** Fresh solver preloaded with the clauses of a CNF. *)

@@ -1,0 +1,19 @@
+(** CNF encoding of XOR (parity) constraints.
+
+    The approximate model counter partitions the solution space with
+    random parity constraints over the sampling set.  Long XORs are cut
+    into short chunks chained through fresh auxiliary variables; each
+    chunk is encoded by the [2{^k-1}] clauses that forbid the
+    wrong-parity assignments.  Auxiliaries are functionally determined,
+    so the encoding preserves projected model counts. *)
+
+open Mcml_logic
+
+val add_to_solver : Solver.t -> vars:int list -> rhs:bool -> unit
+(** [add_to_solver s ~vars ~rhs] asserts [x1 xor ... xor xk = rhs].
+    An empty [vars] with [rhs = true] makes the instance unsatisfiable. *)
+
+val clauses_of : fresh:(unit -> int) -> vars:int list -> rhs:bool -> Lit.t list list
+(** Pure variant: returns the clauses, calling [fresh] for chain
+    variables. *)
+

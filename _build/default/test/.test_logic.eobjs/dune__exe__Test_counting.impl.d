@@ -1,0 +1,1 @@
+test/test_counting.ml: Alcotest Approx Array Bignat Brute Cnf Counter Dpll Exact Float Int List Lit Mcml_alloy Mcml_counting Mcml_logic Mcml_props Metamorphic Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Bignat Cnf Dimacs Formula Int List Lit Mcml_counting Mcml_logic QCheck2 QCheck_alcotest Splitmix Tseitin

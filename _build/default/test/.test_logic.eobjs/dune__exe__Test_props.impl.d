@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Bignat List Mcml_alloy Mcml_counting Mcml_logic Mcml_props Printf Props QCheck2 QCheck_alcotest Splitmix

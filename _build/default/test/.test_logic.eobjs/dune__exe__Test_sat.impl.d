@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Cnf Enumerate List Lit Mcml_logic Mcml_sat Printf QCheck2 QCheck_alcotest Solver Stdlib String Vec Xor

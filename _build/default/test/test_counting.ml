@@ -1,0 +1,235 @@
+(* Tests for the model counters: brute-force reference, exact projected
+   counting, and the XOR-hashing approximate counter. *)
+
+open Mcml_logic
+open Mcml_counting
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let projected_cnf_gen =
+  let open QCheck2.Gen in
+  let* nvars = int_range 2 12 in
+  let* nclauses = int_range 0 35 in
+  let* raw =
+    list_size (return nclauses)
+      (list_size (int_range 1 3) (pair (int_range 1 nvars) bool))
+  in
+  let* proj_mask = int_range 1 ((1 lsl nvars) - 1) in
+  let clauses =
+    List.map (fun lits -> Array.of_list (List.map (fun (v, s) -> Lit.make v s) lits)) raw
+  in
+  let projection =
+    List.init nvars (fun i -> i + 1)
+    |> List.filter (fun v -> proj_mask land (1 lsl (v - 1)) <> 0)
+    |> Array.of_list
+  in
+  return (Cnf.make ~projection ~nvars clauses)
+
+(* --- dpll ------------------------------------------------------------------- *)
+
+let dpll_basics () =
+  check Alcotest.bool "empty set sat" true (Dpll.sat []);
+  check Alcotest.bool "empty clause unsat" false (Dpll.sat [ [||] ]);
+  check Alcotest.bool "unit chain" true
+    (Dpll.sat [ [| Lit.pos 1 |]; [| Lit.neg_of_var 1; Lit.pos 2 |] ]);
+  check Alcotest.bool "contradiction" false
+    (Dpll.sat [ [| Lit.pos 1 |]; [| Lit.neg_of_var 1 |] ])
+
+let dpll_restrict () =
+  let cs = [ [| Lit.pos 1; Lit.pos 2 |]; [| Lit.neg_of_var 1 |] ] in
+  (match Dpll.restrict cs (Lit.pos 1) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "restricting against a unit must conflict");
+  match Dpll.restrict cs (Lit.neg_of_var 1) with
+  | Some [ c ] -> check Alcotest.int "simplified clause" 1 (Array.length c)
+  | _ -> Alcotest.fail "expected one residual clause"
+
+let dpll_bcp_track () =
+  let cs = [ [| Lit.pos 1 |]; [| Lit.neg_of_var 1; Lit.pos 2 |] ] in
+  match Dpll.bcp_track cs with
+  | Some (residual, assigned) ->
+      check Alcotest.int "all clauses resolved" 0 (List.length residual);
+      check Alcotest.(list int) "assigned vars" [ 1; 2 ] (List.sort Int.compare assigned)
+  | None -> Alcotest.fail "no conflict expected"
+
+(* --- exact ------------------------------------------------------------------- *)
+
+let exact_matches_brute =
+  qtest ~count:400 "exact projected count = brute force" projected_cnf_gen (fun cnf ->
+      Bignat.equal (Exact.count cnf) (Brute.count cnf))
+
+let exact_free_space () =
+  let cnf = Cnf.make ~nvars:40 [] in
+  check Alcotest.string "2^40" (Bignat.to_string (Bignat.pow2 40))
+    (Bignat.to_string (Exact.count cnf));
+  let cnf = Cnf.make ~projection:[| 1; 2; 3 |] ~nvars:40 [] in
+  check Alcotest.string "projected free space" "8" (Bignat.to_string (Exact.count cnf))
+
+let exact_unsat () =
+  let cnf = Cnf.make ~nvars:3 [ [| Lit.pos 1 |]; [| Lit.neg_of_var 1 |] ] in
+  check Alcotest.string "unsat = 0" "0" (Bignat.to_string (Exact.count cnf));
+  let cnf = Cnf.make ~nvars:3 [ [||] ] in
+  check Alcotest.string "empty clause = 0" "0" (Bignat.to_string (Exact.count cnf))
+
+let exact_components () =
+  (* two independent constraints multiply: (x1) and (x3 | x4) over 4 vars:
+     1 * 3 * 2^1 free (x2) = 6 *)
+  let cnf = Cnf.make ~nvars:4 [ [| Lit.pos 1 |]; [| Lit.pos 3; Lit.pos 4 |] ] in
+  check Alcotest.string "component product" "6" (Bignat.to_string (Exact.count cnf))
+
+let exact_aux_determined () =
+  (* aux var 3 defined as x1 & x2 via iff clauses; projecting on 1,2
+     counts 4; unprojected counts 4 as well (aux determined) *)
+  let clauses =
+    [
+      [| Lit.neg_of_var 3; Lit.pos 1 |];
+      [| Lit.neg_of_var 3; Lit.pos 2 |];
+      [| Lit.pos 3; Lit.neg_of_var 1; Lit.neg_of_var 2 |];
+    ]
+  in
+  let proj = Cnf.make ~projection:[| 1; 2 |] ~nvars:3 clauses in
+  check Alcotest.string "projected" "4" (Bignat.to_string (Exact.count proj));
+  let full = Cnf.make ~nvars:3 clauses in
+  check Alcotest.string "full" "4" (Bignat.to_string (Exact.count full))
+
+let exact_timeout () =
+  (* the negated PreOrder formula under symmetry breaking at scope 5 is
+     a known multi-second instance; a 50 ms budget must time out *)
+  let analyzer = Mcml_props.Props.analyzer ~scope:5 in
+  let cnf =
+    Mcml_alloy.Analyzer.cnf ~negate:true ~symmetry:true analyzer ~pred:"PreOrder"
+  in
+  check Alcotest.bool "times out" true (Exact.count_opt ~budget:0.05 cnf = None)
+
+(* --- approx ------------------------------------------------------------------- *)
+
+let approx_exact_below_pivot =
+  (* when the solution count is at most the pivot, the "estimate" is the
+     exact enumeration *)
+  qtest ~count:100 "approx is exact below the pivot" projected_cnf_gen (fun cnf ->
+      let brute = Brute.count cnf in
+      match Bignat.to_int_opt brute with
+      | Some n when n <= 50 ->
+          Bignat.equal (Approx.count ~config:Approx.default cnf) brute
+      | _ -> true)
+
+let approx_within_bounds () =
+  (* free space of 2^22 with one clause: count = 3 * 2^20 = 3145728; the
+     (0.8, seeded) estimate must land within the epsilon envelope *)
+  let cnf = Cnf.make ~nvars:22 [ [| Lit.pos 1; Lit.pos 2 |] ] in
+  let truth = 3.0 *. Float.pow 2.0 20.0 in
+  let est =
+    Bignat.to_float
+      (Approx.count ~config:{ Approx.default with Approx.max_rounds = Some 9 } cnf)
+  in
+  let lo = truth /. 1.8 and hi = truth *. 1.8 in
+  if est < lo || est > hi then
+    Alcotest.failf "estimate %.0f outside [%.0f, %.0f]" est lo hi
+
+let approx_deterministic () =
+  let cnf = Cnf.make ~nvars:18 [ [| Lit.pos 1; Lit.pos 2 |] ] in
+  let cfg = { Approx.default with Approx.seed = 42; max_rounds = Some 3 } in
+  let a = Approx.count ~config:cfg cnf in
+  let b = Approx.count ~config:cfg cnf in
+  check Alcotest.string "same seed, same estimate" (Bignat.to_string a) (Bignat.to_string b)
+
+let approx_unsat () =
+  let cnf = Cnf.make ~nvars:5 [ [| Lit.pos 1 |]; [| Lit.neg_of_var 1 |] ] in
+  check Alcotest.string "unsat = 0" "0" (Bignat.to_string (Approx.count cnf))
+
+let approx_pivot_formula () =
+  check Alcotest.int "pivot(0.8)" 50 (2 * int_of_float (ceil (4.92 *. ((1.0 +. (1.0 /. 0.8)) ** 2.0))))
+
+(* --- metamorphic relations ---------------------------------------------------------- *)
+
+let metamorphic_exact =
+  qtest ~count:100 "exact counter satisfies all metamorphic relations" projected_cnf_gen
+    (fun cnf -> Metamorphic.check_all (fun c -> Exact.count c) cnf)
+
+let metamorphic_brute =
+  qtest ~count:60 "brute counter satisfies all metamorphic relations" projected_cnf_gen
+    (fun cnf ->
+      if Array.length (Cnf.projection_vars cnf) <= 10 && cnf.Cnf.nvars <= 10 then
+        Metamorphic.check_all ~rounds:2 (fun c -> Brute.count c) cnf
+      else true)
+
+let metamorphic_detects_broken_counter () =
+  (* a counter that is off by one must violate Shannon expansion *)
+  let broken c = Bignat.add (Exact.count c) Bignat.one in
+  let cnf = Cnf.make ~nvars:4 [ [| Lit.pos 1; Lit.pos 2 |] ] in
+  check Alcotest.bool "broken counter caught" false (Metamorphic.shannon broken cnf ~var:1)
+
+let metamorphic_rejects_bad_args () =
+  let cnf = Cnf.make ~projection:[| 1 |] ~nvars:3 [ [| Lit.pos 1 |] ] in
+  Alcotest.check_raises "non-projected variable"
+    (Invalid_argument "Metamorphic.shannon: variable not in the projection set")
+    (fun () -> ignore (Metamorphic.shannon (fun c -> Exact.count c) cnf ~var:2));
+  Alcotest.check_raises "bad permutation"
+    (Invalid_argument "Metamorphic.renaming_invariant: not a permutation")
+    (fun () ->
+      ignore
+        (Metamorphic.renaming_invariant (fun c -> Exact.count c) cnf ~perm:[| 0; 1; 1; 3 |]))
+
+(* --- counter dispatch ------------------------------------------------------------ *)
+
+let counter_dispatch () =
+  let cnf = Cnf.make ~nvars:4 [ [| Lit.pos 1 |] ] in
+  List.iter
+    (fun backend ->
+      match Counter.count ~backend cnf with
+      | Some o ->
+          check Alcotest.string
+            (Counter.name backend ^ " count")
+            "8"
+            (Bignat.to_string o.Counter.count);
+          check Alcotest.bool "time recorded" true (o.Counter.time >= 0.0)
+      | None -> Alcotest.fail "unexpected timeout")
+    [ Counter.Exact; Counter.Brute; Counter.Approx Approx.default ]
+
+let counter_exactness_flag () =
+  let cnf = Cnf.make ~nvars:2 [] in
+  let o = Option.get (Counter.count ~backend:Counter.Exact cnf) in
+  check Alcotest.bool "exact flag" true o.Counter.exact;
+  let o = Option.get (Counter.count ~backend:(Counter.Approx Approx.default) cnf) in
+  check Alcotest.bool "approx flag" false o.Counter.exact
+
+let () =
+  Alcotest.run "counting"
+    [
+      ( "dpll",
+        [
+          Alcotest.test_case "basics" `Quick dpll_basics;
+          Alcotest.test_case "restrict" `Quick dpll_restrict;
+          Alcotest.test_case "bcp tracking" `Quick dpll_bcp_track;
+        ] );
+      ( "exact",
+        [
+          exact_matches_brute;
+          Alcotest.test_case "free space" `Quick exact_free_space;
+          Alcotest.test_case "unsat" `Quick exact_unsat;
+          Alcotest.test_case "component product" `Quick exact_components;
+          Alcotest.test_case "determined auxiliaries" `Quick exact_aux_determined;
+          Alcotest.test_case "timeout" `Quick exact_timeout;
+        ] );
+      ( "approx",
+        [
+          approx_exact_below_pivot;
+          Alcotest.test_case "within (seeded) bounds" `Slow approx_within_bounds;
+          Alcotest.test_case "deterministic by seed" `Quick approx_deterministic;
+          Alcotest.test_case "unsat" `Quick approx_unsat;
+          Alcotest.test_case "pivot formula" `Quick approx_pivot_formula;
+        ] );
+      ( "metamorphic",
+        [
+          metamorphic_exact;
+          metamorphic_brute;
+          Alcotest.test_case "detects a broken counter" `Quick metamorphic_detects_broken_counter;
+          Alcotest.test_case "rejects bad arguments" `Quick metamorphic_rejects_bad_args;
+        ] );
+      ( "counter",
+        [
+          Alcotest.test_case "dispatch" `Quick counter_dispatch;
+          Alcotest.test_case "exactness flags" `Quick counter_exactness_flag;
+        ] );
+    ]

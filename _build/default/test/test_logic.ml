@@ -1,0 +1,364 @@
+(* Tests for mcml_logic: Bignat, Lit, Formula, Cnf, Tseitin, Dimacs,
+   Splitmix. *)
+
+open Mcml_logic
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Bignat ------------------------------------------------------------- *)
+
+let bignat_small () =
+  check Alcotest.string "zero" "0" (Bignat.to_string Bignat.zero);
+  check Alcotest.string "one" "1" (Bignat.to_string Bignat.one);
+  check Alcotest.string "12345" "12345" (Bignat.to_string (Bignat.of_int 12345));
+  check Alcotest.bool "is_zero" true (Bignat.is_zero Bignat.zero);
+  check Alcotest.bool "not is_zero" false (Bignat.is_zero Bignat.one)
+
+let bignat_arith_matches_int =
+  qtest "bignat add/mul/sub match int arithmetic"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b) ->
+      let ba = Bignat.of_int a and bb = Bignat.of_int b in
+      Bignat.to_string (Bignat.add ba bb) = string_of_int (a + b)
+      && Bignat.to_string (Bignat.mul ba bb) = string_of_int (a * b)
+      && Bignat.to_string (Bignat.sub ba bb) = string_of_int (max 0 (a - b))
+      && Bignat.compare ba bb = Int.compare a b)
+
+let bignat_pow2 () =
+  check Alcotest.string "2^0" "1" (Bignat.to_string (Bignat.pow2 0));
+  check Alcotest.string "2^10" "1024" (Bignat.to_string (Bignat.pow2 10));
+  check Alcotest.string "2^62" "4611686018427387904" (Bignat.to_string (Bignat.pow2 62));
+  (* 2^100 = 1267650600228229401496703205376 *)
+  check Alcotest.string "2^100" "1267650600228229401496703205376"
+    (Bignat.to_string (Bignat.pow2 100))
+
+let bignat_shift =
+  qtest "shift_left k = * 2^k"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 80))
+    (fun (a, k) ->
+      Bignat.equal
+        (Bignat.shift_left (Bignat.of_int a) k)
+        (Bignat.mul (Bignat.of_int a) (Bignat.pow2 k)))
+
+let bignat_algebra =
+  qtest ~count:150 "bignat ring laws on large values"
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b, c) ->
+      (* build genuinely multi-limb values *)
+      let big x = Bignat.mul (Bignat.of_int x) (Bignat.pow2 40) in
+      let ba = big a and bb = big b and bc = big c in
+      Bignat.equal (Bignat.add ba bb) (Bignat.add bb ba)
+      && Bignat.equal (Bignat.mul ba bb) (Bignat.mul bb ba)
+      && Bignat.equal (Bignat.mul ba (Bignat.add bb bc))
+           (Bignat.add (Bignat.mul ba bb) (Bignat.mul ba bc))
+      && Bignat.equal (Bignat.mul (Bignat.mul ba bb) bc)
+           (Bignat.mul ba (Bignat.mul bb bc))
+      && Bignat.equal (Bignat.add (Bignat.sub (Bignat.add ba bb) bb) Bignat.zero) ba)
+
+let bignat_sub_clamps =
+  qtest "sub clamps at zero" QCheck2.Gen.(pair (int_bound 1000) (int_bound 1000))
+    (fun (a, b) ->
+      let r = Bignat.sub (Bignat.of_int a) (Bignat.of_int b) in
+      if a <= b then Bignat.is_zero r else Bignat.equal r (Bignat.of_int (a - b)))
+
+let bignat_factorial () =
+  (* 30! = 265252859812191058636308480000000, a classic big value *)
+  let rec fact n acc = if n = 0 then acc else fact (n - 1) (Bignat.mul acc (Bignat.of_int n)) in
+  check Alcotest.string "30!" "265252859812191058636308480000000"
+    (Bignat.to_string (fact 30 Bignat.one))
+
+let bignat_to_int_opt () =
+  check Alcotest.(option int) "small" (Some 42) (Bignat.to_int_opt (Bignat.of_int 42));
+  check Alcotest.(option int) "2^61 fits" (Some (1 lsl 61)) (Bignat.to_int_opt (Bignat.pow2 61));
+  check Alcotest.(option int) "2^100 does not" None (Bignat.to_int_opt (Bignat.pow2 100))
+
+let bignat_scientific () =
+  check Alcotest.string "small verbatim" "123456" (Bignat.to_scientific (Bignat.of_int 123456));
+  check Alcotest.string "sci" "1.23E+08" (Bignat.to_scientific (Bignat.of_int 123_456_789))
+
+let bignat_to_float =
+  qtest "to_float accurate for small values" QCheck2.Gen.(int_bound 1_000_000_000)
+    (fun a -> Bignat.to_float (Bignat.of_int a) = float_of_int a)
+
+(* --- Lit ------------------------------------------------------------------ *)
+
+let lit_roundtrips =
+  qtest "lit var/sign/neg/dimacs roundtrips"
+    QCheck2.Gen.(pair (int_range 1 10_000) bool)
+    (fun (v, s) ->
+      let l = Lit.make v s in
+      Lit.var l = v && Lit.sign l = s
+      && Lit.equal (Lit.neg (Lit.neg l)) l
+      && Lit.var (Lit.neg l) = v
+      && Lit.sign (Lit.neg l) = not s
+      && Lit.equal (Lit.of_dimacs (Lit.to_dimacs l)) l
+      && Lit.equal (Lit.of_index (Lit.to_index l)) l)
+
+let lit_errors () =
+  Alcotest.check_raises "var 0" (Invalid_argument "Lit.make: variable must be >= 1")
+    (fun () -> ignore (Lit.make 0 true));
+  Alcotest.check_raises "dimacs 0" (Invalid_argument "Lit.of_dimacs: zero") (fun () ->
+      ignore (Lit.of_dimacs 0))
+
+(* --- Formula ----------------------------------------------------------------- *)
+
+(* a reference, non-normalizing evaluator over a generated shape *)
+type shape =
+  | SVar of int
+  | SNot of shape
+  | SAnd of shape * shape
+  | SOr of shape * shape
+
+let rec shape_gen n =
+  let open QCheck2.Gen in
+  if n = 0 then map (fun v -> SVar (1 + v)) (int_bound 5)
+  else
+    frequency
+      [
+        (1, map (fun v -> SVar (1 + v)) (int_bound 5));
+        (2, map (fun s -> SNot s) (shape_gen (n - 1)));
+        (2, map2 (fun a b -> SAnd (a, b)) (shape_gen (n - 1)) (shape_gen (n - 1)));
+        (2, map2 (fun a b -> SOr (a, b)) (shape_gen (n - 1)) (shape_gen (n - 1)));
+      ]
+
+let rec shape_to_formula = function
+  | SVar v -> Formula.var v
+  | SNot s -> Formula.not_ (shape_to_formula s)
+  | SAnd (a, b) -> Formula.and_ [ shape_to_formula a; shape_to_formula b ]
+  | SOr (a, b) -> Formula.or_ [ shape_to_formula a; shape_to_formula b ]
+
+let rec shape_eval env = function
+  | SVar v -> env v
+  | SNot s -> not (shape_eval env s)
+  | SAnd (a, b) -> shape_eval env a && shape_eval env b
+  | SOr (a, b) -> shape_eval env a || shape_eval env b
+
+let formula_constants () =
+  check Alcotest.bool "and [] = true" true (Formula.is_true (Formula.and_ []));
+  check Alcotest.bool "or [] = false" true (Formula.is_false (Formula.or_ []));
+  check Alcotest.bool "not true = false" true (Formula.is_false (Formula.not_ Formula.tru));
+  let a = Formula.var 1 in
+  check Alcotest.bool "x & !x = false" true
+    (Formula.is_false (Formula.and_ [ a; Formula.not_ a ]));
+  check Alcotest.bool "x | !x = true" true
+    (Formula.is_true (Formula.or_ [ a; Formula.not_ a ]));
+  check Alcotest.bool "iff a a = true" true (Formula.is_true (Formula.iff a a));
+  check Alcotest.bool "xor a a = false" true (Formula.is_false (Formula.xor a a));
+  check Alcotest.bool "implies false x" true
+    (Formula.is_true (Formula.implies Formula.fls a))
+
+let formula_hashcons () =
+  let f1 = Formula.and_ [ Formula.var 1; Formula.var 2 ] in
+  let f2 = Formula.and_ [ Formula.var 2; Formula.var 1 ] in
+  check Alcotest.bool "commutative sharing" true (Formula.equal f1 f2);
+  let g1 = Formula.and_ [ f1; Formula.var 3 ] in
+  let g2 = Formula.and_ [ Formula.var 1; Formula.var 2; Formula.var 3 ] in
+  check Alcotest.bool "flattening" true (Formula.equal g1 g2)
+
+let formula_eval_matches_reference =
+  qtest "smart constructors preserve semantics" (shape_gen 5) (fun s ->
+      let f = shape_to_formula s in
+      let ok = ref true in
+      for mask = 0 to 63 do
+        let env v = mask land (1 lsl (v - 1)) <> 0 in
+        if Formula.eval env f <> shape_eval env s then ok := false
+      done;
+      !ok)
+
+let formula_vars () =
+  let f = Formula.and_ [ Formula.var 3; Formula.or_ [ Formula.var 1; Formula.var 3 ] ] in
+  check Alcotest.(list int) "vars sorted distinct" [ 1; 3 ] (Formula.vars f);
+  check Alcotest.int "max_var" 3 (Formula.max_var f);
+  check Alcotest.int "closed max_var" 0 (Formula.max_var Formula.tru)
+
+let formula_map_vars =
+  qtest "map_vars with negation flips semantics" (shape_gen 4) (fun s ->
+      let f = shape_to_formula s in
+      let g = Formula.map_vars (fun v -> Formula.not_ (Formula.var v)) f in
+      let ok = ref true in
+      for mask = 0 to 63 do
+        let env v = mask land (1 lsl (v - 1)) <> 0 in
+        if Formula.eval env g <> Formula.eval (fun v -> not (env v)) f then ok := false
+      done;
+      !ok)
+
+(* --- Cnf ------------------------------------------------------------------------ *)
+
+let cnf_cleaning () =
+  let c =
+    Cnf.make ~nvars:3
+      [
+        [| Lit.pos 1; Lit.pos 1; Lit.pos 2 |];
+        (* duplicate literal *)
+        [| Lit.pos 3; Lit.neg_of_var 3 |];
+        (* tautology: dropped *)
+      ]
+  in
+  check Alcotest.int "tautology dropped" 1 (Cnf.num_clauses c);
+  check Alcotest.int "duplicate removed" 2 (Cnf.num_literals c)
+
+let cnf_eval () =
+  let c = Cnf.make ~nvars:2 [ [| Lit.pos 1 |]; [| Lit.neg_of_var 2 |] ] in
+  check Alcotest.bool "sat assignment" true (Cnf.eval c [| false; true; false |]);
+  check Alcotest.bool "unsat assignment" false (Cnf.eval c [| false; true; true |])
+
+let cnf_conjoin_renames () =
+  (* a: vars 1..2 shared=1, aux var 2; b: vars 1..3 with aux 2,3 *)
+  let a = Cnf.make ~projection:[| 1 |] ~nvars:2 [ [| Lit.pos 1; Lit.pos 2 |] ] in
+  let b =
+    Cnf.make ~projection:[| 1 |] ~nvars:3 [ [| Lit.neg_of_var 2; Lit.pos 3 |] ]
+  in
+  let c = Cnf.conjoin ~nshared:1 a b in
+  check Alcotest.int "nvars" 4 c.Cnf.nvars;
+  check Alcotest.int "clauses" 2 (Cnf.num_clauses c);
+  (* b's vars 2,3 must have been renamed to 3,4 *)
+  let renamed = c.Cnf.clauses.(1) in
+  check Alcotest.(list int) "renamed clause"
+    [ -3; 4 ]
+    (Array.to_list (Array.map Lit.to_dimacs renamed))
+
+let cnf_bad_var () =
+  Alcotest.check_raises "literal above nvars"
+    (Invalid_argument "Cnf.make: literal over var 5 but nvars = 2") (fun () ->
+      ignore (Cnf.make ~nvars:2 [ [| Lit.pos 5 |] ]))
+
+(* --- Tseitin --------------------------------------------------------------------- *)
+
+let truth_count shape nvars =
+  let f = shape_to_formula shape in
+  let n = ref 0 in
+  for mask = 0 to (1 lsl nvars) - 1 do
+    if Formula.eval (fun v -> mask land (1 lsl (v - 1)) <> 0) f then incr n
+  done;
+  !n
+
+let tseitin_preserves_counts =
+  qtest ~count:150 "projected model count = truth-table count" (shape_gen 5) (fun s ->
+      let nvars = 6 in
+      let cnf = Tseitin.cnf_of ~nprimary:nvars (shape_to_formula s) in
+      let brute = Mcml_counting.Brute.count cnf in
+      Bignat.equal brute (Bignat.of_int (truth_count s nvars)))
+
+let tseitin_constants () =
+  let t = Tseitin.cnf_of ~nprimary:3 Formula.tru in
+  check Alcotest.int "true: no clauses" 0 (Cnf.num_clauses t);
+  check Alcotest.string "true count = 2^3" "8"
+    (Bignat.to_string (Mcml_counting.Brute.count t));
+  let f = Tseitin.cnf_of ~nprimary:3 Formula.fls in
+  check Alcotest.string "false count = 0" "0"
+    (Bignat.to_string (Mcml_counting.Brute.count f))
+
+let tseitin_rejects_foreign_vars () =
+  Alcotest.check_raises "var above nprimary"
+    (Invalid_argument "Tseitin.cnf_of: formula mentions a variable above nprimary")
+    (fun () -> ignore (Tseitin.cnf_of ~nprimary:2 (Formula.var 5)))
+
+(* --- Dimacs ------------------------------------------------------------------------ *)
+
+let dimacs_roundtrip =
+  qtest ~count:100 "print/parse roundtrip"
+    QCheck2.Gen.(
+      pair (int_range 1 8)
+        (list_size (int_range 0 10) (list_size (int_range 1 4) (pair (int_range 1 8) bool))))
+    (fun (nvars, raw) ->
+      let clauses =
+        List.map
+          (fun lits ->
+            Array.of_list (List.map (fun (v, s) -> Lit.make (min v nvars) s) lits))
+          raw
+      in
+      let cnf = Cnf.make ~projection:[| 1 |] ~nvars clauses in
+      let cnf' = Dimacs.parse (Dimacs.to_string cnf) in
+      cnf'.Cnf.nvars = cnf.Cnf.nvars
+      && Cnf.num_clauses cnf' = Cnf.num_clauses cnf
+      && Cnf.projection_vars cnf' = Cnf.projection_vars cnf)
+
+let dimacs_parse_reference () =
+  let cnf = Dimacs.parse "c comment\nc ind 1 2 0\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  check Alcotest.int "nvars" 3 cnf.Cnf.nvars;
+  check Alcotest.int "clauses" 2 (Cnf.num_clauses cnf);
+  check Alcotest.(array int) "projection" [| 1; 2 |] (Cnf.projection_vars cnf)
+
+(* --- Splitmix ------------------------------------------------------------------------ *)
+
+let splitmix_deterministic () =
+  let a = Splitmix.create 7 and b = Splitmix.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Splitmix.next a) (Splitmix.next b)
+  done
+
+let splitmix_bounds =
+  qtest "int g bound in range" QCheck2.Gen.(pair int (int_range 1 1000)) (fun (seed, bound) ->
+      let g = Splitmix.create seed in
+      let x = Splitmix.int g bound in
+      x >= 0 && x < bound)
+
+let splitmix_float_range () =
+  let g = Splitmix.create 3 in
+  for _ = 1 to 1000 do
+    let f = Splitmix.float g in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let splitmix_coverage () =
+  (* every residue mod 8 appears within a reasonable sample *)
+  let g = Splitmix.create 11 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Splitmix.int g 8) <- true
+  done;
+  check Alcotest.bool "all residues hit" true (Array.for_all (fun b -> b) seen)
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "bignat",
+        [
+          Alcotest.test_case "small values" `Quick bignat_small;
+          bignat_arith_matches_int;
+          Alcotest.test_case "powers of two" `Quick bignat_pow2;
+          bignat_shift;
+          bignat_algebra;
+          bignat_sub_clamps;
+          Alcotest.test_case "factorial 30" `Quick bignat_factorial;
+          Alcotest.test_case "to_int_opt" `Quick bignat_to_int_opt;
+          Alcotest.test_case "scientific" `Quick bignat_scientific;
+          bignat_to_float;
+        ] );
+      ( "lit",
+        [ lit_roundtrips; Alcotest.test_case "errors" `Quick lit_errors ] );
+      ( "formula",
+        [
+          Alcotest.test_case "constants and annihilation" `Quick formula_constants;
+          Alcotest.test_case "hash-consing normalizes" `Quick formula_hashcons;
+          formula_eval_matches_reference;
+          Alcotest.test_case "vars" `Quick formula_vars;
+          formula_map_vars;
+        ] );
+      ( "cnf",
+        [
+          Alcotest.test_case "clause cleaning" `Quick cnf_cleaning;
+          Alcotest.test_case "eval" `Quick cnf_eval;
+          Alcotest.test_case "conjoin renames" `Quick cnf_conjoin_renames;
+          Alcotest.test_case "bad var rejected" `Quick cnf_bad_var;
+        ] );
+      ( "tseitin",
+        [
+          tseitin_preserves_counts;
+          Alcotest.test_case "constant roots" `Quick tseitin_constants;
+          Alcotest.test_case "foreign vars rejected" `Quick tseitin_rejects_foreign_vars;
+        ] );
+      ( "dimacs",
+        [
+          dimacs_roundtrip;
+          Alcotest.test_case "reference input" `Quick dimacs_parse_reference;
+        ] );
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick splitmix_deterministic;
+          splitmix_bounds;
+          Alcotest.test_case "float in [0,1)" `Quick splitmix_float_range;
+          Alcotest.test_case "residue coverage" `Quick splitmix_coverage;
+        ] );
+    ]

@@ -1,0 +1,288 @@
+(* Tests for the CDCL solver, solution enumeration, and XOR encoding. *)
+
+open Mcml_logic
+open Mcml_sat
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* random CNF generator shared by several properties *)
+let cnf_gen =
+  let open QCheck2.Gen in
+  let* nvars = int_range 2 10 in
+  let* nclauses = int_range 1 30 in
+  let* raw =
+    list_size (return nclauses)
+      (list_size (int_range 1 3) (pair (int_range 1 nvars) bool))
+  in
+  let clauses =
+    List.map (fun lits -> Array.of_list (List.map (fun (v, s) -> Lit.make v s) lits)) raw
+  in
+  return (Cnf.make ~nvars clauses)
+
+let brute_sat (cnf : Cnf.t) =
+  let n = cnf.Cnf.nvars in
+  let rec go mask = mask < 1 lsl n && (
+    let a = Array.make (n + 1) false in
+    for v = 1 to n do a.(v) <- mask land (1 lsl (v - 1)) <> 0 done;
+    Cnf.eval cnf a || go (mask + 1))
+  in
+  go 0
+
+let brute_count (cnf : Cnf.t) =
+  let n = cnf.Cnf.nvars in
+  let count = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let a = Array.make (n + 1) false in
+    for v = 1 to n do
+      a.(v) <- mask land (1 lsl (v - 1)) <> 0
+    done;
+    if Cnf.eval cnf a then incr count
+  done;
+  !count
+
+(* --- Vec -------------------------------------------------------------------- *)
+
+let vec_basic () =
+  let v = Vec.create ~dummy:(-1) () in
+  check Alcotest.bool "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  check Alcotest.int "size" 100 (Vec.size v);
+  check Alcotest.int "get" 57 (Vec.get v 57);
+  check Alcotest.int "last" 99 (Vec.last v);
+  check Alcotest.int "pop" 99 (Vec.pop v);
+  Vec.shrink v 10;
+  check Alcotest.int "shrunk" 10 (Vec.size v);
+  check Alcotest.(list int) "to_list" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (Vec.to_list v);
+  Vec.clear v;
+  check Alcotest.int "cleared" 0 (Vec.size v)
+
+let vec_errors () =
+  let v = Vec.create ~dummy:0 () in
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 0));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop") (fun () ->
+      ignore (Vec.pop v))
+
+(* --- solver ------------------------------------------------------------------ *)
+
+let solver_decides_like_brute_force =
+  qtest ~count:300 "solve agrees with brute force" cnf_gen (fun cnf ->
+      let s = Solver.of_cnf cnf in
+      (Solver.solve s = Solver.Sat) = brute_sat cnf)
+
+let solver_model_satisfies =
+  qtest ~count:300 "reported model satisfies the formula" cnf_gen (fun cnf ->
+      let s = Solver.of_cnf cnf in
+      match Solver.solve s with
+      | Solver.Sat ->
+          let m = Solver.model s in
+          Cnf.eval cnf m
+      | _ -> true)
+
+let solver_trivia () =
+  let s = Solver.create ~nvars:2 () in
+  check Alcotest.bool "empty problem sat" true (Solver.solve s = Solver.Sat);
+  Solver.add_clause s [];
+  check Alcotest.bool "empty clause unsat" true (Solver.solve s = Solver.Unsat);
+  (* adding more clauses cannot revive it *)
+  Solver.add_clause s [ Lit.pos 1 ];
+  check Alcotest.bool "still unsat" true (Solver.solve s = Solver.Unsat)
+
+let solver_units_and_taut () =
+  let s = Solver.create ~nvars:3 () in
+  Solver.add_clause s [ Lit.pos 1 ];
+  Solver.add_clause s [ Lit.neg_of_var 1; Lit.pos 2 ];
+  Solver.add_clause s [ Lit.pos 3; Lit.neg_of_var 3 ] (* tautology: ignored *);
+  check Alcotest.bool "sat" true (Solver.solve s = Solver.Sat);
+  check Alcotest.bool "v1 forced" true (Solver.model_value s 1);
+  check Alcotest.bool "v2 forced" true (Solver.model_value s 2)
+
+let solver_incremental () =
+  let s = Solver.create ~nvars:2 () in
+  Solver.add_clause s [ Lit.pos 1; Lit.pos 2 ];
+  check Alcotest.bool "sat" true (Solver.solve s = Solver.Sat);
+  Solver.add_clause s [ Lit.neg_of_var 1 ];
+  check Alcotest.bool "still sat" true (Solver.solve s = Solver.Sat);
+  check Alcotest.bool "v2 now true" true (Solver.model_value s 2);
+  Solver.add_clause s [ Lit.neg_of_var 2 ];
+  check Alcotest.bool "now unsat" true (Solver.solve s = Solver.Unsat)
+
+let pigeonhole pigeons holes =
+  let s = Solver.create () in
+  let var = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var s)) in
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> Lit.pos var.(p).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ Lit.neg_of_var var.(p1).(h); Lit.neg_of_var var.(p2).(h) ]
+      done
+    done
+  done;
+  Solver.solve s
+
+let solver_pigeonhole () =
+  check Alcotest.bool "php(4,3) unsat" true (pigeonhole 4 3 = Solver.Unsat);
+  check Alcotest.bool "php(6,5) unsat" true (pigeonhole 6 5 = Solver.Unsat);
+  check Alcotest.bool "php(5,5) sat" true (pigeonhole 5 5 = Solver.Sat)
+
+let solver_conflict_budget () =
+  (* a hard pigeonhole instance with a 1-conflict budget returns Unknown *)
+  let s = Solver.create () in
+  let pigeons = 8 and holes = 7 in
+  let var = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var s)) in
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> Lit.pos var.(p).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ Lit.neg_of_var var.(p1).(h); Lit.neg_of_var var.(p2).(h) ]
+      done
+    done
+  done;
+  check Alcotest.bool "unknown under budget" true
+    (Solver.solve ~max_conflicts:1 s = Solver.Unknown);
+  (* and solvable to completion afterwards *)
+  check Alcotest.bool "unsat without budget" true (Solver.solve s = Solver.Unsat)
+
+let solver_unknown_var () =
+  let s = Solver.create ~nvars:1 () in
+  Alcotest.check_raises "unknown variable"
+    (Invalid_argument "Solver.add_clause: unknown variable") (fun () ->
+      Solver.add_clause s [ Lit.pos 9 ])
+
+let solver_stats () =
+  let s = Solver.create ~nvars:3 () in
+  Solver.add_clause s [ Lit.pos 1; Lit.pos 2 ];
+  ignore (Solver.solve s);
+  check Alcotest.bool "propagations counted" true (Solver.num_propagations s >= 0);
+  check Alcotest.bool "decisions counted" true (Solver.num_decisions s >= 0)
+
+(* --- enumeration -------------------------------------------------------------- *)
+
+let enumeration_count_matches_brute =
+  qtest ~count:300 "enumeration finds exactly the brute-force models" cnf_gen
+    (fun cnf ->
+      let n, complete = Enumerate.count cnf in
+      complete && n = brute_count cnf)
+
+let enumeration_models_distinct_and_valid =
+  qtest ~count:150 "enumerated projections are distinct and satisfiable" cnf_gen
+    (fun cnf ->
+      let outcome = Enumerate.run cnf in
+      let models = outcome.Enumerate.models in
+      let keys =
+        List.map
+          (fun m -> String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list m)))
+          models
+      in
+      List.length (List.sort_uniq Stdlib.compare keys) = List.length keys)
+
+let enumeration_limit () =
+  (* free space over 4 vars: 16 models; limit 5 must stop early *)
+  let cnf = Cnf.make ~nvars:4 [ [| Lit.pos 1; Lit.neg_of_var 1 |] ] in
+  let outcome = Enumerate.run ~limit:5 cnf in
+  check Alcotest.int "limited" 5 (List.length outcome.Enumerate.models);
+  check Alcotest.bool "incomplete" false outcome.Enumerate.complete
+
+let enumeration_projected () =
+  (* x1 xor-free: clauses (1 2)(−1 2): 2 over full space {x2=1}x{x1};
+     projected on var 2 only: a single projected model *)
+  let cnf =
+    Cnf.make ~projection:[| 2 |] ~nvars:2
+      [ [| Lit.pos 1; Lit.pos 2 |]; [| Lit.neg_of_var 1; Lit.pos 2 |] ]
+  in
+  let n, complete = Enumerate.count cnf in
+  check Alcotest.bool "complete" true complete;
+  check Alcotest.int "one projected model" 1 n
+
+(* --- xor ------------------------------------------------------------------------- *)
+
+let xor_model_count k =
+  let s = Solver.create ~nvars:k () in
+  Xor.add_to_solver s ~vars:(List.init k (fun i -> i + 1)) ~rhs:true;
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Solver.solve s with
+    | Solver.Sat ->
+        incr count;
+        Solver.add_clause s
+          (List.init k (fun i -> Lit.make (i + 1) (not (Solver.model_value s (i + 1)))))
+    | _ -> continue := false
+  done;
+  !count
+
+let xor_counts () =
+  (* an odd-parity constraint over k variables has 2^(k-1) solutions *)
+  List.iter
+    (fun k -> check Alcotest.int (Printf.sprintf "xor %d" k) (1 lsl (k - 1)) (xor_model_count k))
+    [ 1; 2; 3; 4; 5; 8; 11 ]
+
+let xor_semantics =
+  qtest ~count:200 "encoded xor accepts exactly the right assignments"
+    QCheck2.Gen.(pair (int_range 1 7) bool)
+    (fun (k, rhs) ->
+      (* enumerate projected models and check parity of each *)
+      let fresh_counter = ref k in
+      let fresh () = incr fresh_counter; !fresh_counter in
+      let clauses = Xor.clauses_of ~fresh ~vars:(List.init k (fun i -> i + 1)) ~rhs in
+      let cnf =
+        Cnf.make ~projection:(Array.init k (fun i -> i + 1)) ~nvars:!fresh_counter
+          (List.map Array.of_list clauses)
+      in
+      let outcome = Enumerate.run cnf in
+      List.for_all
+        (fun m ->
+          let parity = Array.fold_left (fun acc b -> if b then not acc else acc) false m in
+          parity = rhs)
+        outcome.Enumerate.models
+      && List.length outcome.Enumerate.models = if k = 0 then 0 else 1 lsl (k - 1))
+
+let xor_empty () =
+  let s = Solver.create ~nvars:1 () in
+  Xor.add_to_solver s ~vars:[] ~rhs:true;
+  check Alcotest.bool "empty xor = 1 is unsat" true (Solver.solve s = Solver.Unsat);
+  let s2 = Solver.create ~nvars:1 () in
+  Xor.add_to_solver s2 ~vars:[] ~rhs:false;
+  check Alcotest.bool "empty xor = 0 is sat" true (Solver.solve s2 = Solver.Sat)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick vec_basic;
+          Alcotest.test_case "errors" `Quick vec_errors;
+        ] );
+      ( "solver",
+        [
+          solver_decides_like_brute_force;
+          solver_model_satisfies;
+          Alcotest.test_case "trivial cases" `Quick solver_trivia;
+          Alcotest.test_case "units and tautologies" `Quick solver_units_and_taut;
+          Alcotest.test_case "incremental clauses" `Quick solver_incremental;
+          Alcotest.test_case "pigeonhole" `Slow solver_pigeonhole;
+          Alcotest.test_case "conflict budget" `Quick solver_conflict_budget;
+          Alcotest.test_case "unknown variable" `Quick solver_unknown_var;
+          Alcotest.test_case "statistics" `Quick solver_stats;
+        ] );
+      ( "enumerate",
+        [
+          enumeration_count_matches_brute;
+          enumeration_models_distinct_and_valid;
+          Alcotest.test_case "limit" `Quick enumeration_limit;
+          Alcotest.test_case "projection" `Quick enumeration_projected;
+        ] );
+      ( "xor",
+        [
+          Alcotest.test_case "solution counts" `Quick xor_counts;
+          xor_semantics;
+          Alcotest.test_case "empty xor" `Quick xor_empty;
+        ] );
+    ]
