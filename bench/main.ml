@@ -72,7 +72,65 @@ let run_table cfg n =
       banner "Table 9";
       let prop = Props.find_exn "Antisymmetric" in
       Report.class_ratio fmt (Experiments.class_ratio_study cfg ~prop)
-  | n -> Format.fprintf fmt "no such table: %d@." n
+  | n ->
+      Format.eprintf "bench: no such table: %d (the paper has Tables 1-9)@." n;
+      exit 2
+
+(* ---------------------------------------------------------------------- *)
+(* Machine-readable summary (--json)                                       *)
+(* ---------------------------------------------------------------------- *)
+
+(* Each timed section records its wall time and the delta of every
+   telemetry counter across the section (counters accumulate when a
+   non-null sink is installed; --json installs the cheap [stats_only]
+   sink for exactly this purpose). *)
+let sections : (string * float * (string * float) list) list ref = ref []
+
+let timed name f =
+  let c0 = Mcml_obs.Obs.counters () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall = Unix.gettimeofday () -. t0 in
+  let c1 = Mcml_obs.Obs.counters () in
+  let delta =
+    List.filter_map
+      (fun (k, v1) ->
+        let v0 = Option.value (List.assoc_opt k c0) ~default:0.0 in
+        if v1 -. v0 <> 0.0 then Some (k, v1 -. v0) else None)
+      c1
+  in
+  sections := (name, wall, delta) :: !sections
+
+let write_json path ~seed ~budget ~total =
+  let open Mcml_obs in
+  let num v =
+    if Float.is_integer v && Float.abs v < 1e15 then Json.Int (int_of_float v)
+    else Json.Float v
+  in
+  let section (name, wall, counters) =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("wall_s", Json.Float wall);
+        ("counters", Json.Obj (List.map (fun (k, v) -> (k, num v)) counters));
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "mcml.bench.v1");
+        ("seed", Json.Int seed);
+        ("budget_s", Json.Float budget);
+        ("total_wall_s", Json.Float total);
+        ("sections", Json.List (List.rev_map section !sections));
+        ("counters_total", Json.Obj (List.map (fun (k, v) -> (k, num v)) (Obs.counters ())));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." path
 
 (* ---------------------------------------------------------------------- *)
 (* Micro-benchmarks                                                        *)
@@ -234,6 +292,7 @@ let () =
   let tables_only = ref false in
   let budget = ref Experiments.fast.Experiments.budget in
   let seed = ref Experiments.fast.Experiments.seed in
+  let json_path = ref "" in
   let args =
     [
       ("--table", Arg.Set_int table, "N  regenerate only table N");
@@ -242,14 +301,28 @@ let () =
       ("--tables", Arg.Set tables_only, "  tables only, skip micro-benchmarks");
       ("--budget", Arg.Set_float budget, "S  per-count timeout in seconds");
       ("--seed", Arg.Set_int seed, "N  RNG seed");
+      ( "--json",
+        Arg.Set_string json_path,
+        "PATH  write a machine-readable summary (wall time and counters per section)" );
     ]
   in
   Arg.parse args (fun _ -> ()) "bench/main.exe [options]";
+  if !json_path <> "" then begin
+    (* fail fast on an unwritable path rather than after the workload *)
+    (try close_out (open_out !json_path)
+     with Sys_error msg ->
+       Format.eprintf "bench: cannot write --json file: %s@." msg;
+       exit 2);
+    Mcml_obs.Obs.set_sink (Mcml_obs.Obs.stats_only ())
+  end;
   let cfg = { Experiments.fast with Experiments.budget = !budget; seed = !seed } in
   let t0 = Unix.gettimeofday () in
-  if !micro_only then run_micro ()
-  else if !ablation_only then run_ablations cfg
-  else if !table > 0 then run_table cfg !table
+  if !micro_only then timed "micro" run_micro
+  else if !ablation_only then timed "ablations" (fun () -> run_ablations cfg)
+  else if !table > 0 then
+    timed
+      (Printf.sprintf "table%d" !table)
+      (fun () -> run_table cfg !table)
   else begin
     Format.fprintf fmt
       "MCML benchmark harness — regenerating the paper's Tables 1-9@.";
@@ -259,10 +332,14 @@ let () =
       cfg.Experiments.budget;
     Format.fprintf fmt
       " see EXPERIMENTS.md for the mapping to the paper's configuration)@.";
-    List.iter (run_table cfg) [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+    List.iter
+      (fun n -> timed (Printf.sprintf "table%d" n) (fun () -> run_table cfg n))
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
     if not !tables_only then begin
-      run_ablations cfg;
-      run_micro ()
+      timed "ablations" (fun () -> run_ablations cfg);
+      timed "micro" run_micro
     end
   end;
-  Format.fprintf fmt "@.total wall-clock: %.1fs@." (Unix.gettimeofday () -. t0)
+  let total = Unix.gettimeofday () -. t0 in
+  Format.fprintf fmt "@.total wall-clock: %.1fs@." total;
+  if !json_path <> "" then write_json !json_path ~seed:!seed ~budget:!budget ~total

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Repo health check: build, full test suite, then CLI smoke runs
+# (including the telemetry layer end-to-end: every line of the JSONL
+# trace must parse, and the console span tree must print).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== smoke: mcml list =="
+dune exec bin/main.exe -- list >/dev/null
+
+echo "== smoke: mcml stats --trace =="
+trace="$(mktemp /tmp/mcml_trace.XXXXXX.jsonl)"
+out="$(dune exec bin/main.exe -- stats -p Reflexive -s 3 --trace "$trace")"
+echo "$out" | grep -q "span tree" || {
+  echo "FAIL: stats did not print a span tree" >&2
+  exit 1
+}
+[ -s "$trace" ] || {
+  echo "FAIL: --trace wrote no events" >&2
+  exit 1
+}
+grep -q '"kind":"span_end"' "$trace" || {
+  echo "FAIL: trace has no span_end events" >&2
+  exit 1
+}
+rm -f "$trace"
+
+echo "OK"

@@ -63,6 +63,46 @@ let backend_arg =
 let default_scope prop ~symmetry =
   Experiments.scope_for Experiments.fast prop ~symmetry
 
+(* --- telemetry flags (shared by every subcommand) ------------------------ *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL telemetry trace (spans and counters, one JSON object \
+           per line) to $(docv).")
+
+let verbose_stats_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "verbose-stats" ]
+        ~doc:
+          "After the command finishes, print an aggregated span tree and the \
+           counter table to stdout.")
+
+let install_obs trace verbose =
+  let open Mcml_obs in
+  let trace_sink path =
+    try Obs.jsonl path
+    with Sys_error msg ->
+      Printf.eprintf "mcml: cannot open trace file: %s\n" msg;
+      exit 2
+  in
+  let sinks =
+    (match trace with Some path -> [ trace_sink path ] | None -> [])
+    @ (if verbose then [ Obs.console () ] else [])
+  in
+  match sinks with
+  | [] -> ()
+  | s :: rest ->
+      Obs.set_sink (List.fold_left Obs.tee s rest);
+      at_exit Obs.flush
+
+let obs_term = Term.(const install_obs $ trace_arg $ verbose_stats_arg)
+
 (* --- list ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -76,13 +116,13 @@ let list_cmd =
       Props.all
   in
   Cmd.v (Cmd.info "list" ~doc:"List the 16 relational properties of the study.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 (* --- count ------------------------------------------------------------------ *)
 
 let count_cmd =
   let negate = Arg.(value & flag & info [ "negate" ] ~doc:"Count the negation.") in
-  let run prop scope symmetry negate backend budget =
+  let run () prop scope symmetry negate backend budget =
     let scope = Option.value scope ~default:(default_scope prop ~symmetry) in
     let analyzer = Props.analyzer ~scope in
     Printf.printf "%s at scope %d (%s, %s): counting...\n%!" prop.Props.name scope
@@ -105,7 +145,9 @@ let count_cmd =
   in
   Cmd.v
     (Cmd.info "count" ~doc:"Model-count a property at a scope.")
-    Term.(const run $ prop_arg $ scope_arg $ symmetry_arg $ negate $ backend_arg $ budget_arg)
+    Term.(
+      const run $ obs_term $ prop_arg $ scope_arg $ symmetry_arg $ negate $ backend_arg
+      $ budget_arg)
 
 (* --- enumerate --------------------------------------------------------------- *)
 
@@ -113,7 +155,7 @@ let enumerate_cmd =
   let limit =
     Arg.(value & opt int 10 & info [ "limit" ] ~docv:"K" ~doc:"Max solutions to show.")
   in
-  let run prop scope symmetry limit =
+  let run () prop scope symmetry limit =
     let scope = Option.value scope ~default:(default_scope prop ~symmetry) in
     let analyzer = Props.analyzer ~scope in
     let insts, complete =
@@ -129,7 +171,7 @@ let enumerate_cmd =
   in
   Cmd.v
     (Cmd.info "enumerate" ~doc:"Enumerate solutions of a property at a scope.")
-    Term.(const run $ prop_arg $ scope_arg $ symmetry_arg $ limit)
+    Term.(const run $ obs_term $ prop_arg $ scope_arg $ symmetry_arg $ limit)
 
 (* --- dimacs -------------------------------------------------------------------- *)
 
@@ -138,7 +180,7 @@ let dimacs_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (default: stdout).")
   in
-  let run prop scope symmetry negate out =
+  let run () prop scope symmetry negate out =
     let scope = Option.value scope ~default:(default_scope prop ~symmetry) in
     let analyzer = Props.analyzer ~scope in
     let cnf = Mcml_alloy.Analyzer.cnf ~negate ~symmetry analyzer ~pred:prop.Props.pred in
@@ -150,7 +192,7 @@ let dimacs_cmd =
   in
   Cmd.v
     (Cmd.info "dimacs" ~doc:"Export a property's CNF (with 'c ind' sampling set).")
-    Term.(const run $ prop_arg $ scope_arg $ symmetry_arg $ negate $ out)
+    Term.(const run $ obs_term $ prop_arg $ scope_arg $ symmetry_arg $ negate $ out)
 
 (* --- train-eval --------------------------------------------------------------------- *)
 
@@ -169,7 +211,7 @@ let train_eval_cmd =
   let fraction =
     Arg.(value & opt float 0.75 & info [ "train-fraction" ] ~docv:"F" ~doc:"Training fraction (0.75 = the 75:25 split).")
   in
-  let run prop scope symmetry model fraction seed budget backend =
+  let run () prop scope symmetry model fraction seed budget backend =
     let scope = Option.value scope ~default:(default_scope prop ~symmetry) in
     Printf.printf "# %s, scope %d, %s data, model %s, train fraction %.2f\n%!"
       prop.Props.name scope
@@ -213,13 +255,13 @@ let train_eval_cmd =
     (Cmd.info "train-eval"
        ~doc:"Train a model and evaluate it on the test set and (for DT) the entire space.")
     Term.(
-      const run $ prop_arg $ scope_arg $ symmetry_arg $ model_arg $ fraction $ seed_arg
-      $ budget_arg $ backend_arg)
+      const run $ obs_term $ prop_arg $ scope_arg $ symmetry_arg $ model_arg $ fraction
+      $ seed_arg $ budget_arg $ backend_arg)
 
 (* --- diff ------------------------------------------------------------------------ *)
 
 let diff_cmd =
-  let run prop scope symmetry seed budget backend =
+  let run () prop scope symmetry seed budget backend =
     let scope = Option.value scope ~default:(default_scope prop ~symmetry) in
     let data =
       Pipeline.generate prop { Pipeline.scope; symmetry; max_positives = 3000; seed }
@@ -248,7 +290,58 @@ let diff_cmd =
   Cmd.v
     (Cmd.info "diff"
        ~doc:"DiffMC: quantify the semantic difference between two trees trained with different hyperparameters.")
-    Term.(const run $ prop_arg $ scope_arg $ symmetry_arg $ seed_arg $ budget_arg $ backend_arg)
+    Term.(
+      const run $ obs_term $ prop_arg $ scope_arg $ symmetry_arg $ seed_arg $ budget_arg
+      $ backend_arg)
+
+(* --- stats ----------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run () prop scope symmetry seed budget backend =
+    let open Mcml_obs in
+    (* Always show the aggregated span tree on stdout; keep whatever sink
+       --trace installed (tee-ing onto the default null sink is harmless). *)
+    Obs.set_sink (Obs.tee (Obs.console ()) (Obs.sink ()));
+    let scope = Option.value scope ~default:(default_scope prop ~symmetry) in
+    Printf.printf "# instrumented run: %s at scope %d (%s, %s backend)\n%!"
+      prop.Props.name scope
+      (if symmetry then "symmetry-broken" else "full space")
+      (Mcml_counting.Counter.name backend);
+    let data =
+      Pipeline.generate prop { Pipeline.scope; symmetry; max_positives = 3000; seed }
+    in
+    let rng = Splitmix.create (seed + 5) in
+    let train, test =
+      Mcml_ml.Dataset.split rng ~train_fraction:0.75 data.Pipeline.dataset
+    in
+    let m = Mcml_ml.Model.train ~sizes:Mcml_ml.Model.fast_sizes ~seed Mcml_ml.Model.DT train in
+    let c = Mcml_ml.Model.evaluate m test in
+    Printf.printf "test  : acc=%.4f f1=%.4f (%d train / %d test samples)\n%!"
+      (Mcml_ml.Metrics.accuracy c) (Mcml_ml.Metrics.f1 c)
+      (Mcml_ml.Dataset.size train) (Mcml_ml.Dataset.size test);
+    (match m.Mcml_ml.Model.tree with
+    | None -> ()
+    | Some tree -> (
+        match
+          Pipeline.accmc ~budget ~backend ~prop ~scope ~eval_symmetry:symmetry tree
+        with
+        | Some counts ->
+            let c = Accmc.confusion counts in
+            Printf.printf "phi   : acc=%.4f f1=%.4f (%.1fs)\n%!"
+              (Mcml_ml.Metrics.accuracy c) (Mcml_ml.Metrics.f1 c) counts.Accmc.time
+        | None -> print_endline "phi   : timeout"));
+    print_newline ();
+    Obs.flush ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run an instrumented generate/train/count pipeline and print the \
+          aggregated span tree and counter table (combine with --trace for a \
+          JSONL trace).")
+    Term.(
+      const run $ obs_term $ prop_arg $ scope_arg $ symmetry_arg $ seed_arg $ budget_arg
+      $ backend_arg)
 
 (* --- exp ------------------------------------------------------------------------- *)
 
@@ -259,7 +352,7 @@ let exp_cmd =
       & pos 0 (some int) None
       & info [] ~docv:"TABLE" ~doc:"Paper table number (1-9).")
   in
-  let run table seed budget =
+  let run () table seed budget =
     let cfg = { Experiments.fast with Experiments.seed; budget } in
     let fmt = Format.std_formatter in
     match table with
@@ -298,7 +391,7 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate one of the paper's tables (scaled-down configuration).")
-    Term.(const run $ table $ seed_arg $ budget_arg)
+    Term.(const run $ obs_term $ table $ seed_arg $ budget_arg)
 
 (* --- main ------------------------------------------------------------------------ *)
 
@@ -308,4 +401,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; count_cmd; enumerate_cmd; dimacs_cmd; train_eval_cmd; diff_cmd; exp_cmd ]))
+          [
+            list_cmd;
+            count_cmd;
+            enumerate_cmd;
+            dimacs_cmd;
+            train_eval_cmd;
+            diff_cmd;
+            stats_cmd;
+            exp_cmd;
+          ]))

@@ -48,7 +48,7 @@ let formula ?(negate = false) ?(symmetry = false) t ~pred =
 let cnf ?negate ?symmetry t ~pred =
   Tseitin.cnf_of ~nprimary:(nprimary t) (formula ?negate ?symmetry t ~pred)
 
-let enumerate ?symmetry ?limit t ~pred =
+let enumerate_core ?symmetry ?limit t ~pred =
   let c = cnf ?symmetry t ~pred in
   let outcome = Mcml_sat.Enumerate.run ?limit c in
   let instances =
@@ -57,6 +57,29 @@ let enumerate ?symmetry ?limit t ~pred =
       outcome.Mcml_sat.Enumerate.models
   in
   (instances, outcome.Mcml_sat.Enumerate.complete)
+
+let enumerate ?symmetry ?limit t ~pred =
+  if not (Mcml_obs.Obs.enabled ()) then enumerate_core ?symmetry ?limit t ~pred
+  else begin
+    let open Mcml_obs in
+    let sp = Obs.start "alloy.enumerate" in
+    let t0 = Unix.gettimeofday () in
+    let ((instances, complete) as r) = enumerate_core ?symmetry ?limit t ~pred in
+    let n = List.length instances in
+    let dt = Unix.gettimeofday () -. t0 in
+    Obs.finish sp
+      ~attrs:
+        [
+          ("pred", Obs.Str pred);
+          ("scope", Obs.Int t.scope);
+          ("symmetry", Obs.Bool (Option.value symmetry ~default:false));
+          ("solutions", Obs.Int n);
+          ("blocking_clauses", Obs.Int n);
+          ("complete", Obs.Bool complete);
+          ("solutions_per_sec", Obs.Float (if dt > 0.0 then float_of_int n /. dt else 0.0));
+        ];
+    r
+  end
 
 let evaluate t ~pred inst =
   if inst.Instance.scope <> t.scope then

@@ -19,17 +19,23 @@ let default_style = function
 (* Generalized core: works for any classifier whose true/false sides are
    given as (count-preserving) CNFs over the primary variables — decision
    trees via Tree2cnf, binarized networks via Bnn2cnf. *)
+let style_name = function Direct -> "direct" | Complement -> "complement"
+
 let counts_sides ?budget ?style ~backend ~phi ~not_phi ~space ~nprimary
     ((side_true : Cnf.t), (side_false : Cnf.t)) =
   let style = match style with Some s -> s | None -> default_style backend in
   let tree_true = side_true and tree_false = side_false in
   let start = Unix.gettimeofday () in
+  let open Mcml_obs in
+  let sp =
+    if Obs.enabled () then Some (Obs.start "accmc.counts") else None
+  in
   let mc gt side =
     let problem = Cnf.conjoin ~nshared:nprimary gt side in
     Option.map (fun o -> o.Counter.count) (Counter.count ?budget ~backend problem)
   in
   let ( let* ) = Option.bind in
-  let* result =
+  let result =
     match style with
     | Direct ->
         (* the literal reduction of the paper: four counting calls *)
@@ -50,8 +56,22 @@ let counts_sides ?budget ?style ~backend ~phi ~not_phi ~space ~nprimary
         let* denom_f = mc space tree_false in
         Some (tp, Bignat.sub denom_t tp, Bignat.sub denom_f fn, fn)
   in
-  let tp, fp, tn, fn = result in
-  Some { tp; fp; tn; fn; time = Unix.gettimeofday () -. start }
+  let time = Unix.gettimeofday () -. start in
+  (match sp with
+  | None -> ()
+  | Some sp ->
+      Obs.add "accmc.evaluations" 1;
+      if Option.is_none result then Obs.add "accmc.timeouts" 1;
+      Obs.finish sp
+        ~attrs:
+          [
+            ("style", Obs.Str (style_name style));
+            ("backend", Obs.Str (Counter.name backend));
+            ("nprimary", Obs.Int nprimary);
+            ("outcome", Obs.Str (if Option.is_none result then "timeout" else "complete"));
+            ("time_s", Obs.Float time);
+          ]);
+  Option.map (fun (tp, fp, tn, fn) -> { tp; fp; tn; fn; time }) result
 
 let counts ?budget ?style ~backend ~phi ~not_phi ~space ~nprimary
     (tree : Decision_tree.t) =

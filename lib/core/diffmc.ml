@@ -12,23 +12,39 @@ type counts = {
 let counts ?budget ~backend ~nprimary d1 d2 =
   let side tree label = Tree2cnf.cnf_of_label ~nfeatures:nprimary tree ~label in
   let start = Unix.gettimeofday () in
+  let open Mcml_obs in
+  let sp = if Obs.enabled () then Some (Obs.start "diffmc.counts") else None in
   let one l1 l2 =
     let problem = Cnf.conjoin ~nshared:nprimary (side d1 l1) (side d2 l2) in
     Counter.count ?budget ~backend problem
   in
   let ( let* ) = Option.bind in
-  let* tt = one true true in
-  let* tf = one true false in
-  let* ft = one false true in
-  let* ff = one false false in
-  Some
-    {
-      tt = tt.Counter.count;
-      tf = tf.Counter.count;
-      ft = ft.Counter.count;
-      ff = ff.Counter.count;
-      time = Unix.gettimeofday () -. start;
-    }
+  let result =
+    let* tt = one true true in
+    let* tf = one true false in
+    let* ft = one false true in
+    let* ff = one false false in
+    Some
+      {
+        tt = tt.Counter.count;
+        tf = tf.Counter.count;
+        ft = ft.Counter.count;
+        ff = ff.Counter.count;
+        time = Unix.gettimeofday () -. start;
+      }
+  in
+  (match sp with
+  | None -> ()
+  | Some sp ->
+      Obs.add "diffmc.evaluations" 1;
+      Obs.finish sp
+        ~attrs:
+          [
+            ("backend", Obs.Str (Counter.name backend));
+            ("nprimary", Obs.Int nprimary);
+            ("outcome", Obs.Str (if Option.is_none result then "timeout" else "complete"));
+          ]);
+  result
 
 let diff c ~nprimary =
   (Bignat.to_float c.tf +. Bignat.to_float c.ft) /. Bignat.to_float (Bignat.pow2 nprimary)

@@ -56,6 +56,17 @@ let scope_for cfg prop ~symmetry =
   in
   max cfg.min_scope scope
 
+(* Telemetry wrappers: one span per experiment (table), one child span
+   per property row, so a trace of a full table run reads as a tree. *)
+module Obs = Mcml_obs.Obs
+
+let exp_span name f = Obs.with_span name f
+
+let prop_span (prop : Props.t) f =
+  Obs.with_span "exp.property"
+    ~attrs:(fun () -> [ ("prop", Obs.Str prop.Props.name) ])
+    f
+
 (* --- Table 1 ------------------------------------------------------------ *)
 
 type t1_row = {
@@ -70,8 +81,10 @@ type t1_row = {
 }
 
 let table1 cfg : t1_row list =
+  exp_span "exp.table1" @@ fun () ->
   List.map
     (fun prop ->
+      prop_span prop @@ fun () ->
       let scope = scope_for cfg prop ~symmetry:true in
       let analyzer = Props.analyzer ~scope in
       let enumerated, complete =
@@ -109,6 +122,8 @@ type perf_row = {
 }
 
 let model_performance cfg ~prop ~symmetry : perf_row list =
+  exp_span "exp.model_performance" @@ fun () ->
+  prop_span prop @@ fun () ->
   (* this experiment slices the dataset down to 1% for training, so it
      needs more raw solutions than the counting-bound tables; mirror the
      paper's higher threshold (10k/90k there) proportionally *)
@@ -143,8 +158,10 @@ type dt_row = {
 }
 
 let dt_generalization cfg ~data_symmetry ~eval_symmetry : dt_row list =
+  exp_span "exp.dt_generalization" @@ fun () ->
   List.map
     (fun prop ->
+      prop_span prop @@ fun () ->
       let scope = scope_for cfg prop ~symmetry:data_symmetry in
       let data =
         Pipeline.generate prop
@@ -179,8 +196,10 @@ type diff_row = {
 }
 
 let tree_differences cfg : diff_row list =
+  exp_span "exp.tree_differences" @@ fun () ->
   List.map
     (fun prop ->
+      prop_span prop @@ fun () ->
       let scope = scope_for cfg prop ~symmetry:true in
       let data =
         Pipeline.generate prop
@@ -235,8 +254,10 @@ type sym_row = {
 }
 
 let symmetry_ablation cfg : sym_row list =
+  exp_span "exp.symmetry_ablation" @@ fun () ->
   List.map
     (fun prop ->
+      prop_span prop @@ fun () ->
       (* orbit counting canonicalizes every solution: keep scopes small *)
       let scope = min 4 cfg.max_scope in
       let analyzer = Props.analyzer ~scope in
@@ -271,8 +292,10 @@ type style_row = {
 }
 
 let accmc_style_ablation cfg : style_row list =
+  exp_span "exp.accmc_style_ablation" @@ fun () ->
   List.map
     (fun prop ->
+      prop_span prop @@ fun () ->
       let scope = scope_for cfg prop ~symmetry:true in
       let data =
         Pipeline.generate prop
@@ -305,6 +328,8 @@ let accmc_style_ablation cfg : style_row list =
     cfg.properties
 
 let class_ratio_study cfg ~prop : t9_row list =
+  exp_span "exp.class_ratio_study" @@ fun () ->
+  prop_span prop @@ fun () ->
   let scope = scope_for cfg prop ~symmetry:false in
   let data =
     Pipeline.generate prop

@@ -17,7 +17,7 @@ type generated = {
   symmetry : bool;
 }
 
-let generate (prop : Props.t) (cfg : data_config) : generated =
+let generate_core (prop : Props.t) (cfg : data_config) : generated =
   let analyzer = Props.analyzer ~scope:cfg.scope in
   let insts, complete =
     Mcml_alloy.Analyzer.enumerate ~symmetry:cfg.symmetry ~limit:cfg.max_positives
@@ -70,6 +70,26 @@ let generate (prop : Props.t) (cfg : data_config) : generated =
     symmetry = cfg.symmetry;
   }
 
+let generate (prop : Props.t) (cfg : data_config) : generated =
+  if not (Mcml_obs.Obs.enabled ()) then generate_core prop cfg
+  else begin
+    let open Mcml_obs in
+    let sp = Obs.start "pipeline.generate" in
+    let g = generate_core prop cfg in
+    Obs.add "pipeline.generates" 1;
+    Obs.finish sp
+      ~attrs:
+        [
+          ("prop", Obs.Str prop.Props.name);
+          ("scope", Obs.Int cfg.scope);
+          ("symmetry", Obs.Bool cfg.symmetry);
+          ("positives", Obs.Int g.num_positive_solutions);
+          ("samples", Obs.Int (Mcml_ml.Dataset.size g.dataset));
+          ("positives_complete", Obs.Bool g.positives_complete);
+        ];
+    g
+  end
+
 let ground_truth (prop : Props.t) ~scope ~symmetry =
   let analyzer = Props.analyzer ~scope in
   let phi = Mcml_alloy.Analyzer.cnf ~symmetry analyzer ~pred:prop.Props.pred in
@@ -78,7 +98,7 @@ let ground_truth (prop : Props.t) ~scope ~symmetry =
   in
   (phi, not_phi)
 
-let space_cnf (prop : Props.t) ~scope ~symmetry =
+let space_cnf ~scope ~symmetry =
   let nprimary = scope * scope in
   if not symmetry then
     Cnf.make ~projection:(Array.init nprimary (fun i -> i + 1)) ~nvars:nprimary []
@@ -88,13 +108,12 @@ let space_cnf (prop : Props.t) ~scope ~symmetry =
     let breaking =
       Mcml_alloy.Symmetry.breaking_formula ~var_of (Props.spec ()) ~scope
     in
-    ignore prop;
     Tseitin.cnf_of ~nprimary breaking
   end
 
 let accmc ?budget ?style ~backend ~prop ~scope ~eval_symmetry tree =
   let phi, not_phi = ground_truth prop ~scope ~symmetry:eval_symmetry in
-  let space = space_cnf prop ~scope ~symmetry:eval_symmetry in
+  let space = space_cnf ~scope ~symmetry:eval_symmetry in
   Accmc.counts ?budget ?style ~backend ~phi ~not_phi ~space ~nprimary:(scope * scope)
     tree
 

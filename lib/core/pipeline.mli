@@ -36,9 +36,11 @@ val ground_truth :
     both are conjoined with the lex-leader predicate (the
     symmetry-constrained evaluation universe of Tables 3 and 7). *)
 
-val space_cnf : Mcml_props.Props.t -> scope:int -> symmetry:bool -> Cnf.t
+val space_cnf : scope:int -> symmetry:bool -> Cnf.t
 (** The evaluation universe as a CNF: trivial (full space) or the
-    symmetry-breaking predicate alone. *)
+    symmetry-breaking predicate alone.  (Property-independent: all 16
+    properties share one spec, so the universe depends only on the
+    scope and the symmetry flag.) *)
 
 val accmc :
   ?budget:float ->

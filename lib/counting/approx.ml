@@ -67,9 +67,17 @@ let count ?budget ?(config = default) (cnf : Cnf.t) : Bignat.t =
   let proj = Cnf.projection_vars cnf in
   let n = Array.length proj in
   let pivot = pivot_of_epsilon config.epsilon in
+  (* telemetry: work done so far, reported even on timeout *)
+  let queries = ref 0 in
+  let rounds_done = ref 0 in
+  let bc m thresh =
+    incr queries;
+    bounded_count ~check_time ~rng cnf m thresh
+  in
+  let run () =
   (* quick exact path: if the formula has at most [pivot] solutions, the
      enumeration is already an exact count *)
-  let c0 = bounded_count ~check_time ~rng cnf 0 pivot in
+  let c0 = bc 0 pivot in
   if c0 <= pivot then Bignat.of_int c0
   else begin
     let rounds =
@@ -88,7 +96,7 @@ let count ?budget ?(config = default) (cnf : Cnf.t) : Bignat.t =
         match Hashtbl.find_opt cell_count m with
         | Some c -> c
         | None ->
-            let c = bounded_count ~check_time ~rng cnf m pivot in
+            let c = bc m pivot in
             Hashtbl.add cell_count m c;
             c
       in
@@ -123,13 +131,47 @@ let count ?budget ?(config = default) (cnf : Cnf.t) : Bignat.t =
       prev_m := m_star;
       let c = query m_star in
       if c > 0 && c <= pivot then
-        estimates := Bignat.shift_left (Bignat.of_int c) m_star :: !estimates
+        estimates := Bignat.shift_left (Bignat.of_int c) m_star :: !estimates;
+      incr rounds_done
     done;
     match List.sort Bignat.compare !estimates with
     | [] -> Bignat.zero (* every round failed: report the degenerate estimate *)
     | sorted ->
         let k = List.length sorted in
         List.nth sorted (k / 2)
+  end
+  in
+  if not (Mcml_obs.Obs.enabled ()) then run ()
+  else begin
+    let open Mcml_obs in
+    let sp = Obs.start "count.approx" in
+    let t0 = Unix.gettimeofday () in
+    let attrs outcome =
+      [
+        ("outcome", Obs.Str outcome);
+        ("pivot", Obs.Int pivot);
+        ("rounds", Obs.Int !rounds_done);
+        ("sat_queries", Obs.Int !queries);
+        ("proj_vars", Obs.Int n);
+        ("budget_s", match budget with Some b -> Obs.Float b | None -> Obs.Str "none");
+        ("consumed_s", Obs.Float (Unix.gettimeofday () -. t0));
+      ]
+    in
+    let account () =
+      Obs.add "count.approx.calls" 1;
+      Obs.add "count.approx.rounds" !rounds_done;
+      Obs.add "count.approx.sat_queries" !queries
+    in
+    match run () with
+    | r ->
+        account ();
+        Obs.finish sp ~attrs:(("count", Obs.Str (Bignat.to_string r)) :: attrs "complete");
+        r
+    | exception Timeout ->
+        account ();
+        Obs.add "count.approx.timeouts" 1;
+        Obs.finish sp ~attrs:(attrs "timeout");
+        raise Timeout
   end
 
 let count_opt ?budget ?config cnf =

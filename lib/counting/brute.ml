@@ -1,6 +1,6 @@
 open Mcml_logic
 
-let count (cnf : Cnf.t) : Bignat.t =
+let count_core (cnf : Cnf.t) : Bignat.t =
   let proj = Cnf.projection_vars cnf in
   let k = Array.length proj in
   if k > 24 then invalid_arg "Brute.count: projection set too large";
@@ -22,3 +22,19 @@ let count (cnf : Cnf.t) : Bignat.t =
     | Some residual -> if Dpll.sat residual then incr total
   done;
   Bignat.of_int !total
+
+let count (cnf : Cnf.t) : Bignat.t =
+  if not (Mcml_obs.Obs.enabled ()) then count_core cnf
+  else begin
+    let open Mcml_obs in
+    let sp = Obs.start "count.brute" in
+    let r = count_core cnf in
+    Obs.add "count.brute.calls" 1;
+    Obs.finish sp
+      ~attrs:
+        [
+          ("proj_vars", Obs.Int (Array.length (Cnf.projection_vars cnf)));
+          ("count", Obs.Str (Bignat.to_string r));
+        ];
+    r
+  end

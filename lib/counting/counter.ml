@@ -14,13 +14,17 @@ let count ?(budget = 5000.0) ~backend (cnf : Cnf.t) : outcome option =
   let finish count exact =
     Some { count; exact; time = Unix.gettimeofday () -. start }
   in
-  match backend with
-  | Exact -> (
-      match Exact.count_opt ~budget cnf with
-      | Some c -> finish c true
-      | None -> None)
-  | Approx config -> (
-      match Approx.count_opt ~budget ~config cnf with
-      | Some c -> finish c false
-      | None -> None)
-  | Brute -> finish (Brute.count cnf) true
+  let outcome =
+    match backend with
+    | Exact -> (
+        match Exact.count_opt ~budget cnf with
+        | Some c -> finish c true
+        | None -> None)
+    | Approx config -> (
+        match Approx.count_opt ~budget ~config cnf with
+        | Some c -> finish c false
+        | None -> None)
+    | Brute -> finish (Brute.count cnf) true
+  in
+  if outcome = None then Mcml_obs.Obs.add "count.timeouts" 1;
+  outcome

@@ -41,12 +41,18 @@ let bcp_track clauses =
   if List.exists (fun c -> Array.length c = 0) clauses then None
   else go clauses []
 
-let rec sat clauses =
+let rec sat_core clauses =
   match bcp clauses with
   | None -> false
   | Some [] -> true
   | Some (c :: _ as clauses) ->
       let l = c.(0) in
-      (match restrict clauses l with None -> false | Some cs -> sat cs)
+      (match restrict clauses l with None -> false | Some cs -> sat_core cs)
       ||
-      (match restrict clauses (Lit.neg l) with None -> false | Some cs -> sat cs)
+      (match restrict clauses (Lit.neg l) with
+      | None -> false
+      | Some cs -> sat_core cs)
+
+let sat clauses =
+  Mcml_obs.Obs.add "dpll.sat_calls" 1;
+  sat_core clauses

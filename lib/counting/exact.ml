@@ -26,6 +26,8 @@ type state = {
   sat_by : int array; (* clause -> satigning var count: # true literals *)
   cache : (string, Bignat.t) Hashtbl.t;
   mutable ticks : int;
+  mutable cells : int; (* count_comp invocations: cells explored *)
+  mutable cache_hits : int;
   deadline : float option;
 }
 
@@ -229,6 +231,7 @@ let rec residual_sat st comp =
 
 let rec count_comp st (comp : int list) : Bignat.t =
   check_time st;
+  st.cells <- st.cells + 1;
   let mark = Vec.size st.trail in
   match propagate st comp with
   | exception Conflict ->
@@ -272,7 +275,9 @@ let rec count_comp st (comp : int list) : Bignat.t =
 and count_cached st comp =
   let key = key_of st comp in
   match Hashtbl.find_opt st.cache key with
-  | Some c -> c
+  | Some c ->
+      st.cache_hits <- st.cache_hits + 1;
+      c
   | None ->
       let proj = proj_vars_of st comp in
       let result =
@@ -353,6 +358,8 @@ let count ?budget (cnf : Cnf.t) : Bignat.t =
       sat_by = Array.make nclauses 0;
       cache = Hashtbl.create 4096;
       ticks = 0;
+      cells = 0;
+      cache_hits = 0;
       deadline;
     }
   in
@@ -362,11 +369,46 @@ let count ?budget (cnf : Cnf.t) : Bignat.t =
     (fun v -> if v >= 1 && is_proj.(v) && Array.length st.occurs.(v) = 0 then incr never)
     (Cnf.projection_vars cnf);
   let all = List.init nclauses (fun i -> i) in
-  (* an empty clause makes the formula unsatisfiable immediately *)
-  if Array.exists (fun c -> Array.length c = 0) clauses then Bignat.zero
-  else
-    let core = if all = [] then Bignat.one else count_comp st all in
-    Bignat.shift_left core !never
+  let run () =
+    (* an empty clause makes the formula unsatisfiable immediately *)
+    if Array.exists (fun c -> Array.length c = 0) clauses then Bignat.zero
+    else
+      let core = if all = [] then Bignat.one else count_comp st all in
+      Bignat.shift_left core !never
+  in
+  if not (Mcml_obs.Obs.enabled ()) then run ()
+  else begin
+    let open Mcml_obs in
+    let sp = Obs.start "count.exact" in
+    let t0 = Unix.gettimeofday () in
+    let attrs outcome =
+      [
+        ("outcome", Obs.Str outcome);
+        ("cells", Obs.Int st.cells);
+        ("cache_hits", Obs.Int st.cache_hits);
+        ("cache_entries", Obs.Int (Hashtbl.length st.cache));
+        ("proj_vars", Obs.Int (Array.length (Cnf.projection_vars cnf)));
+        ("clauses", Obs.Int nclauses);
+        ("budget_s", match budget with Some b -> Obs.Float b | None -> Obs.Str "none");
+        ("consumed_s", Obs.Float (Unix.gettimeofday () -. t0));
+      ]
+    in
+    let account () =
+      Obs.add "count.exact.calls" 1;
+      Obs.add "count.exact.cells" st.cells;
+      Obs.add "count.exact.cache_hits" st.cache_hits
+    in
+    match run () with
+    | r ->
+        account ();
+        Obs.finish sp ~attrs:(("count", Obs.Str (Bignat.to_string r)) :: attrs "complete");
+        r
+    | exception Timeout ->
+        account ();
+        Obs.add "count.exact.timeouts" 1;
+        Obs.finish sp ~attrs:(attrs "timeout");
+        raise Timeout
+  end
 
 let count_opt ?budget cnf =
   match count ?budget cnf with c -> Some c | exception Timeout -> None

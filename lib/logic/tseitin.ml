@@ -1,4 +1,4 @@
-let cnf_of ~nprimary (f : Formula.t) : Cnf.t =
+let cnf_of_core ~nprimary (f : Formula.t) : Cnf.t =
   if Formula.max_var f > nprimary then
     invalid_arg "Tseitin.cnf_of: formula mentions a variable above nprimary";
   let next_var = ref nprimary in
@@ -48,4 +48,23 @@ let cnf_of ~nprimary (f : Formula.t) : Cnf.t =
     let root = lit_of f in
     emit [ root ];
     Cnf.make ~projection ~nvars:!next_var (List.rev !clauses)
+  end
+
+let cnf_of ~nprimary (f : Formula.t) : Cnf.t =
+  if not (Mcml_obs.Obs.enabled ()) then cnf_of_core ~nprimary f
+  else begin
+    let open Mcml_obs in
+    let sp = Obs.start "tseitin.encode" in
+    let cnf = cnf_of_core ~nprimary f in
+    Obs.add "tseitin.encodes" 1;
+    Obs.add "tseitin.aux_vars" (cnf.Cnf.nvars - nprimary);
+    Obs.add "tseitin.clauses" (Array.length cnf.Cnf.clauses);
+    Obs.finish sp
+      ~attrs:
+        [
+          ("nprimary", Obs.Int nprimary);
+          ("aux_vars", Obs.Int (cnf.Cnf.nvars - nprimary));
+          ("clauses", Obs.Int (Array.length cnf.Cnf.clauses));
+        ];
+    cnf
   end

@@ -1,4 +1,5 @@
 open Mcml_logic
+module Obs = Mcml_obs.Obs
 
 type kind = DT | RFT | ABT | GBDT | SVM | MLP
 
@@ -42,7 +43,36 @@ type t = {
   tree : Decision_tree.t option;
 }
 
-let train ?(sizes = default_sizes) ~seed kind ds =
+(* Span attrs for a trained model: tree shape when there is a tree. *)
+let train_attrs kind (ds : Dataset.t) (m : t) =
+  let base =
+    [
+      ("model", Obs.Str (name_of kind));
+      ("samples", Obs.Int (Dataset.size ds));
+      ("features", Obs.Int ds.Dataset.nfeatures);
+    ]
+  in
+  match m.tree with
+  | None -> base
+  | Some tree ->
+      base
+      @ [
+          ("tree_depth", Obs.Int (Decision_tree.depth tree));
+          ("tree_leaves", Obs.Int (Decision_tree.num_leaves tree));
+          ("tree_paths", Obs.Int (List.length (Decision_tree.paths tree)));
+        ]
+
+let instrumented kind ds f =
+  if not (Obs.enabled ()) then f ()
+  else begin
+    let sp = Obs.start "ml.train" in
+    let m = f () in
+    Obs.add "ml.trains" 1;
+    Obs.finish sp ~attrs:(train_attrs kind ds m);
+    m
+  end
+
+let train_core ~sizes ~seed kind ds =
   let rng = Splitmix.create seed in
   match kind with
   | DT ->
@@ -87,10 +117,14 @@ let train ?(sizes = default_sizes) ~seed kind ds =
       in
       { kind; predict = Mlp.predict model; tree = None }
 
+let train ?(sizes = default_sizes) ~seed kind ds =
+  instrumented kind ds (fun () -> train_core ~sizes ~seed kind ds)
+
 let train_tree ?(params = Decision_tree.default_params) ~seed ds =
-  let rng = Splitmix.create seed in
-  let tree = Decision_tree.train ~params ~rng ds in
-  { kind = DT; predict = Decision_tree.predict tree; tree = Some tree }
+  instrumented DT ds (fun () ->
+      let rng = Splitmix.create seed in
+      let tree = Decision_tree.train ~params ~rng ds in
+      { kind = DT; predict = Decision_tree.predict tree; tree = Some tree })
 
 let evaluate t (ds : Dataset.t) =
   let predicted = Array.map (fun s -> t.predict s.Dataset.features) ds.Dataset.samples in

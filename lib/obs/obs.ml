@@ -1,0 +1,279 @@
+type attr = Int of int | Float of float | Bool of bool | Str of string
+
+type event =
+  | Span_start of { ts : float; name : string; depth : int }
+  | Span_end of {
+      ts : float;
+      name : string;
+      depth : int;
+      dur_ms : float;
+      attrs : (string * attr) list;
+    }
+  | Counter of { ts : float; name : string; value : float }
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+let null = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+let current : sink ref = ref null
+let set_sink s = current := s
+let sink () = !current
+let enabled () = !current != null
+
+let now () = Unix.gettimeofday ()
+
+(* --- rendering -------------------------------------------------------- *)
+
+let attr_to_json = function
+  | Int i -> Json.Int i
+  | Float x -> Json.Float x
+  | Bool b -> Json.Bool b
+  | Str s -> Json.Str s
+
+let event_to_json = function
+  | Span_start { ts; name; depth } ->
+      Json.Obj
+        [
+          ("ts", Json.Float ts);
+          ("kind", Json.Str "span_start");
+          ("name", Json.Str name);
+          ("depth", Json.Int depth);
+        ]
+  | Span_end { ts; name; depth; dur_ms; attrs } ->
+      Json.Obj
+        [
+          ("ts", Json.Float ts);
+          ("kind", Json.Str "span_end");
+          ("name", Json.Str name);
+          ("depth", Json.Int depth);
+          ("dur_ms", Json.Float dur_ms);
+          ("attrs", Json.Obj (List.map (fun (k, v) -> (k, attr_to_json v)) attrs));
+        ]
+  | Counter { ts; name; value } ->
+      Json.Obj
+        [
+          ("ts", Json.Float ts);
+          ("kind", Json.Str "counter");
+          ("name", Json.Str name);
+          ("value", Json.Float value);
+        ]
+
+(* --- counters --------------------------------------------------------- *)
+
+let counter_table : (string, float ref) Hashtbl.t = Hashtbl.create 64
+
+let cell name =
+  match Hashtbl.find_opt counter_table name with
+  | Some r -> r
+  | None ->
+      let r = ref 0.0 in
+      Hashtbl.add counter_table name r;
+      r
+
+let addf name x = if enabled () then (let r = cell name in r := !r +. x)
+let add name n = if enabled () then (let r = cell name in r := !r +. float_of_int n)
+let gauge name x = if enabled () then cell name := x
+
+let counter_value name =
+  match Hashtbl.find_opt counter_table name with Some r -> !r | None -> 0.0
+
+let counters () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counter_table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* values as of the last [flush], so repeated flushes (an explicit one
+   plus the at_exit one, say) don't re-emit unchanged counters *)
+let flushed_values : (string, float) Hashtbl.t = Hashtbl.create 64
+
+let reset_counters () =
+  Hashtbl.reset counter_table;
+  Hashtbl.reset flushed_values
+
+(* --- spans ------------------------------------------------------------ *)
+
+type span = { sp_name : string; sp_t0 : float; sp_live : bool }
+
+let dummy_span = { sp_name = ""; sp_t0 = 0.0; sp_live = false }
+let depth = ref 0
+
+let start name =
+  if not (enabled ()) then dummy_span
+  else begin
+    let t0 = now () in
+    !current.emit (Span_start { ts = t0; name; depth = !depth });
+    incr depth;
+    { sp_name = name; sp_t0 = t0; sp_live = true }
+  end
+
+let finish ?(attrs = []) sp =
+  if sp.sp_live then begin
+    let t1 = now () in
+    (* clock granularity can round a sub-microsecond span to zero;
+       report a floor instead so rates stay finite *)
+    let dur_ms = Float.max ((t1 -. sp.sp_t0) *. 1000.0) 1e-6 in
+    depth := max 0 (!depth - 1);
+    !current.emit
+      (Span_end { ts = t1; name = sp.sp_name; depth = !depth; dur_ms; attrs })
+  end
+
+let with_span ?attrs name f =
+  if not (enabled ()) then f ()
+  else begin
+    let sp = start name in
+    match f () with
+    | v ->
+        finish ?attrs:(Option.map (fun g -> g ()) attrs) sp;
+        v
+    | exception e ->
+        finish ~attrs:[ ("outcome", Str "raised") ] sp;
+        raise e
+  end
+
+let flush () =
+  let s = !current in
+  if s != null then begin
+    let ts = now () in
+    List.iter
+      (fun (name, value) ->
+        if Hashtbl.find_opt flushed_values name <> Some value then begin
+          Hashtbl.replace flushed_values name value;
+          s.emit (Counter { ts; name; value })
+        end)
+      (counters ());
+    s.flush ()
+  end
+
+(* --- sinks ------------------------------------------------------------ *)
+
+let jsonl path =
+  let oc = open_out path in
+  at_exit (fun () -> try close_out oc with _ -> ());
+  let buf = Buffer.create 256 in
+  {
+    emit =
+      (fun ev ->
+        Buffer.clear buf;
+        Json.to_buffer buf (event_to_json ev);
+        Buffer.add_char buf '\n';
+        Buffer.output_buffer oc buf);
+    flush = (fun () -> Stdlib.flush oc);
+  }
+
+let stats_only () = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+
+let tee a b =
+  {
+    emit =
+      (fun ev ->
+        a.emit ev;
+        b.emit ev);
+    flush =
+      (fun () ->
+        a.flush ();
+        b.flush ());
+  }
+
+(* Console sink: aggregate the span stream into a tree where repeated
+   same-name children of one parent collapse into a single row (call
+   count, total duration, numeric attributes summed).  Enumerating 3000
+   solutions must print one "solver.solve ×3000" row, not 3000 rows. *)
+
+module Console = struct
+  type node = {
+    name : string;
+    mutable calls : int;
+    mutable total_ms : float;
+    mutable attrs : (string * attr) list; (* numeric summed, other last-wins *)
+    mutable children : node list; (* reverse first-seen order *)
+  }
+
+  let fresh name = { name; calls = 0; total_ms = 0.0; attrs = []; children = [] }
+
+  let child_of parent name =
+    match List.find_opt (fun n -> n.name = name) parent.children with
+    | Some n -> n
+    | None ->
+        let n = fresh name in
+        parent.children <- n :: parent.children;
+        n
+
+  let merge_attr acc (k, v) =
+    match (List.assoc_opt k acc, v) with
+    | Some (Int a), Int b -> (k, Int (a + b)) :: List.remove_assoc k acc
+    | Some (Float a), Float b -> (k, Float (a +. b)) :: List.remove_assoc k acc
+    | Some (Int a), Float b | Some (Float b), Int a ->
+        (k, Float (float_of_int a +. b)) :: List.remove_assoc k acc
+    | Some _, v -> (k, v) :: List.remove_assoc k acc
+    | None, v -> (k, v) :: acc
+
+  let attr_str = function
+    | Int i -> string_of_int i
+    | Float x -> if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x else Printf.sprintf "%.3g" x
+    | Bool b -> string_of_bool b
+    | Str s -> s
+
+  let dur_str ms =
+    if ms >= 1000.0 then Printf.sprintf "%.2fs" (ms /. 1000.0)
+    else if ms >= 1.0 then Printf.sprintf "%.1fms" ms
+    else Printf.sprintf "%.3fms" ms
+
+  let rec print_node oc indent n =
+    let attrs =
+      match List.rev n.attrs with
+      | [] -> ""
+      | l ->
+          "  {"
+          ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ attr_str v) l)
+          ^ "}"
+    in
+    let calls = if n.calls > 1 then Printf.sprintf " x%d" n.calls else "" in
+    Printf.fprintf oc "%s%s%s  %s%s\n" indent n.name calls (dur_str n.total_ms) attrs;
+    List.iter (print_node oc (indent ^ "  ")) (List.rev n.children)
+
+  let make oc =
+    let root = fresh "<root>" in
+    let stack = ref [ root ] in
+    let counter_events = ref [] in
+    let emit = function
+      | Span_start { name; _ } ->
+          let parent = List.hd !stack in
+          stack := child_of parent name :: !stack
+      | Span_end { dur_ms; attrs; _ } -> (
+          match !stack with
+          | top :: (_ :: _ as rest) ->
+              top.calls <- top.calls + 1;
+              top.total_ms <- top.total_ms +. dur_ms;
+              top.attrs <- List.fold_left merge_attr top.attrs attrs;
+              stack := rest
+          | _ -> () (* unbalanced end: drop *))
+      | Counter { name; value; _ } -> counter_events := (name, value) :: !counter_events
+    in
+    let flush () =
+      if root.children <> [] || !counter_events <> [] then begin
+        if root.children <> [] then begin
+          Printf.fprintf oc "-- span tree %s\n" (String.make 52 '-');
+          List.iter (print_node oc "") (List.rev root.children)
+        end;
+        (match List.rev !counter_events with
+        | [] -> ()
+        | cs ->
+            Printf.fprintf oc "-- counters %s\n" (String.make 53 '-');
+            List.iter
+              (fun (name, v) ->
+                let pretty =
+                  if Float.is_integer v && Float.abs v < 1e15 then
+                    Printf.sprintf "%.0f" v
+                  else Printf.sprintf "%.3f" v
+                in
+                Printf.fprintf oc "%-40s %14s\n" name pretty)
+              cs);
+        (* reset so a later flush doesn't reprint the same data *)
+        root.children <- [];
+        counter_events := [];
+        stack := [ root ];
+        Stdlib.flush oc
+      end
+    in
+    { emit; flush }
+end
+
+let console ?(oc = stdout) () = Console.make oc

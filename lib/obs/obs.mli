@@ -1,0 +1,123 @@
+(** Telemetry for the MCML substrate: nested timing spans, named
+    counters/gauges, and pluggable sinks.
+
+    The layer is designed around one invariant: with the default
+    {!null} sink installed, instrumented code pays a single physical
+    equality check ({!enabled}) and nothing else — no clock reads, no
+    allocation, no hash lookups.  Every instrumentation site in the
+    solver, the counters, and the pipeline is guarded this way, so the
+    hot paths are unaffected unless the user opts in with [--trace] or
+    [--verbose-stats].
+
+    Events flow to whatever sink is installed:
+    - {!null} — drops everything (the default);
+    - {!jsonl} — one JSON object per line, machine-readable traces;
+    - {!console} — accumulates an aggregated span tree and prints it
+      (plus the counter table) on {!flush};
+    - {!stats_only} — records no events but leaves the counter table
+      live (used by [bench --json]);
+    - {!tee} — duplicates events to two sinks.
+
+    The JSONL event schema (one object per line):
+    {v
+    {"ts":<unix seconds>,"kind":"span_start","name":"solver.solve","depth":2}
+    {"ts":…,"kind":"span_end","name":"solver.solve","depth":2,
+     "dur_ms":0.42,"attrs":{"conflicts":17,"result":"sat"}}
+    {"ts":…,"kind":"counter","name":"solver.conflicts","value":123.0}
+    v}
+    Counter events are emitted once per counter at {!flush} time with
+    the then-current accumulated value.
+
+    The layer is single-threaded, like the rest of the substrate: span
+    nesting is tracked with one global stack. *)
+
+(** {1 Events and sinks} *)
+
+type attr = Int of int | Float of float | Bool of bool | Str of string
+
+type event =
+  | Span_start of { ts : float; name : string; depth : int }
+  | Span_end of {
+      ts : float;
+      name : string;
+      depth : int;
+      dur_ms : float;
+      attrs : (string * attr) list;
+    }
+  | Counter of { ts : float; name : string; value : float }
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+val null : sink
+(** Drops every event.  Installed by default; {!enabled} is a physical
+    equality check against this value. *)
+
+val jsonl : string -> sink
+(** [jsonl path] opens (truncates) [path] and writes one JSON line per
+    event.  [flush] flushes the channel; the channel is closed at
+    process exit. *)
+
+val console : ?oc:out_channel -> unit -> sink
+(** Accumulates an aggregated span tree — repeated same-name children
+    of one parent collapse into a single row with a call count, total
+    duration and summed numeric attributes — and pretty-prints it,
+    followed by the counter table, on [flush].  Printing resets the
+    accumulator, so a second [flush] with no new spans prints
+    nothing.  [oc] defaults to [stdout]. *)
+
+val stats_only : unit -> sink
+(** Ignores all events.  Unlike {!null} it still turns {!enabled} on,
+    so counters accumulate and can be read back with {!counters} —
+    the cheapest way to get machine-readable totals without a trace. *)
+
+val tee : sink -> sink -> sink
+
+val set_sink : sink -> unit
+val sink : unit -> sink
+
+val enabled : unit -> bool
+(** [true] iff the installed sink is not {!null}. *)
+
+(** {1 Spans}
+
+    Spans nest: [start] pushes, [finish] pops.  When the layer is
+    disabled both are free (a shared dummy token, no clock read). *)
+
+type span
+
+val start : string -> span
+val finish : ?attrs:(string * attr) list -> span -> unit
+
+val with_span : ?attrs:(unit -> (string * attr) list) -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span.  [attrs] is evaluated
+    only on normal completion, after [f] returns — so it can read
+    values computed by [f].  If [f] raises, the span is finished with
+    [("outcome", Str "raised")] and the exception is re-raised. *)
+
+(** {1 Counters and gauges}
+
+    Counters are global, keyed by name, and accumulate only while
+    {!enabled}; gauges overwrite.  Reading is always allowed. *)
+
+val add : string -> int -> unit
+val addf : string -> float -> unit
+val gauge : string -> float -> unit
+
+val counter_value : string -> float
+(** 0. if the counter was never touched. *)
+
+val counters : unit -> (string * float) list
+(** Sorted snapshot of all counters and gauges. *)
+
+val reset_counters : unit -> unit
+
+val flush : unit -> unit
+(** Emit one {!type-event}[.Counter] event per live counter to the sink
+    (skipping counters unchanged since the previous [flush], so an
+    explicit flush followed by the [at_exit] one doesn't duplicate),
+    then flush the sink. *)
+
+(** {1 Rendering helpers} *)
+
+val attr_to_json : attr -> Json.t
+val event_to_json : event -> Json.t

@@ -231,4 +231,18 @@ let select_scope prop ~symmetry ~threshold ~max_scope =
       if enough then scope else go (scope + 1)
     end
   in
-  go 1
+  if not (Mcml_obs.Obs.enabled ()) then go 1
+  else begin
+    let open Mcml_obs in
+    let sp = Obs.start "props.select_scope" in
+    let scope = go 1 in
+    Obs.finish sp
+      ~attrs:
+        [
+          ("prop", Obs.Str prop.name);
+          ("symmetry", Obs.Bool symmetry);
+          ("threshold", Obs.Int threshold);
+          ("scope", Obs.Int scope);
+        ];
+    scope
+  end

@@ -3,6 +3,8 @@ open Mcml_logic
 type outcome = { models : bool array list; complete : bool }
 
 let run ?(limit = max_int) ?(on_model = fun _ -> ()) (cnf : Cnf.t) =
+  let sp = Mcml_obs.Obs.start "sat.enumerate" in
+  let t0 = if Mcml_obs.Obs.enabled () then Unix.gettimeofday () else 0.0 in
   let projection = Cnf.projection_vars cnf in
   let s = Solver.of_cnf cnf in
   let models = ref [] in
@@ -31,6 +33,20 @@ let run ?(limit = max_int) ?(on_model = fun _ -> ()) (cnf : Cnf.t) =
           continue := false
       | Solver.Unknown -> continue := false
   done;
+  if Mcml_obs.Obs.enabled () then begin
+    let open Mcml_obs in
+    let dt = Unix.gettimeofday () -. t0 in
+    Obs.add "enumerate.models" !n;
+    Obs.add "enumerate.blocking_clauses" !n;
+    Obs.finish sp
+      ~attrs:
+        [
+          ("models", Obs.Int !n);
+          ("blocking_clauses", Obs.Int !n);
+          ("complete", Obs.Bool !complete);
+          ("models_per_sec", Obs.Float (if dt > 0.0 then float_of_int !n /. dt else 0.0));
+        ]
+  end;
   { models = !models; complete = !complete }
 
 let count ?limit cnf =

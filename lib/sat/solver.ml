@@ -496,7 +496,7 @@ let search s ~max_conflicts ~restart_budget : result =
     assert false
   with Done r -> r
 
-let solve ?(max_conflicts = 0) s =
+let solve_core ~max_conflicts s =
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
@@ -516,6 +516,34 @@ let solve ?(max_conflicts = 0) s =
     loop 0
   end
 
+let string_of_result = function Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unknown"
+
+let solve ?(max_conflicts = 0) s =
+  if not (Mcml_obs.Obs.enabled ()) then solve_core ~max_conflicts s
+  else begin
+    let open Mcml_obs in
+    let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
+    let sp = Obs.start "solver.solve" in
+    let r = solve_core ~max_conflicts s in
+    let dc = s.conflicts - c0 and dd = s.decisions - d0 and dp = s.propagations - p0 in
+    Obs.add "solver.solves" 1;
+    Obs.add "solver.conflicts" dc;
+    Obs.add "solver.decisions" dd;
+    Obs.add "solver.propagations" dp;
+    Obs.finish sp
+      ~attrs:
+        [
+          ("result", Obs.Str (string_of_result r));
+          ("conflicts", Obs.Int dc);
+          ("decisions", Obs.Int dd);
+          ("propagations", Obs.Int dp);
+          ("learnts", Obs.Int (Vec.size s.learnts));
+          ("vars", Obs.Int s.nvars);
+          ("clauses", Obs.Int (Vec.size s.clauses));
+        ];
+    r
+  end
+
 let model_value s v =
   if v < 1 || v > s.nvars then invalid_arg "Solver.model_value";
   v < Array.length s.model_snapshot && s.model_snapshot.(v)
@@ -524,6 +552,23 @@ let model s = Array.copy s.model_snapshot
 let num_conflicts s = s.conflicts
 let num_decisions s = s.decisions
 let num_propagations s = s.propagations
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learnts : int;
+  clauses : int;
+}
+
+let stats (s : t) : stats =
+  {
+    conflicts = s.conflicts;
+    decisions = s.decisions;
+    propagations = s.propagations;
+    learnts = Vec.size s.learnts;
+    clauses = Vec.size s.clauses;
+  }
 
 let of_cnf (cnf : Cnf.t) =
   let s = create () in

@@ -41,5 +41,19 @@ val num_conflicts : t -> int
 val num_decisions : t -> int
 val num_propagations : t -> int
 
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learnts : int;  (** current learnt-clause DB size *)
+  clauses : int;  (** problem clauses *)
+}
+
+val stats : t -> stats
+(** Lifetime work counters of this solver instance (monotone except
+    [learnts]/[clauses], which are current sizes).  Each [solve] call
+    additionally emits the per-call deltas as a [solver.solve] span
+    when telemetry is enabled ({!Mcml_obs.Obs.enabled}). *)
+
 val of_cnf : Cnf.t -> t
 (** Fresh solver preloaded with the clauses of a CNF. *)

@@ -171,7 +171,7 @@ let bnn_accmc_matches_exhaustive () =
       ~rng:(Splitmix.create 52) data.Pipeline.dataset
   in
   let phi, not_phi = Pipeline.ground_truth prop ~scope:3 ~symmetry:false in
-  let space = Pipeline.space_cnf prop ~scope:3 ~symmetry:false in
+  let space = Pipeline.space_cnf ~scope:3 ~symmetry:false in
   let counts =
     Option.get (Bnn2cnf.accmc ~backend ~phi ~not_phi ~space ~nprimary:9 bnn)
   in

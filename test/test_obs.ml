@@ -1,0 +1,214 @@
+(* Tests for the telemetry layer: span nesting, counters, the sink
+   contract (null/jsonl/stats_only), and the JSON printer/parser. *)
+
+open Mcml_obs
+
+let check = Alcotest.check
+let floatc = Alcotest.float 1e-9
+
+(* The layer is global state; every test starts and ends clean. *)
+let with_clean_obs f =
+  Obs.set_sink Obs.null;
+  Obs.reset_counters ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink Obs.null;
+      Obs.reset_counters ())
+    f
+
+let recording () =
+  let events = ref [] in
+  let sink = { Obs.emit = (fun e -> events := e :: !events); flush = (fun () -> ()) } in
+  (sink, events)
+
+(* --- spans ------------------------------------------------------------------ *)
+
+let span_nesting () =
+  with_clean_obs @@ fun () ->
+  let sink, events = recording () in
+  Obs.set_sink sink;
+  let outer = Obs.start "outer" in
+  let inner = Obs.start "inner" in
+  Obs.finish inner ~attrs:[ ("k", Obs.Int 1) ];
+  Obs.finish outer;
+  match List.rev !events with
+  | [
+   Obs.Span_start { name = "outer"; depth = 0; _ };
+   Obs.Span_start { name = "inner"; depth = 1; _ };
+   Obs.Span_end { name = "inner"; depth = 1; dur_ms = d_in; attrs; _ };
+   Obs.Span_end { name = "outer"; depth = 0; dur_ms = d_out; _ };
+  ] ->
+      check Alcotest.bool "inner duration positive" true (d_in > 0.0);
+      check Alcotest.bool "outer >= inner" true (d_out >= d_in);
+      check Alcotest.bool "end carries attrs" true (List.mem_assoc "k" attrs)
+  | evs -> Alcotest.failf "unexpected event stream (%d events)" (List.length evs)
+
+let with_span_on_raise () =
+  with_clean_obs @@ fun () ->
+  let sink, events = recording () in
+  Obs.set_sink sink;
+  (try Obs.with_span "boom" (fun () -> failwith "no") with Failure _ -> ());
+  match !events with
+  | Obs.Span_end { name = "boom"; attrs; _ } :: _ ->
+      check Alcotest.bool "outcome=raised recorded" true
+        (List.assoc_opt "outcome" attrs = Some (Obs.Str "raised"))
+  | _ -> Alcotest.fail "expected a span end after the exception"
+
+(* --- counters --------------------------------------------------------------- *)
+
+let counters_accumulate () =
+  with_clean_obs @@ fun () ->
+  Obs.set_sink (Obs.stats_only ());
+  Obs.add "a" 2;
+  Obs.add "a" 3;
+  Obs.addf "b" 0.5;
+  Obs.gauge "g" 7.0;
+  Obs.gauge "g" 9.0;
+  check floatc "counter sums" 5.0 (Obs.counter_value "a");
+  check floatc "float counter" 0.5 (Obs.counter_value "b");
+  check floatc "gauge overwrites" 9.0 (Obs.counter_value "g");
+  check
+    Alcotest.(list (pair string (float 1e-9)))
+    "snapshot sorted"
+    [ ("a", 5.0); ("b", 0.5); ("g", 9.0) ]
+    (Obs.counters ());
+  Obs.reset_counters ();
+  check floatc "reset" 0.0 (Obs.counter_value "a")
+
+let flush_emits_counter_deltas_once () =
+  with_clean_obs @@ fun () ->
+  let sink, events = recording () in
+  Obs.set_sink sink;
+  Obs.add "hits" 3;
+  Obs.flush ();
+  Obs.flush ();
+  (* unchanged counters aren't re-emitted by the second flush *)
+  let counter_events =
+    List.filter (function Obs.Counter _ -> true | _ -> false) !events
+  in
+  check Alcotest.int "one counter event" 1 (List.length counter_events);
+  Obs.add "hits" 1;
+  Obs.flush ();
+  let counter_events =
+    List.filter (function Obs.Counter _ -> true | _ -> false) !events
+  in
+  check Alcotest.int "changed counter re-emitted" 2 (List.length counter_events)
+
+(* --- null sink --------------------------------------------------------------- *)
+
+let null_sink_is_inert () =
+  with_clean_obs @@ fun () ->
+  check Alcotest.bool "disabled by default" false (Obs.enabled ());
+  let sp = Obs.start "ignored" in
+  Obs.finish sp ~attrs:[ ("k", Obs.Int 1) ];
+  Obs.add "c" 5;
+  Obs.addf "c" 0.5;
+  Obs.gauge "g" 2.0;
+  check floatc "counters untouched" 0.0 (Obs.counter_value "c");
+  check floatc "gauges untouched" 0.0 (Obs.counter_value "g");
+  check Alcotest.int "no counters live" 0 (List.length (Obs.counters ()));
+  Obs.flush () (* must be a no-op, not an error *)
+
+(* --- jsonl sink --------------------------------------------------------------- *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let jsonl_roundtrip () =
+  with_clean_obs @@ fun () ->
+  let path = Filename.temp_file "mcml_obs_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Obs.set_sink (Obs.jsonl path);
+  Obs.with_span "outer" (fun () -> Obs.with_span "inner" (fun () -> ()));
+  Obs.add "hits" 3;
+  Obs.flush ();
+  Obs.set_sink Obs.null;
+  let lines = read_lines path in
+  (* 2 span starts + 2 span ends + 1 counter *)
+  check Alcotest.int "event count" 5 (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match Json.of_string line with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "line %S is not valid JSON: %s" line e)
+      lines
+  in
+  List.iter
+    (fun j ->
+      check Alcotest.bool "has ts" true
+        (Option.is_some (Option.bind (Json.member "ts" j) Json.to_float_opt));
+      check Alcotest.bool "has kind" true (Option.is_some (Json.member "kind" j)))
+    parsed;
+  let is_end_of name j =
+    Json.member "kind" j = Some (Json.Str "span_end")
+    && Json.member "name" j = Some (Json.Str name)
+  in
+  let inner_end =
+    match List.find_opt (is_end_of "inner") parsed with
+    | Some j -> j
+    | None -> Alcotest.fail "no span_end for inner"
+  in
+  (match Option.bind (Json.member "dur_ms" inner_end) Json.to_float_opt with
+  | Some d -> check Alcotest.bool "dur_ms positive" true (d > 0.0)
+  | None -> Alcotest.fail "span_end without dur_ms");
+  match List.find_opt (fun j -> Json.member "kind" j = Some (Json.Str "counter")) parsed with
+  | Some j ->
+      check Alcotest.bool "counter value" true
+        (Option.bind (Json.member "value" j) Json.to_float_opt = Some 3.0)
+  | None -> Alcotest.fail "no counter event"
+
+(* --- JSON printer/parser -------------------------------------------------------- *)
+
+let json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("list", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null; Json.Bool false ]);
+        ("str", Json.Str "he\"llo\n\t\\ \x01 é");
+        ("neg", Json.Int (-42));
+        ("empty", Json.Obj []);
+      ]
+  in
+  let s = Json.to_string j in
+  match Json.of_string s with
+  | Ok j2 -> check Alcotest.string "print/parse/print fixpoint" s (Json.to_string j2)
+  | Error e -> Alcotest.failf "failed to parse %S: %s" s e
+
+let json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      check Alcotest.bool (Printf.sprintf "rejects %S" s) true
+        (Result.is_error (Json.of_string s)))
+    [ "{"; "[1,"; "1 2"; "\"unterminated"; "{\"a\":}"; "nul"; "" ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and durations" `Quick span_nesting;
+          Alcotest.test_case "exception outcome" `Quick with_span_on_raise;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "accumulation" `Quick counters_accumulate;
+          Alcotest.test_case "flush dedup" `Quick flush_emits_counter_deltas_once;
+        ] );
+      ("null sink", [ Alcotest.test_case "inert" `Quick null_sink_is_inert ]);
+      ("jsonl sink", [ Alcotest.test_case "round-trip" `Quick jsonl_roundtrip ]);
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick json_roundtrip;
+          Alcotest.test_case "errors" `Quick json_rejects_garbage;
+        ] );
+    ]

@@ -157,11 +157,21 @@ let solver_unknown_var () =
       Solver.add_clause s [ Lit.pos 9 ])
 
 let solver_stats () =
-  let s = Solver.create ~nvars:3 () in
+  (* a nontrivial unsat instance: no units, so the solver must decide,
+     propagate and conflict before concluding *)
+  let s = Solver.create ~nvars:2 () in
   Solver.add_clause s [ Lit.pos 1; Lit.pos 2 ];
-  ignore (Solver.solve s);
-  check Alcotest.bool "propagations counted" true (Solver.num_propagations s >= 0);
-  check Alcotest.bool "decisions counted" true (Solver.num_decisions s >= 0)
+  Solver.add_clause s [ Lit.pos 1; Lit.neg_of_var 2 ];
+  Solver.add_clause s [ Lit.neg_of_var 1; Lit.pos 2 ];
+  Solver.add_clause s [ Lit.neg_of_var 1; Lit.neg_of_var 2 ];
+  check Alcotest.bool "unsat" true (Solver.solve s = Solver.Unsat);
+  let st = Solver.stats s in
+  check Alcotest.bool "decisions > 0" true (st.Solver.decisions > 0);
+  check Alcotest.bool "propagations > 0" true (st.Solver.propagations > 0);
+  check Alcotest.bool "conflicts > 0" true (st.Solver.conflicts > 0);
+  check Alcotest.int "clauses tracked" 4 st.Solver.clauses;
+  check Alcotest.int "legacy accessors agree" st.Solver.propagations
+    (Solver.num_propagations s)
 
 (* --- enumeration -------------------------------------------------------------- *)
 
