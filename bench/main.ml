@@ -8,7 +8,8 @@
      dune exec bench/main.exe              # tables + micro-benchmarks
      dune exec bench/main.exe -- --table 3 # one table only
      dune exec bench/main.exe -- --micro   # micro-benchmarks only
-     dune exec bench/main.exe -- --budget 120 --seed 1 *)
+     dune exec bench/main.exe -- --budget 120 --seed 1
+     dune exec bench/main.exe -- --table 1 --jobs 4 --json out.json *)
 
 open Mcml
 open Mcml_props
@@ -88,9 +89,9 @@ let sections : (string * float * (string * float) list) list ref = ref []
 
 let timed name f =
   let c0 = Mcml_obs.Obs.counters () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mcml_obs.Obs.monotonic_s () in
   f ();
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Mcml_obs.Obs.monotonic_s () -. t0 in
   let c1 = Mcml_obs.Obs.counters () in
   let delta =
     List.filter_map
@@ -101,26 +102,74 @@ let timed name f =
   in
   sections := (name, wall, delta) :: !sections
 
-let write_json path ~seed ~budget ~total =
+(* Per-section baseline wall times out of a previous --json summary (a
+   jobs=1 run), for the speedup_vs_jobs1 fields. *)
+let read_baseline path =
+  let open Mcml_obs in
+  let text =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Json.of_string text with
+  | Error msg ->
+      Format.eprintf "bench: cannot parse --baseline %s: %s@." path msg;
+      exit 2
+  | Ok doc -> (
+      match Json.member "sections" doc with
+      | Some (Json.List secs) ->
+          List.filter_map
+            (fun s ->
+              match
+                ( Json.member "name" s,
+                  Option.bind (Json.member "wall_s" s) Json.to_float_opt )
+              with
+              | Some (Json.Str name), Some wall -> Some (name, wall)
+              | _ -> None)
+            secs
+      | _ ->
+          Format.eprintf "bench: --baseline %s has no sections@." path;
+          exit 2)
+
+let write_json path ~seed ~budget ~jobs ~cache ~baseline ~total =
   let open Mcml_obs in
   let num v =
     if Float.is_integer v && Float.abs v < 1e15 then Json.Int (int_of_float v)
     else Json.Float v
   in
   let section (name, wall, counters) =
+    let speedup =
+      match List.assoc_opt name baseline with
+      | Some base when wall > 0.0 ->
+          [ ("speedup_vs_jobs1", Json.Float (base /. wall)) ]
+      | _ -> []
+    in
     Json.Obj
-      [
-        ("name", Json.Str name);
-        ("wall_s", Json.Float wall);
-        ("counters", Json.Obj (List.map (fun (k, v) -> (k, num v)) counters));
-      ]
+      ([ ("name", Json.Str name); ("wall_s", Json.Float wall) ]
+      @ speedup
+      @ [ ("counters", Json.Obj (List.map (fun (k, v) -> (k, num v)) counters)) ]
+      )
+  in
+  let ch, cm, ce =
+    match cache with
+    | None -> (0, 0, 0)
+    | Some c ->
+        let s = Mcml_counting.Counter.cache_stats c in
+        Mcml_exec.Memo.(s.hits, s.misses, s.evictions)
   in
   let doc =
     Json.Obj
       [
-        ("schema", Json.Str "mcml.bench.v1");
+        ("schema", Json.Str "mcml.bench.v2");
         ("seed", Json.Int seed);
         ("budget_s", Json.Float budget);
+        ("jobs", Json.Int jobs);
+        ("cache_enabled", Json.Bool (Option.is_some cache));
+        ("cache_hits", Json.Int ch);
+        ("cache_misses", Json.Int cm);
+        ("cache_evictions", Json.Int ce);
         ("total_wall_s", Json.Float total);
         ("sections", Json.List (List.rev_map section !sections));
         ("counters_total", Json.Obj (List.map (fun (k, v) -> (k, num v)) (Obs.counters ())));
@@ -293,6 +342,9 @@ let () =
   let budget = ref Experiments.fast.Experiments.budget in
   let seed = ref Experiments.fast.Experiments.seed in
   let json_path = ref "" in
+  let jobs = ref 1 in
+  let no_cache = ref false in
+  let baseline_path = ref "" in
   let args =
     [
       ("--table", Arg.Set_int table, "N  regenerate only table N");
@@ -301,9 +353,20 @@ let () =
       ("--tables", Arg.Set tables_only, "  tables only, skip micro-benchmarks");
       ("--budget", Arg.Set_float budget, "S  per-count timeout in seconds");
       ("--seed", Arg.Set_int seed, "N  RNG seed");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N  worker domains for the experiment driver (default 1: sequential, \
+         bit-identical tables at any setting)" );
+      ( "--no-count-cache",
+        Arg.Set no_cache,
+        "  disable the content-addressed count cache" );
       ( "--json",
         Arg.Set_string json_path,
         "PATH  write a machine-readable summary (wall time and counters per section)" );
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "PATH  a previous --json summary (typically --jobs 1); adds per-section \
+         speedup_vs_jobs1 fields to this run's --json output" );
     ]
   in
   Arg.parse args (fun _ -> ()) "bench/main.exe [options]";
@@ -315,8 +378,23 @@ let () =
        exit 2);
     Mcml_obs.Obs.set_sink (Mcml_obs.Obs.stats_only ())
   end;
-  let cfg = { Experiments.fast with Experiments.budget = !budget; seed = !seed } in
-  let t0 = Unix.gettimeofday () in
+  let baseline = if !baseline_path = "" then [] else read_baseline !baseline_path in
+  let pool =
+    if !jobs > 1 then Some (Mcml_exec.Pool.create ~jobs:!jobs ()) else None
+  in
+  let cache =
+    if !no_cache then None else Some (Mcml_counting.Counter.cache_create ())
+  in
+  let cfg =
+    {
+      Experiments.fast with
+      Experiments.budget = !budget;
+      seed = !seed;
+      pool;
+      cache;
+    }
+  in
+  let t0 = Mcml_obs.Obs.monotonic_s () in
   if !micro_only then timed "micro" run_micro
   else if !ablation_only then timed "ablations" (fun () -> run_ablations cfg)
   else if !table > 0 then
@@ -340,6 +418,9 @@ let () =
       timed "micro" run_micro
     end
   end;
-  let total = Unix.gettimeofday () -. t0 in
+  let total = Mcml_obs.Obs.monotonic_s () -. t0 in
+  Option.iter Mcml_exec.Pool.shutdown pool;
   Format.fprintf fmt "@.total wall-clock: %.1fs@." total;
-  if !json_path <> "" then write_json !json_path ~seed:!seed ~budget:!budget ~total
+  if !json_path <> "" then
+    write_json !json_path ~seed:!seed ~budget:!budget ~jobs:!jobs ~cache
+      ~baseline ~total

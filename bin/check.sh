@@ -32,4 +32,34 @@ grep -q '"kind":"span_end"' "$trace" || {
 }
 rm -f "$trace"
 
+echo "== smoke: parallel driver (jobs=1 vs jobs=4 must print identical tables) =="
+j1_out="$(mktemp /tmp/mcml_bench_j1.XXXXXX.txt)"
+j4_out="$(mktemp /tmp/mcml_bench_j4.XXXXXX.txt)"
+j1_json="$(mktemp /tmp/mcml_bench_j1.XXXXXX.json)"
+j4_json="$(mktemp /tmp/mcml_bench_j4.XXXXXX.json)"
+dune exec bench/main.exe -- --table 1 --budget 20 --jobs 1 --json "$j1_json" >"$j1_out"
+dune exec bench/main.exe -- --table 1 --budget 20 --jobs 4 --json "$j4_json" \
+  --baseline "$j1_json" >"$j4_out"
+# wall times and output paths legitimately differ; everything else must not
+grep -v -e "total wall-clock" -e "^wrote " "$j1_out" >"$j1_out.strip"
+grep -v -e "total wall-clock" -e "^wrote " "$j4_out" >"$j4_out.strip"
+if ! diff "$j1_out.strip" "$j4_out.strip"; then
+  echo "FAIL: table 1 output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+rm -f "$j1_out.strip" "$j4_out.strip"
+grep -q '"jobs":1' "$j1_json" || { echo "FAIL: jobs missing from jobs=1 JSON" >&2; exit 1; }
+grep -q '"jobs":4' "$j4_json" || { echo "FAIL: jobs missing from jobs=4 JSON" >&2; exit 1; }
+for field in cache_hits cache_misses wall_s; do
+  grep -q "\"$field\":" "$j4_json" || {
+    echo "FAIL: $field missing from jobs=4 JSON" >&2
+    exit 1
+  }
+done
+grep -q '"speedup_vs_jobs1":' "$j4_json" || {
+  echo "FAIL: speedup_vs_jobs1 missing from jobs=4 JSON (--baseline given)" >&2
+  exit 1
+}
+rm -f "$j1_out" "$j4_out" "$j1_json" "$j4_json"
+
 echo "OK"

@@ -352,8 +352,32 @@ let exp_cmd =
       & pos 0 (some int) None
       & info [] ~docv:"TABLE" ~doc:"Paper table number (1-9).")
   in
-  let run () table seed budget =
-    let cfg = { Experiments.fast with Experiments.seed; budget } in
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the experiment driver. The default (1) runs \
+             sequentially; any higher setting produces identical tables, only \
+             faster.")
+  in
+  let no_cache =
+    Arg.(
+      value
+      & flag
+      & info [ "no-count-cache" ]
+          ~doc:"Disable the content-addressed model-count cache.")
+  in
+  let run () table seed budget jobs no_cache =
+    let pool =
+      if jobs > 1 then Some (Mcml_exec.Pool.create ~jobs ()) else None
+    in
+    let cache =
+      if no_cache then None else Some (Mcml_counting.Counter.cache_create ())
+    in
+    at_exit (fun () -> Option.iter Mcml_exec.Pool.shutdown pool);
+    let cfg = { Experiments.fast with Experiments.seed; budget; pool; cache } in
     let fmt = Format.std_formatter in
     match table with
     | 1 -> Report.table1 fmt (Experiments.table1 cfg)
@@ -391,7 +415,7 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate one of the paper's tables (scaled-down configuration).")
-    Term.(const run $ obs_term $ table $ seed_arg $ budget_arg)
+    Term.(const run $ obs_term $ table $ seed_arg $ budget_arg $ jobs $ no_cache)
 
 (* --- main ------------------------------------------------------------------------ *)
 

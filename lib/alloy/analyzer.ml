@@ -63,10 +63,10 @@ let enumerate ?symmetry ?limit t ~pred =
   else begin
     let open Mcml_obs in
     let sp = Obs.start "alloy.enumerate" in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.monotonic_s () in
     let ((instances, complete) as r) = enumerate_core ?symmetry ?limit t ~pred in
     let n = List.length instances in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Obs.monotonic_s () -. t0 in
     Obs.finish sp
       ~attrs:
         [
@@ -93,5 +93,6 @@ let evaluate t ~pred inst =
   in
   BSem.pred env pred
 
-let count ?negate ?symmetry ?budget ~backend t ~pred =
-  Mcml_counting.Counter.count ?budget ~backend (cnf ?negate ?symmetry t ~pred)
+let count ?negate ?symmetry ?budget ?cache ~backend t ~pred =
+  Mcml_counting.Counter.count ?budget ?cache ~backend
+    (cnf ?negate ?symmetry t ~pred)

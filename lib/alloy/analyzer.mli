@@ -53,8 +53,15 @@ val count :
   ?negate:bool ->
   ?symmetry:bool ->
   ?budget:float ->
+  ?cache:Mcml_counting.Counter.cache ->
   backend:Mcml_counting.Counter.backend ->
   t ->
   pred:string ->
   Mcml_counting.Counter.outcome option
-(** Model count of the predicate over the bounded space. *)
+(** Model count of the predicate over the bounded space.  [cache]
+    memoizes the outcome by full (backend, budget, CNF) content
+    ({!Mcml_counting.Counter.cache}).
+
+    {b Thread safety.}  An analyzer value is immutable; translation,
+    enumeration, and counting build fresh per-call state, so one
+    analyzer may be shared across domains. *)

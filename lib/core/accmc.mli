@@ -43,6 +43,8 @@ val default_style : Counter.backend -> style
 val counts :
   ?budget:float ->
   ?style:style ->
+  ?pool:Mcml_exec.Pool.t ->
+  ?cache:Counter.cache ->
   backend:Counter.backend ->
   phi:Cnf.t ->
   not_phi:Cnf.t ->
@@ -55,11 +57,20 @@ val counts :
     evaluating the symmetry-constrained universe); [space] is that
     universe itself (the symmetry predicate alone, or an empty CNF for
     the full space).  [None] if any counting call times out (the paper
-    reports "-" for the whole row in that case). *)
+    reports "-" for the whole row in that case).
+
+    With [pool], the four counts run as one parallel batch and are
+    recombined in a fixed order, so results are identical to the
+    sequential path (which is taken verbatim, including its
+    short-circuit on the first timeout, when [pool] is absent).
+    [cache] memoizes each (backend, budget, CNF) count outcome —
+    see {!Counter.cache}. *)
 
 val counts_sides :
   ?budget:float ->
   ?style:style ->
+  ?pool:Mcml_exec.Pool.t ->
+  ?cache:Counter.cache ->
   backend:Counter.backend ->
   phi:Cnf.t ->
   not_phi:Cnf.t ->

@@ -20,11 +20,17 @@ type counts = {
 
 val counts :
   ?budget:float ->
+  ?pool:Mcml_exec.Pool.t ->
+  ?cache:Counter.cache ->
   backend:Counter.backend ->
   nprimary:int ->
   Decision_tree.t ->
   Decision_tree.t ->
   counts option
+(** With [pool], the four counts run as one parallel batch (identical
+    results, different schedule); without it, the original sequential
+    short-circuiting path is taken.  [cache] memoizes count outcomes
+    ({!Counter.cache}). *)
 
 val diff : counts -> nprimary:int -> float
 val sim : counts -> nprimary:int -> float

@@ -16,6 +16,8 @@ type config = {
   dt_train_fraction : float;
   ratios : (int * int) list;
   properties : Props.t list;
+  pool : Mcml_exec.Pool.t option;
+  cache : Counter.cache option;
 }
 
 let fast =
@@ -32,6 +34,8 @@ let fast =
     dt_train_fraction = 0.10;
     ratios = [ (75, 25); (25, 75); (1, 99) ];
     properties = Props.all;
+    pool = None;
+    cache = None;
   }
 
 let paper =
@@ -48,6 +52,8 @@ let paper =
     dt_train_fraction = 0.10;
     ratios = [ (75, 25); (50, 50); (25, 75); (10, 90); (1, 99) ];
     properties = Props.all;
+    pool = None;
+    cache = None;
   }
 
 let scope_for cfg prop ~symmetry =
@@ -67,6 +73,16 @@ let prop_span (prop : Props.t) f =
     ~attrs:(fun () -> [ ("prop", Obs.Str prop.Props.name) ])
     f
 
+(* Row-level fan-out: every table maps a pure-per-row function over its
+   rows (properties or class ratios), so with a pool the rows become
+   pool tasks; [Pool.map_list] preserves input order, and each row's
+   work is deterministic given the config seed, so the table contents
+   are identical at any [jobs]. *)
+let pmap cfg f xs =
+  match cfg.pool with
+  | None -> List.map f xs
+  | Some pool -> Mcml_exec.Pool.map_list pool f xs
+
 (* --- Table 1 ------------------------------------------------------------ *)
 
 type t1_row = {
@@ -82,7 +98,7 @@ type t1_row = {
 
 let table1 cfg : t1_row list =
   exp_span "exp.table1" @@ fun () ->
-  List.map
+  pmap cfg
     (fun prop ->
       prop_span prop @@ fun () ->
       let scope = scope_for cfg prop ~symmetry:true in
@@ -94,8 +110,8 @@ let table1 cfg : t1_row list =
       let n_enum = List.length enumerated in
       let count ~symmetry backend =
         match
-          Mcml_alloy.Analyzer.count ~symmetry ~budget:cfg.budget ~backend analyzer
-            ~pred:prop.Props.pred
+          Mcml_alloy.Analyzer.count ~symmetry ~budget:cfg.budget ?cache:cfg.cache
+            ~backend analyzer ~pred:prop.Props.pred
         with
         | Some o -> Bignat.to_string o.Counter.count
         | None -> "-"
@@ -136,8 +152,9 @@ let model_performance cfg ~prop ~symmetry : perf_row list =
     Pipeline.generate prop
       { Pipeline.scope; symmetry; max_positives = cfg.max_positives; seed = cfg.seed }
   in
-  List.concat_map
-    (fun ratio ->
+  List.concat
+  @@ pmap cfg
+       (fun ratio ->
       let fraction = Pipeline.train_fraction_of_ratio ratio in
       let rng = Splitmix.create (cfg.seed + fst ratio) in
       let train, test = Dataset.split rng ~train_fraction:fraction data.Pipeline.dataset in
@@ -159,7 +176,7 @@ type dt_row = {
 
 let dt_generalization cfg ~data_symmetry ~eval_symmetry : dt_row list =
   exp_span "exp.dt_generalization" @@ fun () ->
-  List.map
+  pmap cfg
     (fun prop ->
       prop_span prop @@ fun () ->
       let scope = scope_for cfg prop ~symmetry:data_symmetry in
@@ -180,8 +197,8 @@ let dt_generalization cfg ~data_symmetry ~eval_symmetry : dt_row list =
       let tree = Option.get model.Model.tree in
       let test_metrics = Model.evaluate model test in
       let phi =
-        Pipeline.accmc ~budget:cfg.budget ~backend:cfg.backend ~prop ~scope
-          ~eval_symmetry tree
+        Pipeline.accmc ~budget:cfg.budget ?pool:cfg.pool ?cache:cfg.cache
+          ~backend:cfg.backend ~prop ~scope ~eval_symmetry tree
       in
       { d_prop = prop.Props.name; d_scope = scope; d_test = test_metrics; d_phi = phi })
     cfg.properties
@@ -197,7 +214,7 @@ type diff_row = {
 
 let tree_differences cfg : diff_row list =
   exp_span "exp.tree_differences" @@ fun () ->
-  List.map
+  pmap cfg
     (fun prop ->
       prop_span prop @@ fun () ->
       let scope = scope_for cfg prop ~symmetry:true in
@@ -231,7 +248,8 @@ let tree_differences cfg : diff_row list =
       in
       let nprimary = scope * scope in
       let counts =
-        Diffmc.counts ~budget:cfg.budget ~backend:cfg.backend ~nprimary t1 t2
+        Diffmc.counts ~budget:cfg.budget ?pool:cfg.pool ?cache:cfg.cache
+          ~backend:cfg.backend ~nprimary t1 t2
       in
       {
         f_prop = prop.Props.name;
@@ -255,7 +273,7 @@ type sym_row = {
 
 let symmetry_ablation cfg : sym_row list =
   exp_span "exp.symmetry_ablation" @@ fun () ->
-  List.map
+  pmap cfg
     (fun prop ->
       prop_span prop @@ fun () ->
       (* orbit counting canonicalizes every solution: keep scopes small *)
@@ -293,7 +311,12 @@ type style_row = {
 
 let accmc_style_ablation cfg : style_row list =
   exp_span "exp.accmc_style_ablation" @@ fun () ->
-  List.map
+  (* rows fan out, but the measured accmc calls deliberately take the
+     sequential, uncached path: the ablation compares the wall-clock
+     cost of Direct vs Complement, and a shared count cache (or
+     intra-call parallelism) would let one style ride on the other's
+     work and skew the comparison *)
+  pmap cfg
     (fun prop ->
       prop_span prop @@ fun () ->
       let scope = scope_for cfg prop ~symmetry:true in
@@ -343,7 +366,7 @@ let class_ratio_study cfg ~prop : t9_row list =
   let ratios = [ (99, 1); (90, 10); (75, 25); (50, 50); (25, 75); (10, 90); (1, 99) ] in
   let base = data.Pipeline.dataset in
   let n = Dataset.size base in
-  List.map
+  pmap cfg
     (fun (pw, nw) ->
       let rng = Splitmix.create (cfg.seed + (100 * pw) + nw) in
       let skewed = Dataset.with_class_ratio rng ~pos_weight:pw ~neg_weight:nw ~size:n base in
@@ -353,8 +376,8 @@ let class_ratio_study cfg ~prop : t9_row list =
       let traditional = Metrics.precision (Model.evaluate model test) in
       let mcml =
         match
-          Pipeline.accmc ~budget:cfg.budget ~backend:cfg.backend ~prop ~scope
-            ~eval_symmetry:false tree
+          Pipeline.accmc ~budget:cfg.budget ?pool:cfg.pool ?cache:cfg.cache
+            ~backend:cfg.backend ~prop ~scope ~eval_symmetry:false tree
         with
         | Some counts -> Metrics.precision (Accmc.confusion counts)
         | None -> Float.nan

@@ -10,7 +10,17 @@
     published thresholds (10 000 / 90 000) and scopes, which need
     hours and industrial-strength counters for the largest rows.
     EXPERIMENTS.md records the configuration used for the checked-in
-    outputs. *)
+    outputs.
+
+    {b Parallelism.}  With [pool], every driver fans its rows
+    (properties, or class ratios) out as pool tasks, and the row-level
+    counting calls additionally batch their four counts; [cache]
+    memoizes count outcomes across rows and tables.  Row results are
+    recombined in input order and all per-row randomness derives from
+    [seed], so any [jobs] setting produces identical tables — only
+    wall-clock times and telemetry differ.  With [pool = None] (the
+    {!fast}/{!paper} default) execution is exactly the original
+    sequential driver. *)
 
 open Mcml_ml
 open Mcml_counting
@@ -29,6 +39,9 @@ type config = {
   dt_train_fraction : float;  (** Tables 3/5/6/7 train on 10% *)
   ratios : (int * int) list;  (** Tables 2/4 *)
   properties : Props.t list;
+  pool : Mcml_exec.Pool.t option;  (** [None]: run rows sequentially *)
+  cache : Counter.cache option;
+      (** shared count cache (not consulted by the timing ablation) *)
 }
 
 val fast : config

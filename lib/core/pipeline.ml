@@ -17,21 +17,12 @@ type generated = {
   symmetry : bool;
 }
 
-let generate_core (prop : Props.t) (cfg : data_config) : generated =
-  let analyzer = Props.analyzer ~scope:cfg.scope in
-  let insts, complete =
-    Mcml_alloy.Analyzer.enumerate ~symmetry:cfg.symmetry ~limit:cfg.max_positives
-      analyzer ~pred:prop.Props.pred
-  in
-  let positives = List.map Mcml_alloy.Instance.to_bits insts in
-  let num_pos = List.length positives in
-  if num_pos = 0 then
-    invalid_arg
-      (Printf.sprintf "Pipeline.generate: %s has no solutions at scope %d"
-         prop.Props.name cfg.scope);
-  (* rejection-sample distinct negatives, one per positive *)
-  let rng = Splitmix.create cfg.seed in
-  let nfeatures = cfg.scope * cfg.scope in
+(* Rejection-sample [num_pos] distinct negatives of [prop] at [scope].
+   All randomness comes from the [rng] handed in — there is no hidden
+   global stream, so the sample depends only on that rng's seed and is
+   reproducible regardless of what other domains are doing. *)
+let sample_negatives ~rng (prop : Props.t) ~scope ~num_pos =
+  let nfeatures = scope * scope in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create (2 * num_pos) in
   let key bits =
     String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
@@ -43,7 +34,7 @@ let generate_core (prop : Props.t) (cfg : data_config) : generated =
   while !found < num_pos && !attempts < max_attempts do
     incr attempts;
     let bits = Array.init nfeatures (fun _ -> Splitmix.bool rng) in
-    if not (prop.Props.check ~scope:cfg.scope bits) then begin
+    if not (prop.Props.check ~scope bits) then begin
       let k = key bits in
       if not (Hashtbl.mem seen k) then begin
         Hashtbl.add seen k ();
@@ -56,11 +47,32 @@ let generate_core (prop : Props.t) (cfg : data_config) : generated =
     invalid_arg
       (Printf.sprintf
          "Pipeline.generate: could not sample %d distinct negatives for %s (scope %d)"
-         num_pos prop.Props.name cfg.scope);
+         num_pos prop.Props.name scope);
+  !negatives
+
+let generate_core (prop : Props.t) (cfg : data_config) : generated =
+  let analyzer = Props.analyzer ~scope:cfg.scope in
+  let insts, complete =
+    Mcml_alloy.Analyzer.enumerate ~symmetry:cfg.symmetry ~limit:cfg.max_positives
+      analyzer ~pred:prop.Props.pred
+  in
+  let positives = List.map Mcml_alloy.Instance.to_bits insts in
+  let num_pos = List.length positives in
+  if num_pos = 0 then
+    invalid_arg
+      (Printf.sprintf "Pipeline.generate: %s has no solutions at scope %d"
+         prop.Props.name cfg.scope);
+  (* one negative per positive; sampling rng and shuffle rng are derived
+     from the config seed only *)
+  let negatives =
+    sample_negatives ~rng:(Splitmix.create cfg.seed) prop ~scope:cfg.scope
+      ~num_pos
+  in
+  let nfeatures = cfg.scope * cfg.scope in
   let dataset =
     Dataset.balanced
       (Splitmix.create (cfg.seed + 1))
-      ~positives ~negatives:!negatives ~nfeatures
+      ~positives ~negatives ~nfeatures
   in
   {
     dataset;
@@ -111,10 +123,11 @@ let space_cnf ~scope ~symmetry =
     Tseitin.cnf_of ~nprimary breaking
   end
 
-let accmc ?budget ?style ~backend ~prop ~scope ~eval_symmetry tree =
+let accmc ?budget ?style ?pool ?cache ~backend ~prop ~scope ~eval_symmetry tree
+    =
   let phi, not_phi = ground_truth prop ~scope ~symmetry:eval_symmetry in
   let space = space_cnf ~scope ~symmetry:eval_symmetry in
-  Accmc.counts ?budget ?style ~backend ~phi ~not_phi ~space ~nprimary:(scope * scope)
-    tree
+  Accmc.counts ?budget ?style ?pool ?cache ~backend ~phi ~not_phi ~space
+    ~nprimary:(scope * scope) tree
 
 let train_fraction_of_ratio (a, b) = float_of_int a /. float_of_int (a + b)

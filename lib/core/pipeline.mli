@@ -1,6 +1,12 @@
 (** End-to-end data pipeline: property → bounded-exhaustive positives,
     random rejection-sampled negatives, balanced dataset — the
-    "Generation of positive and negative samples" procedure of §5. *)
+    "Generation of positive and negative samples" procedure of §5.
+
+    {b Determinism.}  All randomness (negative sampling, dataset
+    shuffling) is drawn from SplitMix streams created locally from
+    [data_config.seed]; no global RNG is consulted.  Generation for
+    different properties may therefore run on different domains and
+    still produce exactly the datasets of a sequential run. *)
 
 open Mcml_logic
 open Mcml_ml
@@ -45,6 +51,8 @@ val space_cnf : scope:int -> symmetry:bool -> Cnf.t
 val accmc :
   ?budget:float ->
   ?style:Accmc.style ->
+  ?pool:Mcml_exec.Pool.t ->
+  ?cache:Counter.cache ->
   backend:Counter.backend ->
   prop:Mcml_props.Props.t ->
   scope:int ->

@@ -56,11 +56,13 @@ let bounded_count ~check_time ~rng (cnf : Cnf.t) m thresh =
 
 let count ?budget ?(config = default) (cnf : Cnf.t) : Bignat.t =
   let deadline =
-    match budget with None -> None | Some b -> Some (Unix.gettimeofday () +. b)
+    match budget with
+    | None -> None
+    | Some b -> Some (Mcml_obs.Obs.monotonic_s () +. b)
   in
   let check_time () =
     match deadline with
-    | Some d when Unix.gettimeofday () > d -> raise Timeout
+    | Some d when Mcml_obs.Obs.monotonic_s () > d -> raise Timeout
     | _ -> ()
   in
   let rng = Splitmix.create config.seed in
@@ -145,7 +147,7 @@ let count ?budget ?(config = default) (cnf : Cnf.t) : Bignat.t =
   else begin
     let open Mcml_obs in
     let sp = Obs.start "count.approx" in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.monotonic_s () in
     let attrs outcome =
       [
         ("outcome", Obs.Str outcome);
@@ -154,7 +156,7 @@ let count ?budget ?(config = default) (cnf : Cnf.t) : Bignat.t =
         ("sat_queries", Obs.Int !queries);
         ("proj_vars", Obs.Int n);
         ("budget_s", match budget with Some b -> Obs.Float b | None -> Obs.Str "none");
-        ("consumed_s", Obs.Float (Unix.gettimeofday () -. t0));
+        ("consumed_s", Obs.Float (Obs.monotonic_s () -. t0));
       ]
     in
     let account () =

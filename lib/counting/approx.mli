@@ -9,8 +9,13 @@
     [t] independent rounds gives the usual
     [(1+ε)]-approximation-with-probability-[1-δ] guarantee.
 
-    All randomness is drawn from a seeded SplitMix64 stream, so counts
-    are reproducible. *)
+    All randomness is drawn from a seeded SplitMix64 stream created
+    per call from [config.seed], so counts are reproducible and, in
+    particular, independent of how calls interleave across domains.
+
+    {b Thread safety.}  Each [count] call owns its solver, RNG, and
+    search state; concurrent calls from different domains do not
+    interact.  Deadlines use the monotonic clock. *)
 
 open Mcml_logic
 

@@ -1,18 +1,62 @@
 open Mcml_logic
+module Memo = Mcml_exec.Memo
 
 type backend = Exact | Approx of Approx.config | Brute
 
 type outcome = { count : Bignat.t; exact : bool; time : float }
+
+type cache = outcome option Memo.t
 
 let name = function
   | Exact -> "exact(projmc)"
   | Approx _ -> "approx(approxmc)"
   | Brute -> "brute"
 
-let count ?(budget = 5000.0) ~backend (cnf : Cnf.t) : outcome option =
-  let start = Unix.gettimeofday () in
+let cache_create ?capacity () = Memo.create ?capacity ~name:"exec.count_cache" ()
+
+let cache_stats = Memo.stats
+
+(* The key serializes everything the outcome depends on: the backend
+   and all its parameters (for Approx: epsilon, delta, seed,
+   max_rounds — two configs differing only in seed may legitimately
+   return different estimates), the budget, and the full CNF content
+   (nvars, projection set — distinguishing [None] from an explicit
+   set — and every literal of every clause, in order).  Floats are
+   printed with %h so distinct budgets never collide. *)
+let cache_key ~budget ~backend (cnf : Cnf.t) =
+  let buf = Buffer.create (64 + (8 * Cnf.num_literals cnf)) in
+  (match backend with
+  | Exact -> Buffer.add_string buf "exact"
+  | Brute -> Buffer.add_string buf "brute"
+  | Approx { Approx.epsilon; delta; seed; max_rounds } ->
+      Buffer.add_string buf
+        (Printf.sprintf "approx(%h,%h,%d,%s)" epsilon delta seed
+           (match max_rounds with None -> "-" | Some r -> string_of_int r)));
+  Buffer.add_string buf (Printf.sprintf "|b=%h|n=%d|p=" budget cnf.Cnf.nvars);
+  (match cnf.Cnf.projection with
+  | None -> Buffer.add_char buf '*'
+  | Some vs ->
+      Array.iter
+        (fun v ->
+          Buffer.add_string buf (string_of_int v);
+          Buffer.add_char buf ',')
+        vs);
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun clause ->
+      Array.iter
+        (fun l ->
+          Buffer.add_string buf (string_of_int (l : Lit.t :> int));
+          Buffer.add_char buf ' ')
+        clause;
+      Buffer.add_char buf ';')
+    cnf.Cnf.clauses;
+  Buffer.contents buf
+
+let count_uncached ~budget ~backend (cnf : Cnf.t) : outcome option =
+  let start = Mcml_obs.Obs.monotonic_s () in
   let finish count exact =
-    Some { count; exact; time = Unix.gettimeofday () -. start }
+    Some { count; exact; time = Mcml_obs.Obs.monotonic_s () -. start }
   in
   let outcome =
     match backend with
@@ -28,3 +72,15 @@ let count ?(budget = 5000.0) ~backend (cnf : Cnf.t) : outcome option =
   in
   if outcome = None then Mcml_obs.Obs.add "count.timeouts" 1;
   outcome
+
+let count ?(budget = 5000.0) ?cache ~backend (cnf : Cnf.t) : outcome option =
+  match cache with
+  | None -> count_uncached ~budget ~backend cnf
+  | Some c ->
+      let key = cache_key ~budget ~backend cnf in
+      (match Memo.find c ~key with
+      | Some o -> o
+      | None ->
+          let o = count_uncached ~budget ~backend cnf in
+          Memo.add c ~key o;
+          o)

@@ -3,7 +3,13 @@
     The paper's tooling treats the counter as a pluggable component
     (ApproxMC or ProjMC); this module provides the corresponding
     dispatch, timing, and timeout discipline (the paper uses a 5000 s
-    timeout; ours defaults lower and is configurable). *)
+    timeout; ours defaults lower and is configurable).
+
+    {b Thread safety.}  [count] may be called concurrently from
+    several domains: each call builds its own solver/counter state,
+    and the optional {!cache} is internally synchronized.  Timing uses
+    the monotonic clock ({!Mcml_obs.Obs.monotonic_s}), so budgets are
+    immune to wall-clock adjustments. *)
 
 open Mcml_logic
 
@@ -20,6 +26,30 @@ type outcome = {
 
 val name : backend -> string
 
-val count : ?budget:float -> backend:backend -> Cnf.t -> outcome option
+type cache = outcome option Mcml_exec.Memo.t
+(** Content-addressed memo of count outcomes, keyed by the full
+    (backend, budget, CNF) content — see {!cache_key}.  Timeouts
+    ([None] outcomes) are cached too: re-asking the same backend the
+    same question under the same budget would time out again, and
+    caching the [None] saves re-burning the whole budget.  A cached
+    outcome keeps the {e original} [time] field. *)
+
+val cache_create : ?capacity:int -> unit -> cache
+(** Bounded (FIFO-evicted, default 4096 entries) cache; its hit/miss/
+    eviction counters are exported as [exec.count_cache.*] through
+    [Mcml_obs]. *)
+
+val cache_stats : cache -> Mcml_exec.Memo.stats
+
+val cache_key : budget:float -> backend:backend -> Cnf.t -> string
+(** The full serialized identity of a count query: backend (with all
+    Approx parameters, including the seed), budget, [nvars], the
+    projection set (an explicit set is distinguished from [None]), and
+    every clause literal.  Exposed for tests. *)
+
+val count :
+  ?budget:float -> ?cache:cache -> backend:backend -> Cnf.t -> outcome option
 (** [count ~backend cnf] runs the chosen counter; [None] on timeout
-    ([budget] in seconds, default 5000 like the paper). *)
+    ([budget] in seconds, default 5000 like the paper).  With [cache],
+    the query key is looked up first and the computed outcome stored
+    after. *)

@@ -35,7 +35,7 @@ let check_time st =
   st.ticks <- st.ticks + 1;
   if st.ticks land 1023 = 0 then
     match st.deadline with
-    | Some d when Unix.gettimeofday () > d -> raise Timeout
+    | Some d when Mcml_obs.Obs.monotonic_s () > d -> raise Timeout
     | _ -> ()
 
 let value_lit st (l : Lit.t) =
@@ -326,7 +326,9 @@ and count_cached st comp =
 
 let count ?budget (cnf : Cnf.t) : Bignat.t =
   let deadline =
-    match budget with None -> None | Some b -> Some (Unix.gettimeofday () +. b)
+    match budget with
+    | None -> None
+    | Some b -> Some (Mcml_obs.Obs.monotonic_s () +. b)
   in
   (* normalize clauses: drop tautologies and duplicates (Cnf.make did) *)
   let clauses = cnf.Cnf.clauses in
@@ -380,7 +382,7 @@ let count ?budget (cnf : Cnf.t) : Bignat.t =
   else begin
     let open Mcml_obs in
     let sp = Obs.start "count.exact" in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.monotonic_s () in
     let attrs outcome =
       [
         ("outcome", Obs.Str outcome);
@@ -390,7 +392,7 @@ let count ?budget (cnf : Cnf.t) : Bignat.t =
         ("proj_vars", Obs.Int (Array.length (Cnf.projection_vars cnf)));
         ("clauses", Obs.Int nclauses);
         ("budget_s", match budget with Some b -> Obs.Float b | None -> Obs.Str "none");
-        ("consumed_s", Obs.Float (Unix.gettimeofday () -. t0));
+        ("consumed_s", Obs.Float (Obs.monotonic_s () -. t0));
       ]
     in
     let account () =

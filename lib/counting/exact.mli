@@ -19,7 +19,13 @@
        by occurrence count.}}
 
     The counter is exact and deterministic; [budget] bounds the wall
-    clock for callers that need the paper's timeout discipline. *)
+    clock for callers that need the paper's timeout discipline.
+    Deadlines use the monotonic clock, so a system clock step cannot
+    spuriously expire (or extend) a budget.
+
+    {b Thread safety.}  Every [count] call allocates its own solver
+    state and component cache; concurrent calls from different domains
+    do not interact. *)
 
 open Mcml_logic
 

@@ -1,0 +1,93 @@
+module Obs = Mcml_obs.Obs
+
+type 'a t = {
+  name : string;
+  capacity : int;
+  hash : string -> string;
+  m : Mutex.t;
+  (* digest -> bucket of (full key, value); the bucket resolves digest
+     collisions by comparing full keys *)
+  tbl : (string, (string * 'a) list) Hashtbl.t;
+  order : (string * string) Queue.t; (* (digest, full key), FIFO for eviction *)
+  mutable size : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+let create ?(capacity = 4096) ?(hash = Digest.string) ~name () =
+  {
+    name;
+    capacity = max 1 capacity;
+    hash;
+    m = Mutex.create ();
+    tbl = Hashtbl.create 256;
+    order = Queue.create ();
+    size = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  match f () with
+  | v ->
+      Mutex.unlock t.m;
+      v
+  | exception e ->
+      Mutex.unlock t.m;
+      raise e
+
+let find t ~key =
+  let d = t.hash key in
+  locked t (fun () ->
+      let bucket = Option.value (Hashtbl.find_opt t.tbl d) ~default:[] in
+      match List.assoc_opt key bucket with
+      | Some v ->
+          t.hits <- t.hits + 1;
+          Obs.add (t.name ^ ".hits") 1;
+          Some v
+      | None ->
+          t.misses <- t.misses + 1;
+          Obs.add (t.name ^ ".misses") 1;
+          None)
+
+let evict_oldest t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some (d, key) ->
+      let bucket = Option.value (Hashtbl.find_opt t.tbl d) ~default:[] in
+      (match List.filter (fun (k, _) -> k <> key) bucket with
+      | [] -> Hashtbl.remove t.tbl d
+      | rest -> Hashtbl.replace t.tbl d rest);
+      t.size <- t.size - 1;
+      t.evictions <- t.evictions + 1;
+      Obs.add (t.name ^ ".evictions") 1
+
+let add t ~key v =
+  let d = t.hash key in
+  locked t (fun () ->
+      let bucket = Option.value (Hashtbl.find_opt t.tbl d) ~default:[] in
+      if not (List.mem_assoc key bucket) then begin
+        Hashtbl.replace t.tbl d ((key, v) :: bucket);
+        Queue.push (d, key) t.order;
+        t.size <- t.size + 1;
+        while t.size > t.capacity do
+          evict_oldest t
+        done
+      end)
+
+let find_or_add t ~key f =
+  match find t ~key with
+  | Some v -> v
+  | None ->
+      let v = f () in
+      add t ~key v;
+      v
+
+let stats t =
+  locked t (fun () ->
+      { hits = t.hits; misses = t.misses; evictions = t.evictions; size = t.size })

@@ -1,0 +1,41 @@
+(** Content-addressed, bounded, thread-safe memo cache.
+
+    Entries are keyed by the {e full content string} the caller
+    serializes (for the count cache: backend, budget, and the entire
+    CNF).  Internally keys are addressed by a short digest, but the
+    full key is stored and compared on lookup, so a digest collision
+    degrades to a miss — never to a wrong value ("hash-collision
+    safety"; the test suite forces collisions through [hash]).
+
+    Eviction is FIFO over insertion order, bounded by [capacity].
+
+    {b Thread safety.}  All operations are serialized by an internal
+    mutex.  {!find_or_add} deliberately computes the value {e outside}
+    the lock: two domains racing on the same absent key may both
+    compute it (the first insert wins); for the deterministic counter
+    workloads this wastes at most one duplicate count and never
+    changes results.
+
+    {b Telemetry.}  Hits, misses and evictions are always tracked in
+    the cache itself ({!stats}) and mirrored to [Mcml_obs] counters
+    [<name>.hits] / [<name>.misses] / [<name>.evictions] when a sink
+    is installed. *)
+
+type 'a t
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+val create : ?capacity:int -> ?hash:(string -> string) -> name:string -> unit -> 'a t
+(** [capacity] defaults to 4096 entries.  [hash] maps a full key to
+    its short address and defaults to [Digest.string] (MD5); it is
+    injectable only so tests can force collisions. *)
+
+val find : 'a t -> key:string -> 'a option
+
+val add : 'a t -> key:string -> 'a -> unit
+(** First insert wins: adding an existing key is a no-op. *)
+
+val find_or_add : 'a t -> key:string -> (unit -> 'a) -> 'a
+(** Lookup; on a miss, compute (outside the lock) and insert. *)
+
+val stats : 'a t -> stats

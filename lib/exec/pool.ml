@@ -1,0 +1,227 @@
+module Obs = Mcml_obs.Obs
+
+exception Deadline_exceeded
+exception Cancelled
+
+(* A queued task is an already-wrapped closure: running it settles its
+   future (normally, exceptionally, or via the deadline/cancel path).
+   The queue never holds user thunks directly, so a popped task can be
+   executed by any domain — a worker, or a caller helping in [await] /
+   overflowing in [submit]. *)
+type task = { run : unit -> unit }
+
+type t = {
+  jobs : int;
+  bound : int;
+  m : Mutex.t;
+  not_empty : Condition.t;
+  queue : task Queue.t;
+  mutable live : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type 'a state =
+  | Pending  (** queued, not started *)
+  | Running
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable st : 'a state;
+  mutable cancel_requested : bool;
+  fpool : t option;  (** [Some] iff the task may sit in that pool's queue *)
+}
+
+let no_backtrace = Printexc.get_callstack 0
+
+let fulfill fut st =
+  Mutex.lock fut.fm;
+  fut.st <- st;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+(* Runs on whichever domain picked the task up.  The deadline and the
+   cancel flag are only consulted here, before the user thunk starts:
+   cancellation is cooperative, a running task is never interrupted. *)
+let run_task fut deadline thunk () =
+  Mutex.lock fut.fm;
+  let verdict =
+    if fut.cancel_requested then `Cancelled
+    else
+      match deadline with
+      | Some d when Obs.monotonic_s () > d -> `Expired
+      | _ ->
+          fut.st <- Running;
+          `Run
+  in
+  (match verdict with
+  | `Run -> ()
+  | _ ->
+      fut.st <-
+        Failed
+          ( (match verdict with `Cancelled -> Cancelled | _ -> Deadline_exceeded),
+            no_backtrace );
+      Condition.broadcast fut.fc);
+  Mutex.unlock fut.fm;
+  match verdict with
+  | `Cancelled -> Obs.add "exec.tasks.cancelled" 1
+  | `Expired -> Obs.add "exec.tasks.deadline_expired" 1
+  | `Run -> (
+      match thunk () with
+      | v ->
+          fulfill fut (Done v);
+          Obs.add "exec.tasks.completed" 1
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          fulfill fut (Failed (e, bt));
+          Obs.add "exec.tasks.failed" 1)
+
+let deadline_in s = Obs.monotonic_s () +. s
+
+let create ?queue_bound ~jobs () =
+  let jobs = max 1 jobs in
+  let bound = match queue_bound with Some b -> max 1 b | None -> 4 * jobs in
+  let p =
+    {
+      jobs;
+      bound;
+      m = Mutex.create ();
+      not_empty = Condition.create ();
+      queue = Queue.create ();
+      live = true;
+      workers = [];
+    }
+  in
+  Obs.gauge "exec.pool.jobs" (float_of_int jobs);
+  if jobs > 1 then begin
+    let rec worker_loop () =
+      Mutex.lock p.m;
+      while Queue.is_empty p.queue && p.live do
+        Condition.wait p.not_empty p.m
+      done;
+      if Queue.is_empty p.queue then Mutex.unlock p.m (* shut down, drained *)
+      else begin
+        let t = Queue.pop p.queue in
+        Mutex.unlock p.m;
+        t.run ();
+        worker_loop ()
+      end
+    in
+    p.workers <- List.init jobs (fun _ -> Domain.spawn worker_loop)
+  end;
+  p
+
+let jobs p = p.jobs
+
+let submit ?deadline p thunk =
+  let fut =
+    {
+      fm = Mutex.create ();
+      fc = Condition.create ();
+      st = Pending;
+      cancel_requested = false;
+      fpool = (if p.jobs <= 1 then None else Some p);
+    }
+  in
+  Obs.add "exec.tasks.submitted" 1;
+  let task = { run = run_task fut deadline thunk } in
+  if p.jobs <= 1 then
+    (* sequential identity: run right here, right now — bit-identical
+       to the un-pooled code path *)
+    task.run ()
+  else begin
+    Mutex.lock p.m;
+    if not p.live then begin
+      Mutex.unlock p.m;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    let overflow = Queue.length p.queue >= p.bound in
+    if not overflow then begin
+      Queue.push task p.queue;
+      Condition.signal p.not_empty
+    end;
+    Mutex.unlock p.m;
+    if overflow then begin
+      (* caller-runs overflow: bounds the queue without blocking the
+         producer, and keeps nested submission deadlock-free *)
+      Obs.add "exec.tasks.caller_ran" 1;
+      task.run ()
+    end
+  end;
+  fut
+
+(* Pop-and-run one queued task, if any.  Used by [await] to make
+   progress instead of blocking — the mechanism that makes nested
+   submit/await patterns (a table row awaiting its four counts) safe
+   on a fixed-size pool. *)
+let try_run_one p =
+  Mutex.lock p.m;
+  let t = if Queue.is_empty p.queue then None else Some (Queue.pop p.queue) in
+  Mutex.unlock p.m;
+  match t with
+  | None -> false
+  | Some t ->
+      Obs.add "exec.await.helped" 1;
+      t.run ();
+      true
+
+let rec await fut =
+  Mutex.lock fut.fm;
+  match fut.st with
+  | Done v ->
+      Mutex.unlock fut.fm;
+      v
+  | Failed (e, bt) ->
+      Mutex.unlock fut.fm;
+      Printexc.raise_with_backtrace e bt
+  | Pending | Running -> (
+      Mutex.unlock fut.fm;
+      match fut.fpool with
+      | Some p when try_run_one p -> await fut
+      | _ ->
+          Mutex.lock fut.fm;
+          (match fut.st with
+          | Pending | Running -> Condition.wait fut.fc fut.fm
+          | _ -> ());
+          Mutex.unlock fut.fm;
+          await fut)
+
+let cancel fut =
+  Mutex.lock fut.fm;
+  let won =
+    match fut.st with
+    | Pending when not fut.cancel_requested ->
+        fut.cancel_requested <- true;
+        true
+    | _ -> false
+  in
+  Mutex.unlock fut.fm;
+  won
+
+let map_list ?deadline p f xs =
+  let futs = List.map (fun x -> submit ?deadline p (fun () -> f x)) xs in
+  List.map await futs
+
+let shutdown p =
+  Mutex.lock p.m;
+  if p.live then begin
+    p.live <- false;
+    Condition.broadcast p.not_empty;
+    let ws = p.workers in
+    p.workers <- [];
+    Mutex.unlock p.m;
+    List.iter Domain.join ws
+  end
+  else Mutex.unlock p.m
+
+let with_pool ?queue_bound ~jobs f =
+  let p = create ?queue_bound ~jobs () in
+  match f p with
+  | v ->
+      shutdown p;
+      v
+  | exception e ->
+      shutdown p;
+      raise e

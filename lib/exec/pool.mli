@@ -1,0 +1,98 @@
+(** Fixed-size domain pool with futures — the parallel runtime under
+    the experiment driver.
+
+    The paper's workload is embarrassingly parallel: 16 independent
+    properties, each needing several independent model counts with a
+    multi-thousand-second per-count budget.  This pool runs those as
+    tasks on a fixed set of worker domains with a bounded work queue,
+    and hands the caller a {!future} per task.
+
+    {b Sequential identity.}  A pool created with [jobs <= 1] spawns
+    no domains at all: {!submit} runs the thunk immediately on the
+    calling domain and {!await} just reads the stored result.  Code
+    written against the pool therefore behaves {e bit-identically} to
+    the plain sequential code when [--jobs 1] (the default) — same
+    evaluation order, same exceptions, same results.
+
+    {b Determinism.}  {!map_list} returns results in input order
+    regardless of completion order.  Combined with the determinism
+    contracts of [Formula] (structural child ordering) and the
+    explicit RNG threading in the pipeline, a [jobs = n] run produces
+    bit-identical counts and tables to a [jobs = 1] run; only wall
+    times differ.
+
+    {b Nesting and deadlock freedom.}  Tasks may themselves submit
+    tasks to the same pool.  Two mechanisms keep this deadlock-free:
+    when the bounded queue is full, {!submit} runs the task inline on
+    the caller ("caller-runs" overflow), and {!await} on a pending
+    future {e helps} — it drains queued tasks instead of blocking
+    while work is available.
+
+    {b Cancellation is cooperative.}  A deadline or {!cancel} only
+    prevents a task from {e starting}; a task already running on a
+    worker runs to completion (pass the per-count [budget] down to the
+    counters to bound the work itself).
+
+    {b Thread safety.}  All operations may be called from any domain.
+    Results cross domains, so thunks must not rely on domain-local
+    state. *)
+
+exception Deadline_exceeded
+(** Raised by {!await} when the task's deadline passed before the task
+    started running. *)
+
+exception Cancelled
+(** Raised by {!await} when the task was cancelled before it started. *)
+
+type t
+(** A pool.  [jobs <= 1] means "no worker domains, run inline". *)
+
+type 'a future
+
+val create : ?queue_bound:int -> jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs] worker domains ([jobs <= 1]:
+    none).  [queue_bound] caps the pending-task queue (default
+    [4 * jobs]); a full queue makes {!submit} run the task inline
+    rather than block.  Telemetry: gauge [exec.pool.jobs], counters
+    [exec.tasks.*]. *)
+
+val jobs : t -> int
+(** The configured parallelism (the [jobs] passed to {!create}). *)
+
+val submit : ?deadline:float -> t -> (unit -> 'a) -> 'a future
+(** Schedule a thunk.  [deadline] is an {e absolute} monotonic time
+    ({!Mcml_obs.Obs.monotonic_s}; see {!deadline_in}): a task that has
+    not started by then is dropped and its future raises
+    {!Deadline_exceeded} at {!await}.  An exception raised by the
+    thunk is captured with its backtrace and re-raised at {!await}. *)
+
+val await : 'a future -> 'a
+(** Block until the task settles (helping to drain the pool's queue
+    while waiting); return its result or re-raise its exception with
+    the original backtrace.  Idempotent. *)
+
+val cancel : 'a future -> bool
+(** Request cancellation.  Returns [true] if the request was recorded
+    while the task had not yet settled — the task will not start, and
+    {!await} will raise {!Cancelled} (best-effort: a task that is
+    already running completes normally and [cancel] returns [false]
+    only if the future had already settled). *)
+
+val map_list : ?deadline:float -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list pool f xs] runs [f x] for every element as pool tasks
+    and returns the results {b in input order}.  With [jobs <= 1] this
+    is exactly [List.map f xs] (left to right).  If any task raises,
+    the first failing task {e in input order} determines the exception
+    re-raised here. *)
+
+val deadline_in : float -> float
+(** [deadline_in s] is the absolute monotonic deadline [s] seconds
+    from now. *)
+
+val shutdown : t -> unit
+(** Drain remaining queued tasks, join the workers.  Idempotent; a
+    no-op for [jobs <= 1] pools.  Submitting after shutdown raises
+    [Invalid_argument]. *)
+
+val with_pool : ?queue_bound:int -> jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)

@@ -1,4 +1,4 @@
-type t = { id : int; node : node }
+type t = { id : int; shash : int; node : node }
 
 and node =
   | True
@@ -45,14 +45,44 @@ module Table = Hashtbl.Make (Key)
 let table : t Table.t = Table.create 4096
 let counter = ref 0
 
+(* Structural hash: a function of the formula's shape alone, never of
+   hash-consing ids.  Ids record global allocation order, which depends
+   on what else the process has built (and, under an Mcml_exec pool, on
+   domain interleaving) — so anything that influences the *structure*
+   of a formula must not consult them.  [shash] is what [mk_nary] sorts
+   children by; it is computed once at construction from the children's
+   own [shash] values, so it is identical across runs and domains. *)
+let shash_mix h x =
+  let h = (h lxor x) * 0x01000193 land max_int in
+  (h lxor (h lsr 17)) land max_int
+
+let shash_of_node = function
+  | True -> 0x3ade68b1
+  | False -> 0x7f4a7c15
+  | Var v -> shash_mix 2 v
+  | Not a -> shash_mix 3 a.shash
+  | And xs -> Array.fold_left (fun h x -> shash_mix h x.shash) 5 xs
+  | Or xs -> Array.fold_left (fun h x -> shash_mix h x.shash) 7 xs
+
+(* The table and counter are process-global shared state; worker
+   domains build formulas concurrently, so creation is serialized.
+   Uncontended lock/unlock is a few nanoseconds — construction cost is
+   dominated by the hash lookup itself. *)
+let table_lock = Mutex.create ()
+
 let hashcons node =
-  match Table.find_opt table node with
-  | Some f -> f
-  | None ->
-      incr counter;
-      let f = { id = !counter; node } in
-      Table.add table node f;
-      f
+  Mutex.lock table_lock;
+  let f =
+    match Table.find_opt table node with
+    | Some f -> f
+    | None ->
+        incr counter;
+        let f = { id = !counter; shash = shash_of_node node; node } in
+        Table.add table node f;
+        f
+  in
+  Mutex.unlock table_lock;
+  f
 
 let tru = hashcons True
 let fls = hashcons False
@@ -67,6 +97,50 @@ let not_ f =
   | False -> tru
   | Not g -> g
   | _ -> hashcons (Not f)
+
+(* Total order on formula *structures*, independent of hash-consing
+   ids (see [shash_of_node]): compare structural hashes first, then
+   resolve the rare collision by recursive structural comparison.
+   Because terms are hash-consed, [structural_compare a b = 0] iff
+   [a == b], so [List.sort_uniq structural_compare] both canonicalizes
+   child order and removes duplicates — and two runs that build the
+   same formula through any global interleaving produce the same
+   child arrays, hence the same Tseitin CNFs.  (The previous
+   implementation sorted by id, which made CNF clause order depend on
+   allocation history.) *)
+let node_tag = function
+  | True -> 0
+  | False -> 1
+  | Var _ -> 2
+  | Not _ -> 3
+  | And _ -> 4
+  | Or _ -> 5
+
+let rec structural_compare a b =
+  if a == b then 0
+  else
+    let c = Int.compare a.shash b.shash in
+    if c <> 0 then c
+    else
+      let c = Int.compare (node_tag a.node) (node_tag b.node) in
+      if c <> 0 then c
+      else
+        match (a.node, b.node) with
+        | Var u, Var v -> Int.compare u v
+        | Not x, Not y -> structural_compare x y
+        | And xs, And ys | Or xs, Or ys ->
+            let c = Int.compare (Array.length xs) (Array.length ys) in
+            if c <> 0 then c
+            else
+              let n = Array.length xs in
+              let rec go i =
+                if i >= n then 0
+                else
+                  let c = structural_compare xs.(i) ys.(i) in
+                  if c <> 0 then c else go (i + 1)
+              in
+              go 0
+        | _ -> 0
 
 (* Flatten same-operator children, fold constants, sort, dedup, and
    detect complementary pairs.  [absorb] is the annihilating constant
@@ -84,7 +158,7 @@ let mk_nary ~is_and children =
   List.iter push children;
   if !saw_absorb then if is_and then fls else tru
   else begin
-    let xs = List.sort_uniq compare !acc in
+    let xs = List.sort_uniq structural_compare !acc in
     (* complement detection: x and (Not x) together annihilate *)
     let ids = Hashtbl.create 16 in
     List.iter (fun f -> Hashtbl.replace ids f.id ()) xs;

@@ -6,16 +6,32 @@
     memoize.  Smart constructors perform light normalization (constant
     folding, flattening of nested [And]/[Or], duplicate removal,
     complement detection) which keeps the bounded translation of
-    relational specs compact. *)
+    relational specs compact.
 
-type t = private { id : int; node : node }
+    {b Thread safety.}  The hash-consing table is process-global and
+    protected by an internal mutex, so formulas may be constructed
+    from multiple domains concurrently (the [Mcml_exec] pool relies on
+    this).  {b Determinism:} the {e structure} of a constructed
+    formula — in particular the canonical child order of [And]/[Or],
+    and therefore every CNF later derived from it — depends only on
+    the construction sequence, never on hash-consing ids or on what
+    other domains have built: children are ordered by a structural
+    key, not by id.  Only the ids themselves (and hence {!compare})
+    vary with global allocation history. *)
+
+type t = private { id : int; shash : int; node : node }
+(** [id] is the hash-consing identity (unique per structure, but
+    assigned in global allocation order); [shash] is a structural hash,
+    identical across runs and domains for structurally equal terms. *)
 
 and node = private
   | True
   | False
   | Var of int  (** variable index, [>= 1] *)
   | Not of t
-  | And of t array  (** [>= 2] children, sorted by id, duplicate-free *)
+  | And of t array
+      (** [>= 2] children, duplicate-free, in a canonical structural
+          order (history-independent) *)
   | Or of t array
 
 val tru : t

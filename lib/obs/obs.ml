@@ -21,6 +21,32 @@ let enabled () = !current != null
 
 let now () = Unix.gettimeofday ()
 
+(* Monotonic clock (CLOCK_MONOTONIC via bechamel's stubs), in seconds.
+   Used for every duration and deadline in the substrate: wall-clock
+   time (gettimeofday) can jump backwards under NTP adjustment, which
+   would corrupt timeout bookkeeping mid-count. *)
+let monotonic_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+(* One lock serializes counter mutation and sink emission.  The layer
+   is called from worker domains once an Mcml_exec pool is in play;
+   sinks (a shared Buffer + channel, the console accumulator tree) and
+   the counter table are unsynchronized otherwise.  [enabled] stays a
+   lock-free physical-equality check: the sink is installed once at
+   startup, before any domain is spawned, so the benign race on
+   [current] never observes a torn value.  Lock ordering: this lock is
+   a leaf — never call back into user code while holding it. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
 (* --- rendering -------------------------------------------------------- *)
 
 let attr_to_json = function
@@ -69,15 +95,22 @@ let cell name =
       Hashtbl.add counter_table name r;
       r
 
-let addf name x = if enabled () then (let r = cell name in r := !r +. x)
-let add name n = if enabled () then (let r = cell name in r := !r +. float_of_int n)
-let gauge name x = if enabled () then cell name := x
+let addf name x =
+  if enabled () then locked (fun () -> let r = cell name in r := !r +. x)
+
+let add name n =
+  if enabled () then
+    locked (fun () -> let r = cell name in r := !r +. float_of_int n)
+
+let gauge name x = if enabled () then locked (fun () -> cell name := x)
 
 let counter_value name =
-  match Hashtbl.find_opt counter_table name with Some r -> !r | None -> 0.0
+  locked (fun () ->
+      match Hashtbl.find_opt counter_table name with Some r -> !r | None -> 0.0)
 
 let counters () =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counter_table []
+  locked (fun () ->
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counter_table [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* values as of the last [flush], so repeated flushes (an explicit one
@@ -85,23 +118,28 @@ let counters () =
 let flushed_values : (string, float) Hashtbl.t = Hashtbl.create 64
 
 let reset_counters () =
-  Hashtbl.reset counter_table;
-  Hashtbl.reset flushed_values
+  locked (fun () ->
+      Hashtbl.reset counter_table;
+      Hashtbl.reset flushed_values)
 
 (* --- spans ------------------------------------------------------------ *)
 
-type span = { sp_name : string; sp_t0 : float; sp_live : bool }
+(* [sp_t0] is wall-clock (for the event timestamp); [sp_m0] is
+   monotonic, so the reported duration is immune to clock steps. *)
+type span = { sp_name : string; sp_t0 : float; sp_m0 : float; sp_live : bool }
 
-let dummy_span = { sp_name = ""; sp_t0 = 0.0; sp_live = false }
+let dummy_span = { sp_name = ""; sp_t0 = 0.0; sp_m0 = 0.0; sp_live = false }
 let depth = ref 0
 
 let start name =
   if not (enabled ()) then dummy_span
   else begin
     let t0 = now () in
-    !current.emit (Span_start { ts = t0; name; depth = !depth });
-    incr depth;
-    { sp_name = name; sp_t0 = t0; sp_live = true }
+    let m0 = monotonic_s () in
+    locked (fun () ->
+        !current.emit (Span_start { ts = t0; name; depth = !depth });
+        incr depth);
+    { sp_name = name; sp_t0 = t0; sp_m0 = m0; sp_live = true }
   end
 
 let finish ?(attrs = []) sp =
@@ -109,10 +147,11 @@ let finish ?(attrs = []) sp =
     let t1 = now () in
     (* clock granularity can round a sub-microsecond span to zero;
        report a floor instead so rates stay finite *)
-    let dur_ms = Float.max ((t1 -. sp.sp_t0) *. 1000.0) 1e-6 in
-    depth := max 0 (!depth - 1);
-    !current.emit
-      (Span_end { ts = t1; name = sp.sp_name; depth = !depth; dur_ms; attrs })
+    let dur_ms = Float.max ((monotonic_s () -. sp.sp_m0) *. 1000.0) 1e-6 in
+    locked (fun () ->
+        depth := max 0 (!depth - 1);
+        !current.emit
+          (Span_end { ts = t1; name = sp.sp_name; depth = !depth; dur_ms; attrs }))
   end
 
 let with_span ?attrs name f =
@@ -130,17 +169,21 @@ let with_span ?attrs name f =
 
 let flush () =
   let s = !current in
-  if s != null then begin
-    let ts = now () in
-    List.iter
-      (fun (name, value) ->
-        if Hashtbl.find_opt flushed_values name <> Some value then begin
-          Hashtbl.replace flushed_values name value;
-          s.emit (Counter { ts; name; value })
-        end)
-      (counters ());
-    s.flush ()
-  end
+  if s != null then
+    locked (fun () ->
+        let ts = now () in
+        let snapshot =
+          Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counter_table []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        List.iter
+          (fun (name, value) ->
+            if Hashtbl.find_opt flushed_values name <> Some value then begin
+              Hashtbl.replace flushed_values name value;
+              s.emit (Counter { ts; name; value })
+            end)
+          snapshot;
+        s.flush ())
 
 (* --- sinks ------------------------------------------------------------ *)
 

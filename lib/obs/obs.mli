@@ -28,8 +28,19 @@
     Counter events are emitted once per counter at {!flush} time with
     the then-current accumulated value.
 
-    The layer is single-threaded, like the rest of the substrate: span
-    nesting is tracked with one global stack. *)
+    {b Thread safety.}  Counter mutation and sink emission are
+    serialized by one internal mutex, so instrumented code may run on
+    multiple domains (the [Mcml_exec] pool's workers) concurrently:
+    every JSONL line stays intact and counter totals are exact.  Span
+    {e nesting} is still tracked with one global depth, so spans from
+    concurrent domains interleave in the stream — the aggregated
+    console tree can attribute a child span to a sibling parent under
+    [--jobs N]; traces remain per-event accurate.  [set_sink] must be
+    called before any worker domain is spawned (startup, in practice).
+
+    Durations ([dur_ms], and every deadline in the counting substrate)
+    come from the monotonic clock ({!monotonic_s}); event timestamps
+    [ts] remain wall-clock Unix seconds. *)
 
 (** {1 Events and sinks} *)
 
@@ -77,6 +88,14 @@ val sink : unit -> sink
 
 val enabled : unit -> bool
 (** [true] iff the installed sink is not {!null}. *)
+
+(** {1 Clock} *)
+
+val monotonic_s : unit -> float
+(** Monotonic time in seconds (arbitrary epoch).  Always available —
+    it does not depend on a sink being installed.  Use differences of
+    this for durations and deadlines; use [Unix.gettimeofday] only for
+    absolute timestamps. *)
 
 (** {1 Spans}
 

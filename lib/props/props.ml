@@ -36,16 +36,29 @@ pred StrictOrder() { Irreflexive and Transitive }
 pred TotalOrder() { NonStrictOrder and Connex }
 |}
 
+(* Parsed-spec memo, shared by every analyzer.  Guarded by a mutex so
+   that domains racing on the first call each get the (identical)
+   parsed spec without tearing the cache. *)
 let spec_cache = ref None
+let spec_lock = Mutex.create ()
 
 let spec () =
-  match !spec_cache with
-  | Some s -> s
-  | None ->
-      let s = Mcml_alloy.Parser.parse_spec spec_source in
-      Mcml_alloy.Check.check_spec s;
-      spec_cache := Some s;
+  Mutex.lock spec_lock;
+  match
+    match !spec_cache with
+    | Some s -> s
+    | None ->
+        let s = Mcml_alloy.Parser.parse_spec spec_source in
+        Mcml_alloy.Check.check_spec s;
+        spec_cache := Some s;
+        s
+  with
+  | s ->
+      Mutex.unlock spec_lock;
       s
+  | exception e ->
+      Mutex.unlock spec_lock;
+      raise e
 
 let analyzer ~scope = Mcml_alloy.Analyzer.make (spec ()) ~scope
 

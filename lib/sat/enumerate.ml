@@ -4,7 +4,7 @@ type outcome = { models : bool array list; complete : bool }
 
 let run ?(limit = max_int) ?(on_model = fun _ -> ()) (cnf : Cnf.t) =
   let sp = Mcml_obs.Obs.start "sat.enumerate" in
-  let t0 = if Mcml_obs.Obs.enabled () then Unix.gettimeofday () else 0.0 in
+  let t0 = if Mcml_obs.Obs.enabled () then Mcml_obs.Obs.monotonic_s () else 0.0 in
   let projection = Cnf.projection_vars cnf in
   let s = Solver.of_cnf cnf in
   let models = ref [] in
@@ -35,7 +35,7 @@ let run ?(limit = max_int) ?(on_model = fun _ -> ()) (cnf : Cnf.t) =
   done;
   if Mcml_obs.Obs.enabled () then begin
     let open Mcml_obs in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Mcml_obs.Obs.monotonic_s () -. t0 in
     Obs.add "enumerate.models" !n;
     Obs.add "enumerate.blocking_clauses" !n;
     Obs.finish sp

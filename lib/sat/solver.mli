@@ -7,7 +7,12 @@
     of learnt clauses.  The solver is used (a) by the Alloy analyzer
     substrate to enumerate all solutions of a relational spec within a
     scope, and (b) by the approximate model counter for bounded
-    counting under XOR hash constraints. *)
+    counting under XOR hash constraints.
+
+    {b Thread safety.}  A solver value is mutable single-owner state:
+    it must be used from one domain at a time.  There is no global
+    state, so distinct solvers run freely on distinct domains (how the
+    parallel experiment driver uses them). *)
 
 open Mcml_logic
 

@@ -1,0 +1,229 @@
+(* Tests for Mcml_exec: the domain pool (futures, ordering, exceptions,
+   deadlines, reuse) and the content-addressed memo cache (hits, misses,
+   eviction, collision safety), plus the end-to-end determinism contract:
+   a parallel experiment run equals the sequential one. *)
+
+open Mcml_exec
+open Mcml_props
+
+let check = Alcotest.check
+
+(* --- pool -------------------------------------------------------------- *)
+
+let pool_map_list_ordering () =
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  let xs = List.init 50 (fun i -> i + 1) in
+  let squares = Pool.map_list p (fun x -> x * x) xs in
+  check
+    Alcotest.(list int)
+    "results in input order" (List.map (fun x -> x * x) xs) squares
+
+let pool_sequential_identity () =
+  Pool.with_pool ~jobs:1 @@ fun p ->
+  (* jobs=1 runs inline at submit time: side effects happen in
+     submission order, before await *)
+  let log = ref [] in
+  let futs =
+    List.map (fun i -> Pool.submit p (fun () -> log := i :: !log; i)) [ 1; 2; 3 ]
+  in
+  check Alcotest.(list int) "inline submission order" [ 3; 2; 1 ] !log;
+  check Alcotest.(list int) "await order" [ 1; 2; 3 ] (List.map Pool.await futs)
+
+let pool_exception_propagation () =
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  let fut = Pool.submit p (fun () -> failwith "boom") in
+  (match Pool.await fut with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg -> check Alcotest.string "message" "boom" msg);
+  (* await is idempotent on failed futures *)
+  match Pool.await fut with
+  | _ -> Alcotest.fail "expected Failure again"
+  | exception Failure _ -> ()
+
+let pool_reuse_across_batches () =
+  Pool.with_pool ~jobs:3 @@ fun p ->
+  let b1 = Pool.map_list p (fun x -> x + 1) (List.init 20 Fun.id) in
+  let b2 = Pool.map_list p (fun x -> x * 2) (List.init 20 Fun.id) in
+  check Alcotest.(list int) "batch 1" (List.init 20 (fun i -> i + 1)) b1;
+  check Alcotest.(list int) "batch 2" (List.init 20 (fun i -> i * 2)) b2
+
+let pool_nested_submission () =
+  (* a task that itself submits to the same pool and awaits: the
+     help-first await / caller-runs overflow must keep this live even
+     with a tiny queue *)
+  Pool.with_pool ~jobs:2 ~queue_bound:1 @@ fun p ->
+  let outer =
+    Pool.map_list p
+      (fun i ->
+        let inner = Pool.map_list p (fun j -> (10 * i) + j) [ 1; 2; 3 ] in
+        List.fold_left ( + ) 0 inner)
+      [ 1; 2; 3; 4 ]
+  in
+  check
+    Alcotest.(list int)
+    "nested sums"
+    [ 36; 66; 96; 126 ]
+    outer
+
+let pool_deadline_expiry () =
+  (* an absolute deadline already in the past: the task must be dropped
+     before it starts, even on the jobs=1 inline path *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs @@ fun p ->
+      let ran = ref false in
+      let fut =
+        Pool.submit ~deadline:(Mcml_obs.Obs.monotonic_s () -. 1.0) p (fun () ->
+            ran := true)
+      in
+      (match Pool.await fut with
+      | () -> Alcotest.fail "expected Deadline_exceeded"
+      | exception Pool.Deadline_exceeded -> ());
+      check Alcotest.bool
+        (Printf.sprintf "thunk not run (jobs=%d)" jobs)
+        false !ran)
+    [ 1; 4 ]
+
+let pool_cancel () =
+  (* cancelling an already-settled future must fail; a cancelled pending
+     task must never run.  With jobs=1 the task settles at submit, so
+     cancel always loses — which pins down the sequential semantics. *)
+  Pool.with_pool ~jobs:1 @@ fun p ->
+  let fut = Pool.submit p (fun () -> 42) in
+  check Alcotest.bool "cancel after settle loses" false (Pool.cancel fut);
+  check Alcotest.int "value survives" 42 (Pool.await fut)
+
+(* --- memo -------------------------------------------------------------- *)
+
+let memo_hit_miss () =
+  let m = Memo.create ~name:"test.memo" () in
+  let calls = ref 0 in
+  let compute () = incr calls; !calls in
+  check Alcotest.int "first: computes" 1 (Memo.find_or_add m ~key:"a" compute);
+  check Alcotest.int "second: cached" 1 (Memo.find_or_add m ~key:"a" compute);
+  check Alcotest.int "other key: computes" 2 (Memo.find_or_add m ~key:"b" compute);
+  let s = Memo.stats m in
+  check Alcotest.int "hits" 1 s.Memo.hits;
+  check Alcotest.int "misses" 2 s.Memo.misses;
+  check Alcotest.int "size" 2 s.Memo.size;
+  check Alcotest.int "evictions" 0 s.Memo.evictions
+
+let memo_eviction () =
+  let m = Memo.create ~capacity:3 ~name:"test.memo" () in
+  List.iter (fun k -> Memo.add m ~key:k k) [ "a"; "b"; "c"; "d"; "e" ];
+  let s = Memo.stats m in
+  check Alcotest.int "bounded" 3 s.Memo.size;
+  check Alcotest.int "evicted FIFO" 2 s.Memo.evictions;
+  (* oldest gone, newest present *)
+  check Alcotest.(option string) "a evicted" None (Memo.find m ~key:"a");
+  check Alcotest.(option string) "e present" (Some "e") (Memo.find m ~key:"e")
+
+let memo_collision_safety () =
+  (* force every key onto one digest: full-key comparison must still
+     keep the entries apart *)
+  let m = Memo.create ~hash:(fun _ -> "same-digest") ~name:"test.memo" () in
+  Memo.add m ~key:"k1" 1;
+  Memo.add m ~key:"k2" 2;
+  check Alcotest.(option int) "k1" (Some 1) (Memo.find m ~key:"k1");
+  check Alcotest.(option int) "k2" (Some 2) (Memo.find m ~key:"k2");
+  check Alcotest.(option int) "k3 missing" None (Memo.find m ~key:"k3")
+
+let memo_add_first_wins () =
+  let m = Memo.create ~name:"test.memo" () in
+  Memo.add m ~key:"k" 1;
+  Memo.add m ~key:"k" 2;
+  check Alcotest.(option int) "first insert wins" (Some 1) (Memo.find m ~key:"k")
+
+(* --- counter cache ------------------------------------------------------ *)
+
+let small_cnf () =
+  let prop = Props.find_exn "Reflexive" in
+  let analyzer = Props.analyzer ~scope:3 in
+  Mcml_alloy.Analyzer.cnf analyzer ~pred:prop.Props.pred
+
+let counter_cache_roundtrip () =
+  let open Mcml_counting in
+  let cnf = small_cnf () in
+  let cache = Counter.cache_create () in
+  let o1 = Counter.count ~budget:30.0 ~cache ~backend:Counter.Exact cnf in
+  let o2 = Counter.count ~budget:30.0 ~cache ~backend:Counter.Exact cnf in
+  let count o = Mcml_logic.Bignat.to_string (Option.get o).Counter.count in
+  check Alcotest.string "same count" (count o1) (count o2);
+  check Alcotest.(float 0.0) "hit returns the stored outcome"
+    (Option.get o1).Counter.time (Option.get o2).Counter.time;
+  let s = Counter.cache_stats cache in
+  check Alcotest.int "one miss" 1 s.Mcml_exec.Memo.misses;
+  check Alcotest.int "one hit" 1 s.Mcml_exec.Memo.hits
+
+let counter_cache_key_distinguishes () =
+  let open Mcml_counting in
+  let cnf = small_cnf () in
+  let k b = Counter.cache_key ~budget:30.0 ~backend:b cnf in
+  let approx seed = Counter.Approx { Approx.default with Approx.seed } in
+  Alcotest.(check bool)
+    "backends differ" false
+    (k Counter.Exact = k (approx 1));
+  Alcotest.(check bool) "seeds differ" false (k (approx 1) = k (approx 2));
+  Alcotest.(check bool)
+    "budgets differ" false
+    (Counter.cache_key ~budget:30.0 ~backend:Counter.Exact cnf
+    = Counter.cache_key ~budget:31.0 ~backend:Counter.Exact cnf);
+  Alcotest.(check bool)
+    "same query, same key" true
+    (k Counter.Exact = Counter.cache_key ~budget:30.0 ~backend:Counter.Exact cnf)
+
+(* --- jobs=1 ≡ jobs=4 on a small Table-1 slice --------------------------- *)
+
+let slice_cfg pool cache =
+  {
+    Mcml.Experiments.fast with
+    Mcml.Experiments.max_scope = 4;
+    threshold = 50;
+    max_positives = 400;
+    budget = 10.0;
+    properties = [ Props.find_exn "Reflexive"; Props.find_exn "PartialOrder" ];
+    pool;
+    cache;
+  }
+
+let parallel_equivalence () =
+  let sequential = Mcml.Experiments.table1 (slice_cfg None None) in
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  let cache = Mcml_counting.Counter.cache_create () in
+  let parallel = Mcml.Experiments.table1 (slice_cfg (Some p) (Some cache)) in
+  check Alcotest.bool "table1 rows identical at jobs=4 + cache" true
+    (sequential = parallel);
+  (* and again, warm cache: still identical *)
+  let warm = Mcml.Experiments.table1 (slice_cfg (Some p) (Some cache)) in
+  check Alcotest.bool "warm-cache rerun identical" true (sequential = warm);
+  let s = Mcml_counting.Counter.cache_stats cache in
+  Alcotest.(check bool) "warm rerun hit the cache" true (s.Mcml_exec.Memo.hits > 0)
+
+let () =
+  Alcotest.run "mcml_exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map_list ordering" `Quick pool_map_list_ordering;
+          Alcotest.test_case "sequential identity" `Quick pool_sequential_identity;
+          Alcotest.test_case "exception propagation" `Quick pool_exception_propagation;
+          Alcotest.test_case "reuse across batches" `Quick pool_reuse_across_batches;
+          Alcotest.test_case "nested submission" `Quick pool_nested_submission;
+          Alcotest.test_case "deadline expiry" `Quick pool_deadline_expiry;
+          Alcotest.test_case "cancel semantics" `Quick pool_cancel;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick memo_hit_miss;
+          Alcotest.test_case "FIFO eviction" `Quick memo_eviction;
+          Alcotest.test_case "collision safety" `Quick memo_collision_safety;
+          Alcotest.test_case "first insert wins" `Quick memo_add_first_wins;
+        ] );
+      ( "count-cache",
+        [
+          Alcotest.test_case "roundtrip" `Quick counter_cache_roundtrip;
+          Alcotest.test_case "key distinguishes queries" `Quick counter_cache_key_distinguishes;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "jobs=1 = jobs=4" `Slow parallel_equivalence ] );
+    ]
