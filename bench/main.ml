@@ -81,14 +81,24 @@ let run_table cfg n =
 (* Machine-readable summary (--json)                                       *)
 (* ---------------------------------------------------------------------- *)
 
-(* Each timed section records its wall time and the delta of every
-   telemetry counter across the section (counters accumulate when a
-   non-null sink is installed; --json installs the cheap [stats_only]
-   sink for exactly this purpose). *)
-let sections : (string * float * (string * float) list) list ref = ref []
+(* Each timed section records its wall time, the delta of every
+   telemetry counter across the section, and the per-section latency
+   distributions (histogram snapshots diffed across the section;
+   counters and histograms accumulate when a non-null sink is
+   installed — --json installs the cheap [stats_only] sink for exactly
+   this purpose). *)
+type section = {
+  sec_name : string;
+  sec_wall : float;
+  sec_counters : (string * float) list;
+  sec_latency : (string * Mcml_obs.Obs.hist_stats) list;
+}
+
+let sections : section list ref = ref []
 
 let timed name f =
   let c0 = Mcml_obs.Obs.counters () in
+  let h0 = Mcml_obs.Obs.histogram_copies () in
   let t0 = Mcml_obs.Obs.monotonic_s () in
   f ();
   let wall = Mcml_obs.Obs.monotonic_s () -. t0 in
@@ -100,18 +110,38 @@ let timed name f =
         if v1 -. v0 <> 0.0 then Some (k, v1 -. v0) else None)
       c1
   in
-  sections := (name, wall, delta) :: !sections
+  let latency =
+    List.filter_map
+      (fun (k, h) ->
+        let d =
+          match List.assoc_opt k h0 with
+          | Some prev -> Mcml_obs.Obs.Histogram.diff h prev
+          | None -> h
+        in
+        Option.map (fun s -> (k, s)) (Mcml_obs.Obs.Histogram.stats d))
+      (Mcml_obs.Obs.histogram_copies ())
+  in
+  sections :=
+    { sec_name = name; sec_wall = wall; sec_counters = delta; sec_latency = latency }
+    :: !sections
 
 (* Per-section baseline wall times out of a previous --json summary (a
-   jobs=1 run), for the speedup_vs_jobs1 fields. *)
+   jobs=1 run): speedup_vs_jobs1 fields and the --gate regression
+   check.  Any unusable baseline — unreadable, unparsable, or without
+   a single (name, wall_s) section — is a hard exit 2, never a silent
+   "as if no baseline was given": the CI gate must not pass vacuously. *)
 let read_baseline path =
   let open Mcml_obs in
   let text =
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
+    try
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Format.eprintf "bench: cannot read --baseline %s: %s@." path msg;
+      exit 2
   in
   match Json.of_string text with
   | Error msg ->
@@ -119,19 +149,60 @@ let read_baseline path =
       exit 2
   | Ok doc -> (
       match Json.member "sections" doc with
-      | Some (Json.List secs) ->
-          List.filter_map
-            (fun s ->
-              match
-                ( Json.member "name" s,
-                  Option.bind (Json.member "wall_s" s) Json.to_float_opt )
-              with
-              | Some (Json.Str name), Some wall -> Some (name, wall)
-              | _ -> None)
-            secs
+      | Some (Json.List secs) -> (
+          match
+            List.filter_map
+              (fun s ->
+                match
+                  ( Json.member "name" s,
+                    Option.bind (Json.member "wall_s" s) Json.to_float_opt )
+                with
+                | Some (Json.Str name), Some wall -> Some (name, wall)
+                | _ -> None)
+              secs
+          with
+          | [] ->
+              Format.eprintf "bench: --baseline %s has no usable sections@." path;
+              exit 2
+          | base -> base)
       | _ ->
           Format.eprintf "bench: --baseline %s has no sections@." path;
           exit 2)
+
+(* The regression gate: every section that appears in both runs must
+   not have slowed down by more than [factor].  Sections below a small
+   absolute floor in both runs are skipped — at sub-50ms scale the
+   ratio measures scheduler noise, not the code.  Exit 1 on violation
+   so bin/check.sh can gate on it. *)
+let gate_floor_s = 0.05
+
+let run_gate ~factor ~baseline =
+  let violations = ref 0 and compared = ref 0 in
+  Format.fprintf fmt "@.=== regression gate (fail on >%.2fx slowdown) ===@." factor;
+  List.iter
+    (fun { sec_name; sec_wall; _ } ->
+      match List.assoc_opt sec_name baseline with
+      | None -> ()
+      | Some base when base < gate_floor_s && sec_wall < gate_floor_s ->
+          Format.fprintf fmt "  %-12s %8.3fs vs %8.3fs  (below noise floor, skipped)@."
+            sec_name sec_wall base
+      | Some base ->
+          incr compared;
+          let ratio = if base > 0.0 then sec_wall /. base else Float.infinity in
+          let verdict = if ratio > factor then (incr violations; "FAIL") else "ok" in
+          Format.fprintf fmt "  %-12s %8.3fs vs %8.3fs  %5.2fx  %s@." sec_name
+            sec_wall base ratio verdict)
+    (List.rev !sections);
+  if !compared = 0 then begin
+    Format.eprintf "bench: --gate matched no section against the baseline@.";
+    exit 2
+  end;
+  if !violations > 0 then begin
+    Format.eprintf "bench: regression gate FAILED (%d section(s) over %.2fx)@."
+      !violations factor;
+    exit 1
+  end;
+  Format.fprintf fmt "  gate passed (%d section(s) compared)@." !compared
 
 let write_json path ~seed ~budget ~jobs ~cache ~baseline ~total =
   let open Mcml_obs in
@@ -139,18 +210,30 @@ let write_json path ~seed ~budget ~jobs ~cache ~baseline ~total =
     if Float.is_integer v && Float.abs v < 1e15 then Json.Int (int_of_float v)
     else Json.Float v
   in
-  let section (name, wall, counters) =
+  let hist_json (s : Mcml_obs.Obs.hist_stats) =
+    Json.Obj
+      [
+        ("count", Json.Int s.Mcml_obs.Obs.count);
+        ("p50_ms", Json.Float s.Mcml_obs.Obs.p50);
+        ("p90_ms", Json.Float s.Mcml_obs.Obs.p90);
+        ("p99_ms", Json.Float s.Mcml_obs.Obs.p99);
+        ("max_ms", Json.Float s.Mcml_obs.Obs.max);
+      ]
+  in
+  let section { sec_name; sec_wall; sec_counters; sec_latency } =
     let speedup =
-      match List.assoc_opt name baseline with
-      | Some base when wall > 0.0 ->
-          [ ("speedup_vs_jobs1", Json.Float (base /. wall)) ]
+      match List.assoc_opt sec_name baseline with
+      | Some base when sec_wall > 0.0 ->
+          [ ("speedup_vs_jobs1", Json.Float (base /. sec_wall)) ]
       | _ -> []
     in
     Json.Obj
-      ([ ("name", Json.Str name); ("wall_s", Json.Float wall) ]
+      ([ ("name", Json.Str sec_name); ("wall_s", Json.Float sec_wall) ]
       @ speedup
-      @ [ ("counters", Json.Obj (List.map (fun (k, v) -> (k, num v)) counters)) ]
-      )
+      @ [
+          ("counters", Json.Obj (List.map (fun (k, v) -> (k, num v)) sec_counters));
+          ("latency", Json.Obj (List.map (fun (k, s) -> (k, hist_json s)) sec_latency));
+        ])
   in
   let ch, cm, ce =
     match cache with
@@ -162,7 +245,7 @@ let write_json path ~seed ~budget ~jobs ~cache ~baseline ~total =
   let doc =
     Json.Obj
       [
-        ("schema", Json.Str "mcml.bench.v2");
+        ("schema", Json.Str "mcml.bench.v3");
         ("seed", Json.Int seed);
         ("budget_s", Json.Float budget);
         ("jobs", Json.Int jobs);
@@ -345,6 +428,7 @@ let () =
   let jobs = ref 1 in
   let no_cache = ref false in
   let baseline_path = ref "" in
+  let gate_factor = ref 0.0 in
   let args =
     [
       ("--table", Arg.Set_int table, "N  regenerate only table N");
@@ -366,18 +450,28 @@ let () =
       ( "--baseline",
         Arg.Set_string baseline_path,
         "PATH  a previous --json summary (typically --jobs 1); adds per-section \
-         speedup_vs_jobs1 fields to this run's --json output" );
+         speedup_vs_jobs1 fields to this run's --json output and anchors --gate" );
+      ( "--gate",
+        Arg.Set_float gate_factor,
+        "F  regression gate: exit 1 if any section shared with --baseline ran \
+         more than F times slower than it (sections under the 50ms noise floor \
+         in both runs are skipped)" );
     ]
   in
   Arg.parse args (fun _ -> ()) "bench/main.exe [options]";
+  if !gate_factor > 0.0 && !baseline_path = "" then begin
+    Format.eprintf "bench: --gate needs --baseline@.";
+    exit 2
+  end;
   if !json_path <> "" then begin
     (* fail fast on an unwritable path rather than after the workload *)
-    (try close_out (open_out !json_path)
-     with Sys_error msg ->
-       Format.eprintf "bench: cannot write --json file: %s@." msg;
-       exit 2);
-    Mcml_obs.Obs.set_sink (Mcml_obs.Obs.stats_only ())
+    try close_out (open_out !json_path)
+    with Sys_error msg ->
+      Format.eprintf "bench: cannot write --json file: %s@." msg;
+      exit 2
   end;
+  if !json_path <> "" || !gate_factor > 0.0 then
+    Mcml_obs.Obs.set_sink (Mcml_obs.Obs.stats_only ());
   let baseline = if !baseline_path = "" then [] else read_baseline !baseline_path in
   let pool =
     if !jobs > 1 then Some (Mcml_exec.Pool.create ~jobs:!jobs ()) else None
@@ -423,4 +517,5 @@ let () =
   Format.fprintf fmt "@.total wall-clock: %.1fs@." total;
   if !json_path <> "" then
     write_json !json_path ~seed:!seed ~budget:!budget ~jobs:!jobs ~cache
-      ~baseline ~total
+      ~baseline ~total;
+  if !gate_factor > 0.0 then run_gate ~factor:!gate_factor ~baseline

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Repo health check: build, full test suite, then CLI smoke runs
-# (including the telemetry layer end-to-end: every line of the JSONL
-# trace must parse, and the console span tree must print).
+# (including the telemetry layer end-to-end: every JSONL trace line
+# must validate against the schema, the reconstructed span forest of a
+# --jobs 4 run must match the --jobs 1 shape, and a fresh bench run
+# must pass the regression gate against the committed baseline).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,7 +32,50 @@ grep -q '"kind":"span_end"' "$trace" || {
   echo "FAIL: trace has no span_end events" >&2
   exit 1
 }
-rm -f "$trace"
+
+echo "== trace schema validation (stats --from-trace) =="
+# every line must parse as a known schema-v2 event, every span must be
+# balanced, every parent id must resolve: --from-trace enforces all of it
+dune exec bin/main.exe -- stats --from-trace "$trace" >/dev/null || {
+  echo "FAIL: the smoke trace did not validate" >&2
+  exit 1
+}
+# negative: an unknown event kind must be rejected (schema drift gate)
+bad="$(mktemp /tmp/mcml_trace_bad.XXXXXX.jsonl)"
+cp "$trace" "$bad"
+echo '{"ts":1.0,"kind":"mystery","name":"x"}' >>"$bad"
+if dune exec bin/main.exe -- stats --from-trace "$bad" >/dev/null 2>&1; then
+  echo "FAIL: a trace with an unknown event kind validated" >&2
+  exit 1
+fi
+# negative: a dangling parent id must be rejected
+cp "$trace" "$bad"
+{
+  echo '{"ts":1.0,"kind":"span_start","name":"x","id":999999,"parent":888888,"domain":0}'
+  echo '{"ts":1.1,"kind":"span_end","name":"x","id":999999,"parent":888888,"domain":0,"dur_ms":0.1}'
+} >>"$bad"
+if dune exec bin/main.exe -- stats --from-trace "$bad" >/dev/null 2>&1; then
+  echo "FAIL: a trace with a dangling parent id validated" >&2
+  exit 1
+fi
+rm -f "$trace" "$bad"
+
+echo "== span forest shape: --jobs 4 must equal --jobs 1 =="
+# --no-count-cache: at jobs>1 two identical in-flight queries can both
+# miss the cache and spawn extra count spans, which is legitimate but
+# makes the forest shape nondeterministic; the shape contract is
+# cache-free
+t1="$(mktemp /tmp/mcml_shape_j1.XXXXXX.jsonl)"
+t4="$(mktemp /tmp/mcml_shape_j4.XXXXXX.jsonl)"
+dune exec bin/main.exe -- exp 1 --jobs 1 --no-count-cache --budget 20 --trace "$t1" >/dev/null
+dune exec bin/main.exe -- exp 1 --jobs 4 --no-count-cache --budget 20 --trace "$t4" >/dev/null
+dune exec bin/main.exe -- stats --from-trace "$t1" --shape >"$t1.shape"
+dune exec bin/main.exe -- stats --from-trace "$t4" --shape >"$t4.shape"
+if ! diff "$t1.shape" "$t4.shape"; then
+  echo "FAIL: span forest shape differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+rm -f "$t1" "$t4" "$t1.shape" "$t4.shape"
 
 echo "== smoke: parallel driver (jobs=1 vs jobs=4 must print identical tables) =="
 j1_out="$(mktemp /tmp/mcml_bench_j1.XXXXXX.txt)"
@@ -61,5 +106,19 @@ grep -q '"speedup_vs_jobs1":' "$j4_json" || {
   exit 1
 }
 rm -f "$j1_out" "$j4_out" "$j1_json" "$j4_json"
+
+echo "== bench regression gate vs committed baseline =="
+# same settings the committed BENCH_baseline.json was generated with:
+# --tables --jobs 1, default seed and budget
+fresh="$(mktemp /tmp/mcml_bench_fresh.XXXXXX.json)"
+gate_log="$(mktemp /tmp/mcml_gate.XXXXXX.txt)"
+if ! dune exec bench/main.exe -- --tables --jobs 1 --json "$fresh" \
+  --baseline BENCH_baseline.json --gate 2.0 >"$gate_log"; then
+  echo "FAIL: bench regression gate" >&2
+  sed -n '/regression gate/,$p' "$gate_log" >&2
+  exit 1
+fi
+sed -n '/regression gate/,$p' "$gate_log"
+rm -f "$fresh" "$gate_log"
 
 echo "OK"

@@ -12,20 +12,23 @@ open Mcml_props
 
 (* --- shared argument definitions ---------------------------------------- *)
 
-let prop_arg =
-  let prop_converter =
-    Arg.conv
-      ( (fun s ->
-          match Props.find s with
-          | Some p -> Ok p
-          | None ->
-              Error (`Msg (Printf.sprintf "unknown property %S; try 'mcml list'" s))),
-        fun fmt p -> Format.pp_print_string fmt p.Props.name )
-  in
-  Arg.(
-    required
-    & opt (some prop_converter) None
-    & info [ "p"; "property" ] ~docv:"PROP" ~doc:"Relational property (see 'mcml list').")
+let prop_converter =
+  Arg.conv
+    ( (fun s ->
+        match Props.find s with
+        | Some p -> Ok p
+        | None ->
+            Error (`Msg (Printf.sprintf "unknown property %S; try 'mcml list'" s))),
+      fun fmt p -> Format.pp_print_string fmt p.Props.name )
+
+let prop_info =
+  Arg.info [ "p"; "property" ] ~docv:"PROP" ~doc:"Relational property (see 'mcml list')."
+
+let prop_arg = Arg.(required & opt (some prop_converter) None & prop_info)
+
+(* [stats --from-trace] needs no property, so the stats subcommand
+   takes an optional one and checks it itself *)
+let prop_opt_arg = Arg.(value & opt (some prop_converter) None & prop_info)
 
 let scope_arg =
   Arg.(
@@ -297,7 +300,54 @@ let diff_cmd =
 (* --- stats ----------------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run () prop scope symmetry seed budget backend =
+  let from_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-trace" ] ~docv:"FILE"
+          ~doc:
+            "Instead of running a pipeline, read back a JSONL trace written \
+             by --trace: validate every line against the schema (unknown \
+             event kinds, dangling or cyclic parent ids, and unbalanced \
+             spans are fatal), then print the reconstructed span forest, \
+             per-domain breakdown, latency and counter tables.  Exits 1 on \
+             a malformed trace.")
+  in
+  let shape_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "shape" ]
+          ~doc:
+            "With --from-trace: print only the canonical forest shape (span \
+             names, parent edges, call counts — no ids, timings or domains). \
+             The shape of a --jobs N trace is byte-identical to the --jobs 1 \
+             trace of the same run, which is what bin/check.sh diffs.")
+  in
+  let replay_trace path ~shape =
+    match Mcml_obs.Trace.load path with
+    | exception Sys_error msg ->
+        Printf.eprintf "mcml: cannot read trace: %s\n" msg;
+        exit 2
+    | Error errs ->
+        Printf.eprintf "mcml: malformed trace %s:\n" path;
+        List.iter (fun e -> Printf.eprintf "  %s\n" e) errs;
+        exit 1
+    | Ok t ->
+        if shape then print_string (Mcml_obs.Trace.shape t)
+        else Mcml_obs.Trace.render stdout t
+  in
+  let run () from_trace shape prop scope symmetry seed budget backend =
+    match from_trace with
+    | Some path -> replay_trace path ~shape
+    | None ->
+    let prop =
+      match prop with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "mcml: stats needs --property (or --from-trace FILE)\n";
+          exit 2
+    in
     let open Mcml_obs in
     (* Always show the aggregated span tree on stdout; keep whatever sink
        --trace installed (tee-ing onto the default null sink is harmless). *)
@@ -337,11 +387,12 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:
          "Run an instrumented generate/train/count pipeline and print the \
-          aggregated span tree and counter table (combine with --trace for a \
-          JSONL trace).")
+          aggregated span tree, latency and counter tables (combine with \
+          --trace for a JSONL trace) — or, with --from-trace FILE, validate \
+          and replay an existing trace instead.")
     Term.(
-      const run $ obs_term $ prop_arg $ scope_arg $ symmetry_arg $ seed_arg $ budget_arg
-      $ backend_arg)
+      const run $ obs_term $ from_trace_arg $ shape_arg $ prop_opt_arg $ scope_arg
+      $ symmetry_arg $ seed_arg $ budget_arg $ backend_arg)
 
 (* --- exp ------------------------------------------------------------------------- *)
 

@@ -73,14 +73,30 @@ let count_uncached ~budget ~backend (cnf : Cnf.t) : outcome option =
   if outcome = None then Mcml_obs.Obs.add "count.timeouts" 1;
   outcome
 
+let backend_tag = function
+  | Exact -> "exact"
+  | Approx _ -> "approx"
+  | Brute -> "brute"
+
 let count ?(budget = 5000.0) ?cache ~backend (cnf : Cnf.t) : outcome option =
-  match cache with
-  | None -> count_uncached ~budget ~backend cnf
-  | Some c ->
-      let key = cache_key ~budget ~backend cnf in
-      (match Memo.find c ~key with
-      | Some o -> o
-      | None ->
-          let o = count_uncached ~budget ~backend cnf in
-          Memo.add c ~key o;
-          o)
+  let timed = Mcml_obs.Obs.enabled () in
+  let t0 = if timed then Mcml_obs.Obs.monotonic_s () else 0.0 in
+  let outcome =
+    match cache with
+    | None -> count_uncached ~budget ~backend cnf
+    | Some c -> (
+        let key = cache_key ~budget ~backend cnf in
+        match Memo.find c ~key with
+        | Some o -> o
+        | None ->
+            let o = count_uncached ~budget ~backend cnf in
+            Memo.add c ~key o;
+            o)
+  in
+  (* the end-to-end latency of a count query as the caller sees it
+     (cache lookup included), split per backend *)
+  if timed then
+    Mcml_obs.Obs.observe
+      ("counter.count." ^ backend_tag backend ^ "_ms")
+      ((Mcml_obs.Obs.monotonic_s () -. t0) *. 1000.0);
+  outcome

@@ -52,4 +52,6 @@ val count :
 (** [count ~backend cnf] runs the chosen counter; [None] on timeout
     ([budget] in seconds, default 5000 like the paper).  With [cache],
     the query key is looked up first and the computed outcome stored
-    after. *)
+    after.  While telemetry is enabled, every call feeds the
+    per-backend latency histogram [counter.count.<backend>_ms]
+    (end-to-end as the caller sees it, cache lookup included). *)

@@ -42,18 +42,26 @@ let locked t f =
       raise e
 
 let find t ~key =
+  let timed = Obs.enabled () in
+  let t0 = if timed then Obs.monotonic_s () else 0.0 in
   let d = t.hash key in
-  locked t (fun () ->
-      let bucket = Option.value (Hashtbl.find_opt t.tbl d) ~default:[] in
-      match List.assoc_opt key bucket with
-      | Some v ->
-          t.hits <- t.hits + 1;
-          Obs.add (t.name ^ ".hits") 1;
-          Some v
-      | None ->
-          t.misses <- t.misses + 1;
-          Obs.add (t.name ^ ".misses") 1;
-          None)
+  let r =
+    locked t (fun () ->
+        let bucket = Option.value (Hashtbl.find_opt t.tbl d) ~default:[] in
+        match List.assoc_opt key bucket with
+        | Some v ->
+            t.hits <- t.hits + 1;
+            Obs.add (t.name ^ ".hits") 1;
+            Some v
+        | None ->
+            t.misses <- t.misses + 1;
+            Obs.add (t.name ^ ".misses") 1;
+            None)
+  in
+  (* lookup cost includes hashing the (potentially large) key *)
+  if timed then
+    Obs.observe (t.name ^ ".lookup_ms") ((Obs.monotonic_s () -. t0) *. 1000.0);
+  r
 
 let evict_oldest t =
   match Queue.take_opt t.order with

@@ -19,7 +19,8 @@
     {b Telemetry.}  Hits, misses and evictions are always tracked in
     the cache itself ({!stats}) and mirrored to [Mcml_obs] counters
     [<name>.hits] / [<name>.misses] / [<name>.evictions] when a sink
-    is installed. *)
+    is installed; {!find} also feeds the [<name>.lookup_ms] latency
+    histogram (the cost includes hashing the full key). *)
 
 type 'a t
 

@@ -44,8 +44,16 @@ let fulfill fut st =
 
 (* Runs on whichever domain picked the task up.  The deadline and the
    cancel flag are only consulted here, before the user thunk starts:
-   cancellation is cooperative, a running task is never interrupted. *)
-let run_task fut deadline thunk () =
+   cancellation is cooperative, a running task is never interrupted.
+   [ctx] is the submitter's span context, reinstated around the thunk
+   so worker-side spans parent under the span that submitted them;
+   [submitted_m] (when telemetry is on) feeds the queue-wait
+   histogram. *)
+let run_task fut deadline ctx submitted_m thunk () =
+  (match submitted_m with
+  | Some t0 when Obs.enabled () ->
+      Obs.observe "exec.pool.queue_wait_ms" ((Obs.monotonic_s () -. t0) *. 1000.0)
+  | _ -> ());
   Mutex.lock fut.fm;
   let verdict =
     if fut.cancel_requested then `Cancelled
@@ -69,12 +77,20 @@ let run_task fut deadline thunk () =
   | `Cancelled -> Obs.add "exec.tasks.cancelled" 1
   | `Expired -> Obs.add "exec.tasks.deadline_expired" 1
   | `Run -> (
-      match thunk () with
+      let timed = Obs.enabled () in
+      let run0 = if timed then Obs.monotonic_s () else 0.0 in
+      let observe_run () =
+        if timed then
+          Obs.observe "exec.pool.run_ms" ((Obs.monotonic_s () -. run0) *. 1000.0)
+      in
+      match Obs.with_context ctx thunk with
       | v ->
+          observe_run ();
           fulfill fut (Done v);
           Obs.add "exec.tasks.completed" 1
       | exception e ->
           let bt = Printexc.get_raw_backtrace () in
+          observe_run ();
           fulfill fut (Failed (e, bt));
           Obs.add "exec.tasks.failed" 1)
 
@@ -104,7 +120,10 @@ let create ?queue_bound ~jobs () =
       if Queue.is_empty p.queue then Mutex.unlock p.m (* shut down, drained *)
       else begin
         let t = Queue.pop p.queue in
+        let depth = Queue.length p.queue in
         Mutex.unlock p.m;
+        if Obs.enabled () then
+          Obs.gauge "exec.pool.queue_depth" (float_of_int depth);
         t.run ();
         worker_loop ()
       end
@@ -126,7 +145,14 @@ let submit ?deadline p thunk =
     }
   in
   Obs.add "exec.tasks.submitted" 1;
-  let task = { run = run_task fut deadline thunk } in
+  (* capture the submitter's span context so the task's spans parent
+     correctly on whatever domain runs it; time the queue wait only
+     when a task actually crosses the queue *)
+  let ctx = Obs.current_context () in
+  let submitted_m =
+    if p.jobs > 1 && Obs.enabled () then Some (Obs.monotonic_s ()) else None
+  in
+  let task = { run = run_task fut deadline ctx submitted_m thunk } in
   if p.jobs <= 1 then
     (* sequential identity: run right here, right now — bit-identical
        to the un-pooled code path *)
@@ -138,11 +164,16 @@ let submit ?deadline p thunk =
       invalid_arg "Pool.submit: pool is shut down"
     end;
     let overflow = Queue.length p.queue >= p.bound in
-    if not overflow then begin
-      Queue.push task p.queue;
-      Condition.signal p.not_empty
-    end;
+    let depth =
+      if overflow then Queue.length p.queue
+      else begin
+        Queue.push task p.queue;
+        Condition.signal p.not_empty;
+        Queue.length p.queue
+      end
+    in
     Mutex.unlock p.m;
+    if Obs.enabled () then Obs.gauge "exec.pool.queue_depth" (float_of_int depth);
     if overflow then begin
       (* caller-runs overflow: bounds the queue without blocking the
          producer, and keeps nested submission deadlock-free *)

@@ -53,8 +53,10 @@ val create : ?queue_bound:int -> jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs] worker domains ([jobs <= 1]:
     none).  [queue_bound] caps the pending-task queue (default
     [4 * jobs]); a full queue makes {!submit} run the task inline
-    rather than block.  Telemetry: gauge [exec.pool.jobs], counters
-    [exec.tasks.*]. *)
+    rather than block.  Telemetry: gauges [exec.pool.jobs] and
+    [exec.pool.queue_depth], counters [exec.tasks.*], histograms
+    [exec.pool.queue_wait_ms] (submit → start, queued tasks only) and
+    [exec.pool.run_ms] (thunk execution). *)
 
 val jobs : t -> int
 (** The configured parallelism (the [jobs] passed to {!create}). *)
@@ -64,7 +66,13 @@ val submit : ?deadline:float -> t -> (unit -> 'a) -> 'a future
     ({!Mcml_obs.Obs.monotonic_s}; see {!deadline_in}): a task that has
     not started by then is dropped and its future raises
     {!Deadline_exceeded} at {!await}.  An exception raised by the
-    thunk is captured with its backtrace and re-raised at {!await}. *)
+    thunk is captured with its backtrace and re-raised at {!await}.
+
+    [submit] captures the submitter's telemetry span context
+    ({!Mcml_obs.Obs.current_context}) and reinstates it around the
+    thunk on whichever domain runs it, so spans opened inside the task
+    parent under the span that submitted it — the trace forest of a
+    [--jobs N] run has the same shape as the sequential one. *)
 
 val await : 'a future -> 'a
 (** Block until the task settles (helping to drain the pool's queue

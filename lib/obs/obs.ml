@@ -1,23 +1,44 @@
 type attr = Int of int | Float of float | Bool of bool | Str of string
 
+type hist_stats = {
+  count : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
 type event =
-  | Span_start of { ts : float; name : string; depth : int }
+  | Span_start of {
+      ts : float;
+      name : string;
+      id : int;
+      parent : int option;
+      domain : int;
+    }
   | Span_end of {
       ts : float;
       name : string;
-      depth : int;
+      id : int;
+      parent : int option;
+      domain : int;
       dur_ms : float;
       attrs : (string * attr) list;
     }
   | Counter of { ts : float; name : string; value : float }
+  | Histogram of { ts : float; name : string; stats : hist_stats }
 
 type sink = { emit : event -> unit; flush : unit -> unit }
 
 let null = { emit = (fun _ -> ()); flush = (fun () -> ()) }
-let current : sink ref = ref null
-let set_sink s = current := s
-let sink () = !current
-let enabled () = !current != null
+
+(* The sink cell is atomic so a sink can be installed (or tee'd onto a
+   live one) from any domain at any time; [enabled] stays a plain
+   lock-free load + physical equality check. *)
+let current : sink Atomic.t = Atomic.make null
+let set_sink s = Atomic.set current s
+let sink () = Atomic.get current
+let enabled () = Atomic.get current != null
 
 let now () = Unix.gettimeofday ()
 
@@ -27,14 +48,12 @@ let now () = Unix.gettimeofday ()
    would corrupt timeout bookkeeping mid-count. *)
 let monotonic_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
 
-(* One lock serializes counter mutation and sink emission.  The layer
-   is called from worker domains once an Mcml_exec pool is in play;
-   sinks (a shared Buffer + channel, the console accumulator tree) and
-   the counter table are unsynchronized otherwise.  [enabled] stays a
-   lock-free physical-equality check: the sink is installed once at
-   startup, before any domain is spawned, so the benign race on
-   [current] never observes a torn value.  Lock ordering: this lock is
-   a leaf — never call back into user code while holding it. *)
+(* One lock serializes counter/histogram mutation and sink emission.
+   The layer is called from worker domains once an Mcml_exec pool is in
+   play; sinks (a shared Buffer + channel, the console accumulator
+   tree) and the metric tables are unsynchronized otherwise.  Lock
+   ordering: this lock is a leaf — never call back into user code
+   while holding it (built-in sinks qualify: they touch no Obs API). *)
 let lock = Mutex.create ()
 
 let locked f =
@@ -47,6 +66,90 @@ let locked f =
       Mutex.unlock lock;
       raise e
 
+(* --- histograms -------------------------------------------------------- *)
+
+module Histogram = struct
+  let lo = 1e-6
+  let growth = 2.0 ** 0.25
+  let bucket_count = 512
+  let log_growth = Float.log growth
+
+  type t = { buckets : int array; mutable n : int; mutable vmax : float }
+
+  let create () =
+    { buckets = Array.make bucket_count 0; n = 0; vmax = neg_infinity }
+
+  let bucket_of v =
+    if (not (Float.is_finite v)) || v <= lo then 0
+    else
+      let i = int_of_float (Float.ceil (Float.log (v /. lo) /. log_growth)) in
+      if i < 0 then 0 else if i >= bucket_count then bucket_count - 1 else i
+
+  let bucket_upper i = lo *. (growth ** float_of_int i)
+  let bucket_lower i = if i <= 0 then 0.0 else bucket_upper (i - 1)
+
+  let observe t v =
+    t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+    t.n <- t.n + 1;
+    if v > t.vmax then t.vmax <- v
+
+  let count t = t.n
+
+  let copy t = { buckets = Array.copy t.buckets; n = t.n; vmax = t.vmax }
+
+  let merge a b =
+    {
+      buckets = Array.init bucket_count (fun i -> a.buckets.(i) + b.buckets.(i));
+      n = a.n + b.n;
+      vmax = Float.max a.vmax b.vmax;
+    }
+
+  let diff later earlier =
+    {
+      buckets =
+        Array.init bucket_count (fun i ->
+            max 0 (later.buckets.(i) - earlier.buckets.(i)));
+      n = max 0 (later.n - earlier.n);
+      vmax = later.vmax;
+    }
+
+  (* Linear interpolation inside the containing bucket: rank r = p*n
+     observations lie below the answer; walk the cumulative counts to
+     the bucket holding rank r and place the answer proportionally
+     between its edges.  Clamped to the exact observed max so p=1.0
+     (and high percentiles landing in the top occupied bucket) never
+     over-report. *)
+  let percentile t p =
+    if t.n = 0 then 0.0
+    else begin
+      let r = max 1 (min t.n (int_of_float (Float.ceil (p *. float_of_int t.n)))) in
+      let i = ref 0 and cum = ref 0 in
+      while !cum + t.buckets.(!i) < r && !i < bucket_count - 1 do
+        cum := !cum + t.buckets.(!i);
+        incr i
+      done;
+      let inside = t.buckets.(!i) in
+      let frac =
+        if inside = 0 then 1.0
+        else float_of_int (r - !cum) /. float_of_int inside
+      in
+      let v = bucket_lower !i +. (frac *. (bucket_upper !i -. bucket_lower !i)) in
+      Float.min v t.vmax
+    end
+
+  let stats t =
+    if t.n = 0 then None
+    else
+      Some
+        {
+          count = t.n;
+          p50 = percentile t 0.5;
+          p90 = percentile t 0.9;
+          p99 = percentile t 0.99;
+          max = t.vmax;
+        }
+end
+
 (* --- rendering -------------------------------------------------------- *)
 
 let attr_to_json = function
@@ -55,25 +158,32 @@ let attr_to_json = function
   | Bool b -> Json.Bool b
   | Str s -> Json.Str s
 
+let span_id_fields id parent domain =
+  ("id", Json.Int id)
+  :: (match parent with Some p -> [ ("parent", Json.Int p) ] | None -> [])
+  @ [ ("domain", Json.Int domain) ]
+
 let event_to_json = function
-  | Span_start { ts; name; depth } ->
+  | Span_start { ts; name; id; parent; domain } ->
       Json.Obj
-        [
-          ("ts", Json.Float ts);
-          ("kind", Json.Str "span_start");
-          ("name", Json.Str name);
-          ("depth", Json.Int depth);
-        ]
-  | Span_end { ts; name; depth; dur_ms; attrs } ->
+        ([
+           ("ts", Json.Float ts);
+           ("kind", Json.Str "span_start");
+           ("name", Json.Str name);
+         ]
+        @ span_id_fields id parent domain)
+  | Span_end { ts; name; id; parent; domain; dur_ms; attrs } ->
       Json.Obj
-        [
-          ("ts", Json.Float ts);
-          ("kind", Json.Str "span_end");
-          ("name", Json.Str name);
-          ("depth", Json.Int depth);
-          ("dur_ms", Json.Float dur_ms);
-          ("attrs", Json.Obj (List.map (fun (k, v) -> (k, attr_to_json v)) attrs));
-        ]
+        ([
+           ("ts", Json.Float ts);
+           ("kind", Json.Str "span_end");
+           ("name", Json.Str name);
+         ]
+        @ span_id_fields id parent domain
+        @ [
+            ("dur_ms", Json.Float dur_ms);
+            ("attrs", Json.Obj (List.map (fun (k, v) -> (k, attr_to_json v)) attrs));
+          ])
   | Counter { ts; name; value } ->
       Json.Obj
         [
@@ -82,6 +192,96 @@ let event_to_json = function
           ("name", Json.Str name);
           ("value", Json.Float value);
         ]
+  | Histogram { ts; name; stats } ->
+      Json.Obj
+        [
+          ("ts", Json.Float ts);
+          ("kind", Json.Str "histogram");
+          ("name", Json.Str name);
+          ("count", Json.Int stats.count);
+          ("p50_ms", Json.Float stats.p50);
+          ("p90_ms", Json.Float stats.p90);
+          ("p99_ms", Json.Float stats.p99);
+          ("max_ms", Json.Float stats.max);
+        ]
+
+let event_of_json j =
+  let ( let* ) = Result.bind in
+  let field name =
+    match Json.member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let float_field name =
+    let* v = field name in
+    match Json.to_float_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "field %S is not a number" name)
+  in
+  let int_field name =
+    let* v = field name in
+    match v with
+    | Json.Int i -> Ok i
+    | _ -> Error (Printf.sprintf "field %S is not an integer" name)
+  in
+  let str_field name =
+    let* v = field name in
+    match v with
+    | Json.Str s -> Ok s
+    | _ -> Error (Printf.sprintf "field %S is not a string" name)
+  in
+  let parent_field () =
+    match Json.member "parent" j with
+    | None -> Ok None
+    | Some (Json.Int p) -> Ok (Some p)
+    | Some _ -> Error "field \"parent\" is not an integer"
+  in
+  let attr_of_json = function
+    | Json.Int i -> Ok (Int i)
+    | Json.Float f -> Ok (Float f)
+    | Json.Bool b -> Ok (Bool b)
+    | Json.Str s -> Ok (Str s)
+    | _ -> Error "attr value is not a scalar"
+  in
+  let* ts = float_field "ts" in
+  let* kind = str_field "kind" in
+  let* name = str_field "name" in
+  match kind with
+  | "span_start" ->
+      let* id = int_field "id" in
+      let* parent = parent_field () in
+      let* domain = int_field "domain" in
+      Ok (Span_start { ts; name; id; parent; domain })
+  | "span_end" ->
+      let* id = int_field "id" in
+      let* parent = parent_field () in
+      let* domain = int_field "domain" in
+      let* dur_ms = float_field "dur_ms" in
+      let* attrs =
+        match Json.member "attrs" j with
+        | None -> Ok []
+        | Some (Json.Obj kvs) ->
+            List.fold_left
+              (fun acc (k, v) ->
+                let* acc = acc in
+                let* a = attr_of_json v in
+                Ok ((k, a) :: acc))
+              (Ok []) kvs
+            |> Result.map List.rev
+        | Some _ -> Error "field \"attrs\" is not an object"
+      in
+      Ok (Span_end { ts; name; id; parent; domain; dur_ms; attrs })
+  | "counter" ->
+      let* value = float_field "value" in
+      Ok (Counter { ts; name; value })
+  | "histogram" ->
+      let* count = int_field "count" in
+      let* p50 = float_field "p50_ms" in
+      let* p90 = float_field "p90_ms" in
+      let* p99 = float_field "p99_ms" in
+      let* max = float_field "max_ms" in
+      Ok (Histogram { ts; name; stats = { count; p50; p90; p99; max } })
+  | k -> Error (Printf.sprintf "unknown event kind %S" k)
 
 (* --- counters --------------------------------------------------------- *)
 
@@ -113,33 +313,103 @@ let counters () =
       Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counter_table [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let hist_table : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
+
+let hist_cell name =
+  match Hashtbl.find_opt hist_table name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.add hist_table name h;
+      h
+
+(* unlocked; callers hold [lock] *)
+let observe_unlocked name v = Histogram.observe (hist_cell name) v
+
+let observe name v =
+  if enabled () then locked (fun () -> observe_unlocked name v)
+
+let histogram_stats name =
+  locked (fun () ->
+      Option.bind (Hashtbl.find_opt hist_table name) Histogram.stats)
+
+let histograms () =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun k h acc ->
+          match Histogram.stats h with Some s -> (k, s) :: acc | None -> acc)
+        hist_table [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histogram_copies () =
+  locked (fun () ->
+      Hashtbl.fold (fun k h acc -> (k, Histogram.copy h) :: acc) hist_table [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 (* values as of the last [flush], so repeated flushes (an explicit one
-   plus the at_exit one, say) don't re-emit unchanged counters *)
+   plus the at_exit one, say) don't re-emit unchanged entries *)
 let flushed_values : (string, float) Hashtbl.t = Hashtbl.create 64
+let flushed_hist_counts : (string, int) Hashtbl.t = Hashtbl.create 32
 
 let reset_counters () =
   locked (fun () ->
       Hashtbl.reset counter_table;
-      Hashtbl.reset flushed_values)
+      Hashtbl.reset hist_table;
+      Hashtbl.reset flushed_values;
+      Hashtbl.reset flushed_hist_counts)
 
 (* --- spans ------------------------------------------------------------ *)
 
+(* Fresh process-unique span ids; id 0 is never allocated, so 0 can
+   serve as a sentinel in serialized forms if ever needed. *)
+let next_span_id = Atomic.make 1
+
+(* The current span of each domain — the parent of the next [start] on
+   that domain.  Domain-local, so concurrent workers never see each
+   other's nesting. *)
+type context = int option
+
+let dls_context : context Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current_context () = if enabled () then Domain.DLS.get dls_context else None
+
+let with_context ctx f =
+  let saved = Domain.DLS.get dls_context in
+  Domain.DLS.set dls_context ctx;
+  match f () with
+  | v ->
+      Domain.DLS.set dls_context saved;
+      v
+  | exception e ->
+      Domain.DLS.set dls_context saved;
+      raise e
+
 (* [sp_t0] is wall-clock (for the event timestamp); [sp_m0] is
    monotonic, so the reported duration is immune to clock steps. *)
-type span = { sp_name : string; sp_t0 : float; sp_m0 : float; sp_live : bool }
+type span = {
+  sp_name : string;
+  sp_t0 : float;
+  sp_m0 : float;
+  sp_id : int;
+  sp_parent : int option;
+  sp_live : bool;
+}
 
-let dummy_span = { sp_name = ""; sp_t0 = 0.0; sp_m0 = 0.0; sp_live = false }
-let depth = ref 0
+let dummy_span =
+  { sp_name = ""; sp_t0 = 0.0; sp_m0 = 0.0; sp_id = 0; sp_parent = None; sp_live = false }
 
 let start name =
   if not (enabled ()) then dummy_span
   else begin
     let t0 = now () in
     let m0 = monotonic_s () in
+    let id = Atomic.fetch_and_add next_span_id 1 in
+    let parent = Domain.DLS.get dls_context in
+    Domain.DLS.set dls_context (Some id);
+    let domain = (Domain.self () :> int) in
     locked (fun () ->
-        !current.emit (Span_start { ts = t0; name; depth = !depth });
-        incr depth);
-    { sp_name = name; sp_t0 = t0; sp_m0 = m0; sp_live = true }
+        (sink ()).emit (Span_start { ts = t0; name; id; parent; domain }));
+    { sp_name = name; sp_t0 = t0; sp_m0 = m0; sp_id = id; sp_parent = parent; sp_live = true }
   end
 
 let finish ?(attrs = []) sp =
@@ -148,10 +418,21 @@ let finish ?(attrs = []) sp =
     (* clock granularity can round a sub-microsecond span to zero;
        report a floor instead so rates stay finite *)
     let dur_ms = Float.max ((monotonic_s () -. sp.sp_m0) *. 1000.0) 1e-6 in
+    Domain.DLS.set dls_context sp.sp_parent;
+    let domain = (Domain.self () :> int) in
     locked (fun () ->
-        depth := max 0 (!depth - 1);
-        !current.emit
-          (Span_end { ts = t1; name = sp.sp_name; depth = !depth; dur_ms; attrs }))
+        observe_unlocked sp.sp_name dur_ms;
+        (sink ()).emit
+          (Span_end
+             {
+               ts = t1;
+               name = sp.sp_name;
+               id = sp.sp_id;
+               parent = sp.sp_parent;
+               domain;
+               dur_ms;
+               attrs;
+             }))
   end
 
 let with_span ?attrs name f =
@@ -168,7 +449,7 @@ let with_span ?attrs name f =
   end
 
 let flush () =
-  let s = !current in
+  let s = sink () in
   if s != null then
     locked (fun () ->
         let ts = now () in
@@ -183,6 +464,20 @@ let flush () =
               s.emit (Counter { ts; name; value })
             end)
           snapshot;
+        let hists =
+          Hashtbl.fold (fun k h acc -> (k, h) :: acc) hist_table []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        List.iter
+          (fun (name, h) ->
+            match Histogram.stats h with
+            | Some stats
+              when Hashtbl.find_opt flushed_hist_counts name <> Some stats.count
+              ->
+                Hashtbl.replace flushed_hist_counts name stats.count;
+                s.emit (Histogram { ts; name; stats })
+            | _ -> ())
+          hists;
         s.flush ())
 
 (* --- sinks ------------------------------------------------------------ *)
@@ -218,7 +513,9 @@ let tee a b =
 (* Console sink: aggregate the span stream into a tree where repeated
    same-name children of one parent collapse into a single row (call
    count, total duration, numeric attributes summed).  Enumerating 3000
-   solutions must print one "solver.solve ×3000" row, not 3000 rows. *)
+   solutions must print one "solver.solve ×3000" row, not 3000 rows.
+   Parentage follows span ids — a live map of open span id → aggregate
+   node — so concurrent domains cannot corrupt each other's nesting. *)
 
 module Console = struct
   type node = {
@@ -274,28 +571,50 @@ module Console = struct
 
   let make oc =
     let root = fresh "<root>" in
-    let stack = ref [ root ] in
+    (* open span id -> the aggregate node its Span_end will credit *)
+    let open_spans : (int, node) Hashtbl.t = Hashtbl.create 64 in
     let counter_events = ref [] in
+    let hist_events = ref [] in
     let emit = function
-      | Span_start { name; _ } ->
-          let parent = List.hd !stack in
-          stack := child_of parent name :: !stack
-      | Span_end { dur_ms; attrs; _ } -> (
-          match !stack with
-          | top :: (_ :: _ as rest) ->
-              top.calls <- top.calls + 1;
-              top.total_ms <- top.total_ms +. dur_ms;
-              top.attrs <- List.fold_left merge_attr top.attrs attrs;
-              stack := rest
-          | _ -> () (* unbalanced end: drop *))
+      | Span_start { id; parent; name; _ } ->
+          let pnode =
+            match parent with
+            | Some pid -> (
+                match Hashtbl.find_opt open_spans pid with
+                | Some n -> n
+                | None -> root (* parent already closed or foreign: top level *))
+            | None -> root
+          in
+          Hashtbl.replace open_spans id (child_of pnode name)
+      | Span_end { id; dur_ms; attrs; _ } -> (
+          match Hashtbl.find_opt open_spans id with
+          | None -> () (* end without start: drop *)
+          | Some node ->
+              Hashtbl.remove open_spans id;
+              node.calls <- node.calls + 1;
+              node.total_ms <- node.total_ms +. dur_ms;
+              node.attrs <- List.fold_left merge_attr node.attrs attrs)
       | Counter { name; value; _ } -> counter_events := (name, value) :: !counter_events
+      | Histogram { name; stats; _ } -> hist_events := (name, stats) :: !hist_events
     in
     let flush () =
-      if root.children <> [] || !counter_events <> [] then begin
+      if root.children <> [] || !counter_events <> [] || !hist_events <> []
+      then begin
         if root.children <> [] then begin
           Printf.fprintf oc "-- span tree %s\n" (String.make 52 '-');
           List.iter (print_node oc "") (List.rev root.children)
         end;
+        (match List.rev !hist_events with
+        | [] -> ()
+        | hs ->
+            Printf.fprintf oc "-- latency %s\n" (String.make 54 '-');
+            Printf.fprintf oc "%-32s %8s %9s %9s %9s %9s\n" "histogram" "count"
+              "p50" "p90" "p99" "max";
+            List.iter
+              (fun (name, s) ->
+                Printf.fprintf oc "%-32s %8d %9s %9s %9s %9s\n" name s.count
+                  (dur_str s.p50) (dur_str s.p90) (dur_str s.p99) (dur_str s.max))
+              hs);
         (match List.rev !counter_events with
         | [] -> ()
         | cs ->
@@ -312,7 +631,8 @@ module Console = struct
         (* reset so a later flush doesn't reprint the same data *)
         root.children <- [];
         counter_events := [];
-        stack := [ root ];
+        hist_events := [];
+        Hashtbl.reset open_spans;
         Stdlib.flush oc
       end
     in

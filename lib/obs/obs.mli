@@ -1,5 +1,5 @@
-(** Telemetry for the MCML substrate: nested timing spans, named
-    counters/gauges, and pluggable sinks.
+(** Telemetry for the MCML substrate: identified timing spans, named
+    counters/gauges, latency histograms, and pluggable sinks.
 
     The layer is designed around one invariant: with the default
     {!null} sink installed, instrumented code pays a single physical
@@ -13,30 +13,43 @@
     - {!null} — drops everything (the default);
     - {!jsonl} — one JSON object per line, machine-readable traces;
     - {!console} — accumulates an aggregated span tree and prints it
-      (plus the counter table) on {!flush};
-    - {!stats_only} — records no events but leaves the counter table
-      live (used by [bench --json]);
+      (plus the counter and latency tables) on {!flush};
+    - {!stats_only} — records no events but leaves the counter and
+      histogram tables live (used by [bench --json]);
     - {!tee} — duplicates events to two sinks.
 
-    The JSONL event schema (one object per line):
-    {v
-    {"ts":<unix seconds>,"kind":"span_start","name":"solver.solve","depth":2}
-    {"ts":…,"kind":"span_end","name":"solver.solve","depth":2,
-     "dur_ms":0.42,"attrs":{"conflicts":17,"result":"sat"}}
-    {"ts":…,"kind":"counter","name":"solver.conflicts","value":123.0}
-    v}
-    Counter events are emitted once per counter at {!flush} time with
-    the then-current accumulated value.
+    {b Span identity (schema v2).}  Every span carries a fresh
+    process-unique [id], the [id] of its parent span (the span that
+    was current on the starting domain, [None] for a root), and the
+    integer id of the domain it started on.  The current-span context
+    is domain-local ({!Domain.DLS}), so spans emitted concurrently by
+    pool workers never corrupt each other's nesting, and
+    {!current_context}/{!with_context} let a task queue (see
+    [Mcml_exec.Pool.submit]) carry the submitter's context across
+    domains — the trace forest stays well-formed at any [--jobs N].
 
-    {b Thread safety.}  Counter mutation and sink emission are
-    serialized by one internal mutex, so instrumented code may run on
-    multiple domains (the [Mcml_exec] pool's workers) concurrently:
-    every JSONL line stays intact and counter totals are exact.  Span
-    {e nesting} is still tracked with one global depth, so spans from
-    concurrent domains interleave in the stream — the aggregated
-    console tree can attribute a child span to a sibling parent under
-    [--jobs N]; traces remain per-event accurate.  [set_sink] must be
-    called before any worker domain is spawned (startup, in practice).
+    The JSONL event schema, one object per line ([parent] is omitted
+    for root spans):
+    {v
+    {"ts":<unix s>,"kind":"span_start","name":"solver.solve",
+     "id":17,"parent":16,"domain":0}
+    {"ts":…,"kind":"span_end","name":"solver.solve",
+     "id":17,"parent":16,"domain":0,"dur_ms":0.42,
+     "attrs":{"conflicts":17,"result":"sat"}}
+    {"ts":…,"kind":"counter","name":"solver.conflicts","value":123.0}
+    {"ts":…,"kind":"histogram","name":"solver.solve_ms","count":3000,
+     "p50_ms":0.05,"p90_ms":0.11,"p99_ms":0.41,"max_ms":2.7}
+    v}
+    Counter and histogram events are emitted once per live name at
+    {!flush} time with the then-current accumulated state.
+
+    {b Thread safety.}  The installed sink lives in an [Atomic.t], so
+    {!set_sink} (installing, or tee-ing a second sink onto a live one)
+    is safe at any time, even after worker domains exist.  Counter,
+    gauge and histogram mutation and sink emission are serialized by
+    one internal mutex: every JSONL line stays intact and totals are
+    exact under concurrency.  Span nesting is tracked per domain (no
+    shared depth counter).
 
     Durations ([dur_ms], and every deadline in the counting substrate)
     come from the monotonic clock ({!monotonic_s}); event timestamps
@@ -46,16 +59,36 @@
 
 type attr = Int of int | Float of float | Bool of bool | Str of string
 
+type hist_stats = {
+  count : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+(** A histogram summary: observation count, interpolated percentiles
+    and the exact maximum, all in the unit that was observed
+    (milliseconds everywhere in this codebase). *)
+
 type event =
-  | Span_start of { ts : float; name : string; depth : int }
+  | Span_start of {
+      ts : float;
+      name : string;
+      id : int;
+      parent : int option;
+      domain : int;
+    }
   | Span_end of {
       ts : float;
       name : string;
-      depth : int;
+      id : int;
+      parent : int option;
+      domain : int;
       dur_ms : float;
       attrs : (string * attr) list;
     }
   | Counter of { ts : float; name : string; value : float }
+  | Histogram of { ts : float; name : string; stats : hist_stats }
 
 type sink = { emit : event -> unit; flush : unit -> unit }
 
@@ -71,19 +104,25 @@ val jsonl : string -> sink
 val console : ?oc:out_channel -> unit -> sink
 (** Accumulates an aggregated span tree — repeated same-name children
     of one parent collapse into a single row with a call count, total
-    duration and summed numeric attributes — and pretty-prints it,
-    followed by the counter table, on [flush].  Printing resets the
-    accumulator, so a second [flush] with no new spans prints
-    nothing.  [oc] defaults to [stdout]. *)
+    duration and summed numeric attributes; parentage follows span ids,
+    so the tree is correct even when spans from several domains
+    interleave — and pretty-prints it, followed by the counter and
+    latency tables, on [flush].  Printing resets the accumulator, so a
+    second [flush] with no new spans prints nothing.  [oc] defaults to
+    [stdout]. *)
 
 val stats_only : unit -> sink
 (** Ignores all events.  Unlike {!null} it still turns {!enabled} on,
-    so counters accumulate and can be read back with {!counters} —
-    the cheapest way to get machine-readable totals without a trace. *)
+    so counters and histograms accumulate and can be read back with
+    {!counters} / {!histograms} — the cheapest way to get
+    machine-readable totals without a trace. *)
 
 val tee : sink -> sink -> sink
 
 val set_sink : sink -> unit
+(** Install a sink.  Safe from any domain at any time (the sink cell
+    is atomic); events already in flight finish on the old sink. *)
+
 val sink : unit -> sink
 
 val enabled : unit -> bool
@@ -99,19 +138,44 @@ val monotonic_s : unit -> float
 
 (** {1 Spans}
 
-    Spans nest: [start] pushes, [finish] pops.  When the layer is
+    Spans nest per domain: [start] makes the new span current on the
+    calling domain, [finish] restores its parent.  When the layer is
     disabled both are free (a shared dummy token, no clock read). *)
 
 type span
 
 val start : string -> span
 val finish : ?attrs:(string * attr) list -> span -> unit
+(** [finish sp] emits the [Span_end] and also feeds the span's
+    duration into the histogram named after the span, so every
+    instrumented operation gets a latency distribution for free. *)
 
 val with_span : ?attrs:(unit -> (string * attr) list) -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f] inside a span.  [attrs] is evaluated
     only on normal completion, after [f] returns — so it can read
     values computed by [f].  If [f] raises, the span is finished with
     [("outcome", Str "raised")] and the exception is re-raised. *)
+
+(** {2 Cross-domain context}
+
+    A queue that moves work between domains (the [Mcml_exec] pool)
+    captures the submitter's context at [submit] time and reinstates
+    it around the task body, so worker-side spans parent under the
+    span that submitted them rather than floating as roots. *)
+
+type context
+(** The identity of the current span on this domain ([None]-like for
+    "no span open").  A small immutable value, safe to send across
+    domains. *)
+
+val current_context : unit -> context
+(** The calling domain's current span context.  Cheap; returns the
+    empty context when the layer is disabled. *)
+
+val with_context : context -> (unit -> 'a) -> 'a
+(** [with_context ctx f] runs [f] with [ctx] installed as the calling
+    domain's span context, restoring the previous context afterwards
+    (also on exception). *)
 
 (** {1 Counters and gauges}
 
@@ -129,14 +193,100 @@ val counters : unit -> (string * float) list
 (** Sorted snapshot of all counters and gauges. *)
 
 val reset_counters : unit -> unit
+(** Clears counters, gauges and histograms. *)
+
+(** {1 Histograms}
+
+    Log-bucketed latency distributions, global and keyed by name like
+    counters.  {!observe} records only while {!enabled}; one
+    [Histogram] event per changed histogram is emitted at {!flush}. *)
+
+module Histogram : sig
+  (** A log-bucketed histogram: bucket [0] holds values [<= lo]
+      (including everything non-positive); bucket [i > 0] holds values
+      in [(upper (i-1), upper i]] where [upper i = lo *. growth ** i].
+      With [growth = 2 ** 0.25] a bucket is ~19% wide, so interpolated
+      percentiles carry at most ~9% relative error — plenty for
+      latency distributions.  The exact maximum is tracked on the
+      side.  Values are unit-agnostic; this codebase always observes
+      milliseconds. *)
+
+  type t
+
+  val lo : float
+  (** Lower edge of the first bucket ([1e-6], matching the [dur_ms]
+      reporting floor). *)
+
+  val growth : float
+  (** Geometric bucket growth factor ([2 ** 0.25]). *)
+
+  val bucket_count : int
+
+  val bucket_of : float -> int
+  (** Bucket index a value falls into (clamped to the last bucket). *)
+
+  val bucket_lower : int -> float
+  (** Exclusive lower edge of a bucket ([0.] for bucket 0). *)
+
+  val bucket_upper : int -> float
+  (** Inclusive upper edge of a bucket. *)
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+
+  val merge : t -> t -> t
+  (** [merge a b] is a fresh histogram equivalent to observing
+      everything [a] and [b] observed (bucket-wise sum; max of
+      maxes). *)
+
+  val diff : t -> t -> t
+  (** [diff later earlier] is the distribution of the observations
+      recorded in [later] but not in [earlier], assuming [earlier] is
+      a prefix snapshot of [later] (bucket-wise subtraction).  The
+      [max] of the result is the max of [later] — an over-approximation
+      when the true per-interval max was smaller. *)
+
+  val copy : t -> t
+
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [0..1], linearly interpolated inside
+      the containing bucket and clamped to the observed maximum.
+      [0.] on an empty histogram. *)
+
+  val stats : t -> hist_stats option
+  (** [None] on an empty histogram. *)
+end
+
+val observe : string -> float -> unit
+(** [observe name v] records [v] into the global histogram [name]
+    (creating it on first use) — only while {!enabled}. *)
+
+val histogram_stats : string -> hist_stats option
+(** [None] if the histogram was never touched (or never observed). *)
+
+val histograms : unit -> (string * hist_stats) list
+(** Sorted snapshot of all non-empty histograms. *)
+
+val histogram_copies : unit -> (string * Histogram.t) list
+(** Sorted snapshot of the raw histograms (independent copies) — pair
+    two snapshots with {!Histogram.diff} to get per-section
+    distributions, as [bench --json] does. *)
 
 val flush : unit -> unit
-(** Emit one {!type-event}[.Counter] event per live counter to the sink
-    (skipping counters unchanged since the previous [flush], so an
-    explicit flush followed by the [at_exit] one doesn't duplicate),
-    then flush the sink. *)
+(** Emit one {!type-event}[.Counter] event per live counter and one
+    [Histogram] event per live histogram to the sink (skipping entries
+    unchanged since the previous [flush], so an explicit flush
+    followed by the [at_exit] one doesn't duplicate), then flush the
+    sink. *)
 
 (** {1 Rendering helpers} *)
 
 val attr_to_json : attr -> Json.t
 val event_to_json : event -> Json.t
+
+val event_of_json : Json.t -> (event, string) result
+(** Parse one schema-v2 event object back (the inverse of
+    {!event_to_json}).  [Error] names the offending field — an unknown
+    ["kind"] is an error, which is what lets trace validation reject
+    schema drift. *)

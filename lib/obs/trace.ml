@@ -1,0 +1,255 @@
+type span = {
+  id : int;
+  parent : int option;
+  domain : int;
+  name : string;
+  dur_ms : float;
+  attrs : (string * Obs.attr) list;
+  children : span list;
+}
+
+type t = {
+  roots : span list;
+  num_spans : int;
+  counters : (string * float) list;
+  histograms : (string * Obs.hist_stats) list;
+  domains : (int * int * float) list;
+}
+
+(* Mutable shadow of [span] used during reconstruction; frozen into
+   the immutable tree once the stream is fully validated. *)
+type open_span = {
+  o_id : int;
+  o_parent : int option;
+  o_domain : int;
+  o_name : string;
+  mutable o_dur_ms : float;
+  mutable o_attrs : (string * Obs.attr) list;
+  mutable o_children : open_span list; (* reverse start order *)
+  mutable o_closed : bool;
+}
+
+let of_events events =
+  let errors = ref [] in
+  let err i fmt =
+    Printf.ksprintf (fun m -> errors := Printf.sprintf "event %d: %s" i m :: !errors) fmt
+  in
+  let by_id : (int, open_span) Hashtbl.t = Hashtbl.create 256 in
+  let roots = ref [] in
+  let counters : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let hists = ref [] in
+  List.iteri
+    (fun i ev ->
+      match ev with
+      | Obs.Span_start { name; id; parent; domain; _ } ->
+          if Hashtbl.mem by_id id then err i "duplicate span id %d" id
+          else begin
+            (* the sink serializes writes, so a resolvable parent has
+               always been started by an earlier line — a forward or
+               unknown reference is corruption, and it also makes
+               parent cycles impossible in an accepted trace *)
+            (match parent with
+            | Some p when not (Hashtbl.mem by_id p) ->
+                err i "span %d (%s): dangling parent id %d" id name p
+            | Some p when p = id -> err i "span %d (%s): parent cycle" id name
+            | _ -> ());
+            let sp =
+              {
+                o_id = id;
+                o_parent = parent;
+                o_domain = domain;
+                o_name = name;
+                o_dur_ms = 0.0;
+                o_attrs = [];
+                o_children = [];
+                o_closed = false;
+              }
+            in
+            (match parent with
+            | Some p when Hashtbl.mem by_id p ->
+                let pn = Hashtbl.find by_id p in
+                pn.o_children <- sp :: pn.o_children
+            | _ -> roots := sp :: !roots);
+            Hashtbl.add by_id id sp
+          end
+      | Obs.Span_end { name; id; dur_ms; attrs; _ } -> (
+          match Hashtbl.find_opt by_id id with
+          | None -> err i "span_end for unknown span id %d (%s)" id name
+          | Some sp when sp.o_closed ->
+              err i "span id %d (%s) ended twice" id name
+          | Some sp when sp.o_name <> name ->
+              err i "span id %d ended as %S but started as %S" id name sp.o_name
+          | Some sp ->
+              sp.o_closed <- true;
+              sp.o_dur_ms <- dur_ms;
+              sp.o_attrs <- attrs)
+      | Obs.Counter { name; value; _ } -> Hashtbl.replace counters name value
+      | Obs.Histogram { name; stats; _ } -> hists := (name, stats) :: !hists)
+    events;
+  Hashtbl.iter
+    (fun id sp ->
+      if not sp.o_closed then
+        errors :=
+          Printf.sprintf "span id %d (%s) has no span_end" id sp.o_name :: !errors)
+    by_id;
+  match List.rev !errors with
+  | _ :: _ as errs -> Error errs
+  | [] ->
+      let rec freeze sp =
+        {
+          id = sp.o_id;
+          parent = sp.o_parent;
+          domain = sp.o_domain;
+          name = sp.o_name;
+          dur_ms = sp.o_dur_ms;
+          attrs = sp.o_attrs;
+          (* o_children is in reverse start order; rev_map restores it *)
+          children = List.rev_map freeze sp.o_children;
+        }
+      in
+      let roots = List.rev_map freeze !roots in
+      let num_spans = Hashtbl.length by_id in
+      let domains =
+        let tbl : (int, int ref * float ref) Hashtbl.t = Hashtbl.create 8 in
+        Hashtbl.iter
+          (fun _ sp ->
+            let n, d =
+              match Hashtbl.find_opt tbl sp.o_domain with
+              | Some cell -> cell
+              | None ->
+                  let cell = (ref 0, ref 0.0) in
+                  Hashtbl.add tbl sp.o_domain cell;
+                  cell
+            in
+            incr n;
+            d := !d +. sp.o_dur_ms)
+          by_id;
+        Hashtbl.fold (fun dom (n, d) acc -> (dom, !n, !d) :: acc) tbl []
+        |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+      in
+      Ok
+        {
+          roots;
+          num_spans;
+          counters =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []
+            |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+          histograms =
+            List.rev !hists
+            |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+          domains;
+        }
+
+let load path =
+  let ic = open_in path in
+  let events = ref [] in
+  let errors = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then
+         match Json.of_string line with
+         | Error msg ->
+             errors := Printf.sprintf "line %d: malformed JSON: %s" !lineno msg :: !errors
+         | Ok j -> (
+             match Obs.event_of_json j with
+             | Error msg -> errors := Printf.sprintf "line %d: %s" !lineno msg :: !errors
+             | Ok ev -> events := ev :: !events)
+     done
+   with End_of_file -> close_in ic);
+  match List.rev !errors with
+  | _ :: _ as errs -> Error errs
+  | [] -> of_events (List.rev !events)
+
+(* --- aggregation ------------------------------------------------------- *)
+
+(* Collapse same-name siblings: the "shape" of a forest is the tree of
+   (name, call count) nodes, children ordered by name. *)
+type agg = {
+  a_name : string;
+  mutable a_calls : int;
+  mutable a_total_ms : float;
+  mutable a_children : agg list; (* reverse first-seen order *)
+}
+
+let agg_child_of parent name =
+  match List.find_opt (fun n -> n.a_name = name) parent.a_children with
+  | Some n -> n
+  | None ->
+      let n = { a_name = name; a_calls = 0; a_total_ms = 0.0; a_children = [] } in
+      parent.a_children <- n :: parent.a_children;
+      n
+
+let aggregate t =
+  let root = { a_name = "<root>"; a_calls = 0; a_total_ms = 0.0; a_children = [] } in
+  let rec go parent sp =
+    let node = agg_child_of parent sp.name in
+    node.a_calls <- node.a_calls + 1;
+    node.a_total_ms <- node.a_total_ms +. sp.dur_ms;
+    List.iter (go node) sp.children
+  in
+  List.iter (go root) t.roots;
+  root
+
+let shape t =
+  let buf = Buffer.create 256 in
+  let by_name l =
+    List.sort (fun a b -> String.compare a.a_name b.a_name) (List.rev l)
+  in
+  let rec go indent n =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s x%d\n" indent n.a_name n.a_calls);
+    List.iter (go (indent ^ "  ")) (by_name n.a_children)
+  in
+  List.iter (go "") (by_name (aggregate t).a_children);
+  Buffer.contents buf
+
+let dur_str ms =
+  if ms >= 1000.0 then Printf.sprintf "%.2fs" (ms /. 1000.0)
+  else if ms >= 1.0 then Printf.sprintf "%.1fms" ms
+  else Printf.sprintf "%.3fms" ms
+
+let render ?(per_domain = true) oc t =
+  Printf.fprintf oc "-- span forest (%d spans, %d domain%s) %s\n" t.num_spans
+    (List.length t.domains)
+    (if List.length t.domains = 1 then "" else "s")
+    (String.make 30 '-');
+  let rec print indent n =
+    let calls = if n.a_calls > 1 then Printf.sprintf " x%d" n.a_calls else "" in
+    Printf.fprintf oc "%s%s%s  %s\n" indent n.a_name calls (dur_str n.a_total_ms);
+    List.iter (print (indent ^ "  ")) (List.rev n.a_children)
+  in
+  List.iter (print "") (List.rev (aggregate t).a_children);
+  if per_domain && List.length t.domains > 1 then begin
+    Printf.fprintf oc "-- per domain %s\n" (String.make 51 '-');
+    List.iter
+      (fun (dom, n, total) ->
+        Printf.fprintf oc "domain %-3d %6d spans  %10s total\n" dom n (dur_str total))
+      t.domains
+  end;
+  (match t.histograms with
+  | [] -> ()
+  | hs ->
+      Printf.fprintf oc "-- latency %s\n" (String.make 54 '-');
+      Printf.fprintf oc "%-32s %8s %9s %9s %9s %9s\n" "histogram" "count" "p50"
+        "p90" "p99" "max";
+      List.iter
+        (fun (name, s) ->
+          Printf.fprintf oc "%-32s %8d %9s %9s %9s %9s\n" name s.Obs.count
+            (dur_str s.Obs.p50) (dur_str s.Obs.p90) (dur_str s.Obs.p99)
+            (dur_str s.Obs.max))
+        hs);
+  match t.counters with
+  | [] -> ()
+  | cs ->
+      Printf.fprintf oc "-- counters %s\n" (String.make 53 '-');
+      List.iter
+        (fun (name, v) ->
+          let pretty =
+            if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+            else Printf.sprintf "%.3f" v
+          in
+          Printf.fprintf oc "%-40s %14s\n" name pretty)
+        cs

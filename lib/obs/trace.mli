@@ -1,0 +1,65 @@
+(** Reading schema-v2 JSONL traces back: per-line validation, span
+    forest reconstruction from ids, per-domain breakdown, and a
+    canonical "shape" rendering for comparing runs.
+
+    A trace is {e well-formed} when every line parses as a known
+    event, every span id is started at most once and ended exactly as
+    many times as it is started, every [parent] reference resolves to
+    a span started earlier in the stream, and no parent chain cycles
+    (the sink serializes writes, so a parent's [span_start] always
+    precedes its children's — even when the two spans live on
+    different domains).  {!load} checks all of this and refuses a
+    trace that violates any rule, which is what lets [bin/check.sh]
+    gate on schema drift.
+
+    Because parentage is carried by explicit ids, the reconstructed
+    forest of a [--jobs N] run has the same {e shape} — span names,
+    parent edges, per-edge call counts — as the [--jobs 1] run of the
+    same workload; only timings and domain ids differ.  {!shape}
+    renders exactly that invariant part (children sorted by name, no
+    durations), so two shapes can be compared with [String.equal]. *)
+
+type span = {
+  id : int;
+  parent : int option;
+  domain : int;
+  name : string;
+  dur_ms : float;
+  attrs : (string * Obs.attr) list;
+  children : span list;  (** in start order *)
+}
+
+type t = {
+  roots : span list;  (** the forest, in start order *)
+  num_spans : int;
+  counters : (string * float) list;  (** final values, sorted by name *)
+  histograms : (string * Obs.hist_stats) list;  (** sorted by name *)
+  domains : (int * int * float) list;
+      (** per domain: (domain id, span count, summed span duration in
+          ms), sorted by domain id *)
+}
+
+val of_events : Obs.event list -> (t, string list) result
+(** Validate and reconstruct.  [Error msgs] lists every violation
+    found (unbalanced span, dangling or cyclic parent, duplicate id);
+    positions refer to event indices (0-based). *)
+
+val load : string -> (t, string list) result
+(** Read a JSONL trace file.  Parse errors (malformed JSON, unknown
+    event kind, missing fields) are reported with 1-based line
+    numbers, then {!of_events} rules apply.  Raises [Sys_error] if the
+    file cannot be opened. *)
+
+val shape : t -> string
+(** Canonical forest shape: one [name xCOUNT] line per aggregate node
+    (same-name siblings collapsed, children sorted by name,
+    2-space-indented), independent of ids, timings and domains —
+    byte-identical across [--jobs N] settings for a deterministic
+    workload. *)
+
+val render : ?per_domain:bool -> out_channel -> t -> unit
+(** Human-readable report: the aggregated span forest (children in
+    start order with call counts and total durations), the latency
+    table, the counter table, and — with [per_domain] (default true)
+    when the trace spans more than one domain — the per-domain
+    breakdown. *)

@@ -199,6 +199,64 @@ let parallel_equivalence () =
   let s = Mcml_counting.Counter.cache_stats cache in
   Alcotest.(check bool) "warm rerun hit the cache" true (s.Mcml_exec.Memo.hits > 0)
 
+(* --- trace well-formedness under parallelism ----------------------------- *)
+
+let traced_run ~jobs path =
+  let open Mcml_obs in
+  Obs.set_sink (Obs.jsonl path);
+  Fun.protect ~finally:(fun () ->
+      Obs.flush ();
+      Obs.set_sink Obs.null;
+      Obs.reset_counters ())
+  @@ fun () ->
+  (* no count cache: at jobs>1 two identical in-flight queries can both
+     miss and spawn extra count spans, which is legitimate but makes the
+     forest shape nondeterministic — the shape contract is cache-free *)
+  if jobs = 1 then ignore (Mcml.Experiments.table1 (slice_cfg None None))
+  else
+    Pool.with_pool ~jobs @@ fun p ->
+    ignore (Mcml.Experiments.table1 (slice_cfg (Some p) None))
+
+let with_temp_trace f =
+  let path = Filename.temp_file "mcml_trace_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let trace_well_formed_at_jobs4 () =
+  let open Mcml_obs in
+  with_temp_trace @@ fun path ->
+  traced_run ~jobs:4 path;
+  match Trace.load path with
+  | Error errs ->
+      Alcotest.failf "jobs=4 trace is not well-formed:\n%s" (String.concat "\n" errs)
+  | Ok t ->
+      (* Trace.load already enforces balanced start/end per id, resolvable
+         (non-forward, non-self) parents, and no duplicate ids; assert the
+         forest is non-trivial and every recorded domain really ran spans *)
+      check Alcotest.bool "has spans" true (t.Trace.num_spans > 0);
+      check Alcotest.bool "has roots" true (t.Trace.roots <> []);
+      List.iter
+        (fun (_dom, spans, _ms) ->
+          check Alcotest.bool "every domain ran spans" true (spans > 0))
+        t.Trace.domains;
+      (* workers parent under the submitter: worker-domain spans must not
+         all be roots.  With 4 domains the trace has >1 domain unless the
+         machine is too loaded to spawn any worker, which with_pool forbids *)
+      check Alcotest.bool "more than one domain traced" true
+        (List.length t.Trace.domains > 1)
+
+let trace_shape_matches_sequential () =
+  let open Mcml_obs in
+  with_temp_trace @@ fun p1 ->
+  with_temp_trace @@ fun p4 ->
+  traced_run ~jobs:1 p1;
+  traced_run ~jobs:4 p4;
+  let shape path =
+    match Trace.load path with
+    | Ok t -> Trace.shape t
+    | Error errs -> Alcotest.failf "trace %s invalid:\n%s" path (String.concat "\n" errs)
+  in
+  check Alcotest.string "same span forest shape at jobs=1 and jobs=4" (shape p1) (shape p4)
+
 let () =
   Alcotest.run "mcml_exec"
     [
@@ -226,4 +284,9 @@ let () =
         ] );
       ( "determinism",
         [ Alcotest.test_case "jobs=1 = jobs=4" `Slow parallel_equivalence ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "jobs=4 trace well-formed" `Slow trace_well_formed_at_jobs4;
+          Alcotest.test_case "forest shape = sequential" `Slow trace_shape_matches_sequential;
+        ] );
     ]

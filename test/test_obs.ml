@@ -33,15 +33,75 @@ let span_nesting () =
   Obs.finish outer;
   match List.rev !events with
   | [
-   Obs.Span_start { name = "outer"; depth = 0; _ };
-   Obs.Span_start { name = "inner"; depth = 1; _ };
-   Obs.Span_end { name = "inner"; depth = 1; dur_ms = d_in; attrs; _ };
-   Obs.Span_end { name = "outer"; depth = 0; dur_ms = d_out; _ };
+   Obs.Span_start { name = "outer"; id = oid; parent = None; domain = d0; _ };
+   Obs.Span_start { name = "inner"; id = iid; parent = Some ipar; domain = d1; _ };
+   Obs.Span_end { name = "inner"; id = iid'; dur_ms = d_in; attrs; _ };
+   Obs.Span_end { name = "outer"; id = oid'; parent = None; dur_ms = d_out; _ };
   ] ->
+      check Alcotest.bool "ids are distinct" true (oid <> iid);
+      check Alcotest.int "inner parents under outer" oid ipar;
+      check Alcotest.int "inner end carries its id" iid iid';
+      check Alcotest.int "outer end carries its id" oid oid';
+      check Alcotest.int "same domain" d0 d1;
+      check Alcotest.int "the test's own domain" (Domain.self () :> int) d0;
       check Alcotest.bool "inner duration positive" true (d_in > 0.0);
       check Alcotest.bool "outer >= inner" true (d_out >= d_in);
       check Alcotest.bool "end carries attrs" true (List.mem_assoc "k" attrs)
   | evs -> Alcotest.failf "unexpected event stream (%d events)" (List.length evs)
+
+let span_context_capture () =
+  (* with_context reinstates a captured context: a span started under
+     it parents under the capturing span, not under the current one *)
+  with_clean_obs @@ fun () ->
+  let sink, events = recording () in
+  Obs.set_sink sink;
+  let a = Obs.start "a" in
+  let ctx = Obs.current_context () in
+  Obs.finish a;
+  let b = Obs.start "b" in
+  Obs.with_context ctx (fun () ->
+      let c = Obs.start "c" in
+      Obs.finish c);
+  (* context restored: d parents under b *)
+  let d = Obs.start "d" in
+  Obs.finish d;
+  Obs.finish b;
+  let starts =
+    List.filter_map
+      (function
+        | Obs.Span_start { name; id; parent; _ } -> Some (name, id, parent)
+        | _ -> None)
+      (List.rev !events)
+  in
+  let id_of n =
+    match List.find_opt (fun (name, _, _) -> name = n) starts with
+    | Some (_, id, _) -> id
+    | None -> Alcotest.failf "no start for %s" n
+  in
+  let parent_of n =
+    match List.find_opt (fun (name, _, _) -> name = n) starts with
+    | Some (_, _, p) -> p
+    | None -> Alcotest.failf "no start for %s" n
+  in
+  check Alcotest.(option int) "c parents under a (captured)" (Some (id_of "a")) (parent_of "c");
+  check Alcotest.(option int) "d parents under b (restored)" (Some (id_of "b")) (parent_of "d")
+
+let set_sink_after_domains () =
+  (* the sink cell is atomic: installing (and tee-ing) a sink while
+     another domain is emitting must be safe and lose no totals *)
+  with_clean_obs @@ fun () ->
+  Obs.set_sink (Obs.stats_only ());
+  let worker =
+    Domain.spawn (fun () ->
+        for _ = 1 to 1000 do
+          Obs.add "cross.domain" 1
+        done)
+  in
+  let sink, _events = recording () in
+  Obs.set_sink (Obs.tee (Obs.sink ()) sink);
+  Domain.join worker;
+  check (Alcotest.float 1e-9) "no lost increments" 1000.0
+    (Obs.counter_value "cross.domain")
 
 let with_span_on_raise () =
   with_clean_obs @@ fun () ->
@@ -133,8 +193,9 @@ let jsonl_roundtrip () =
   Obs.flush ();
   Obs.set_sink Obs.null;
   let lines = read_lines path in
-  (* 2 span starts + 2 span ends + 1 counter *)
-  check Alcotest.int "event count" 5 (List.length lines);
+  (* 2 span starts + 2 span ends + 1 counter + 2 histograms (every
+     finished span feeds the histogram named after it) *)
+  check Alcotest.int "event count" 7 (List.length lines);
   let parsed =
     List.map
       (fun line ->
@@ -147,7 +208,20 @@ let jsonl_roundtrip () =
     (fun j ->
       check Alcotest.bool "has ts" true
         (Option.is_some (Option.bind (Json.member "ts" j) Json.to_float_opt));
-      check Alcotest.bool "has kind" true (Option.is_some (Json.member "kind" j)))
+      check Alcotest.bool "has kind" true (Option.is_some (Json.member "kind" j));
+      (* every line must parse back as a known schema-v2 event *)
+      check Alcotest.bool "parses as an event" true
+        (Result.is_ok (Obs.event_of_json j));
+      match Json.member "kind" j with
+      | Some (Json.Str ("span_start" | "span_end")) ->
+          check Alcotest.bool "span has id" true
+            (match Json.member "id" j with Some (Json.Int _) -> true | _ -> false);
+          check Alcotest.bool "span has domain" true
+            (match Json.member "domain" j with Some (Json.Int _) -> true | _ -> false)
+      | Some (Json.Str "histogram") ->
+          check Alcotest.bool "histogram has p50_ms" true
+            (Option.is_some (Option.bind (Json.member "p50_ms" j) Json.to_float_opt))
+      | _ -> ())
     parsed;
   let is_end_of name j =
     Json.member "kind" j = Some (Json.Str "span_end")
@@ -166,6 +240,172 @@ let jsonl_roundtrip () =
       check Alcotest.bool "counter value" true
         (Option.bind (Json.member "value" j) Json.to_float_opt = Some 3.0)
   | None -> Alcotest.fail "no counter event"
+
+(* --- histograms ---------------------------------------------------------------- *)
+
+let hist_bucket_boundaries () =
+  let module H = Obs.Histogram in
+  check Alcotest.int "non-positive values land in bucket 0" 0 (H.bucket_of 0.0);
+  check Alcotest.int "negative values land in bucket 0" 0 (H.bucket_of (-1.0));
+  check Alcotest.int "lo itself lands in bucket 0" 0 (H.bucket_of H.lo);
+  check Alcotest.bool "just above lo leaves bucket 0" true (H.bucket_of (H.lo *. 1.0001) > 0);
+  (* each bucket's upper edge is inclusive, and the next value after
+     it belongs to the next bucket *)
+  List.iter
+    (fun i ->
+      let u = H.bucket_upper i in
+      check Alcotest.int (Printf.sprintf "upper edge of bucket %d is inclusive" i) i
+        (H.bucket_of u);
+      check Alcotest.int (Printf.sprintf "just above bucket %d's edge" i) (i + 1)
+        (H.bucket_of (u *. 1.0001));
+      check (Alcotest.float 1e-12)
+        (Printf.sprintf "lower edge of bucket %d = upper of %d" (i + 1) i)
+        u
+        (H.bucket_lower (i + 1)))
+    [ 0; 1; 7; 40 ];
+  check (Alcotest.float 1e-12) "bucket 0 lower edge" 0.0 (H.bucket_lower 0);
+  (* growth factor: four buckets per doubling *)
+  check Alcotest.bool "2^0.25 growth" true
+    (abs_float ((H.growth ** 4.0) -. 2.0) < 1e-9);
+  check Alcotest.int "huge values clamp to the last bucket" (H.bucket_count - 1)
+    (H.bucket_of 1e40)
+
+let hist_percentiles () =
+  let module H = Obs.Histogram in
+  let h = H.create () in
+  check Alcotest.bool "empty stats" true (H.stats h = None);
+  check (Alcotest.float 1e-12) "empty percentile" 0.0 (H.percentile h 0.5);
+  (* 100 observations 1.0 .. 100.0: interpolated percentiles must land
+     within one bucket width (~19%) of the true value *)
+  for i = 1 to 100 do
+    H.observe h (float_of_int i)
+  done;
+  check Alcotest.int "count" 100 (H.count h);
+  List.iter
+    (fun (p, truth) ->
+      let v = H.percentile h p in
+      let rel = abs_float (v -. truth) /. truth in
+      check Alcotest.bool
+        (Printf.sprintf "p%.0f ≈ %.0f (got %.3f)" (p *. 100.) truth v)
+        true (rel < 0.20))
+    [ (0.5, 50.0); (0.9, 90.0); (0.99, 99.0) ];
+  check (Alcotest.float 1e-12) "p100 is the exact max" 100.0 (H.percentile h 1.0);
+  match H.stats h with
+  | None -> Alcotest.fail "stats on a non-empty histogram"
+  | Some s ->
+      check Alcotest.int "stats count" 100 s.Obs.count;
+      check (Alcotest.float 1e-12) "stats max exact" 100.0 s.Obs.max;
+      check Alcotest.bool "p50 <= p90 <= p99 <= max" true
+        (s.Obs.p50 <= s.Obs.p90 && s.Obs.p90 <= s.Obs.p99 && s.Obs.p99 <= s.Obs.max)
+
+let hist_merge_diff () =
+  let module H = Obs.Histogram in
+  let a = H.create () and b = H.create () and whole = H.create () in
+  for i = 1 to 50 do
+    H.observe a (float_of_int i);
+    H.observe whole (float_of_int i)
+  done;
+  for i = 51 to 100 do
+    H.observe b (float_of_int i);
+    H.observe whole (float_of_int i)
+  done;
+  let m = H.merge a b in
+  check Alcotest.int "merge count" 100 (H.count m);
+  List.iter
+    (fun p ->
+      check (Alcotest.float 1e-12)
+        (Printf.sprintf "merge p%.2f = whole" p)
+        (H.percentile whole p) (H.percentile m p))
+    [ 0.5; 0.9; 0.99; 1.0 ];
+  (* diff recovers the later interval from a prefix snapshot *)
+  let snap = H.copy a in
+  for i = 1 to 25 do
+    H.observe a (1000.0 +. float_of_int i)
+  done;
+  let d = H.diff a snap in
+  check Alcotest.int "diff count" 25 (H.count d);
+  check Alcotest.bool "diff p50 is in the new range" true (H.percentile d 0.5 > 900.0);
+  (* the copy is independent of the original *)
+  check Alcotest.int "copy unaffected" 50 (H.count snap)
+
+let observe_and_flush_histograms () =
+  with_clean_obs @@ fun () ->
+  let sink, events = recording () in
+  Obs.set_sink sink;
+  Obs.observe "lat" 1.0;
+  Obs.observe "lat" 2.0;
+  Obs.observe "lat" 3.0;
+  (match Obs.histogram_stats "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+      check Alcotest.int "count" 3 s.Obs.count;
+      check (Alcotest.float 1e-12) "max" 3.0 s.Obs.max);
+  check Alcotest.int "snapshot lists it" 1 (List.length (Obs.histograms ()));
+  Obs.flush ();
+  Obs.flush ();
+  let hist_events =
+    List.filter (function Obs.Histogram _ -> true | _ -> false) !events
+  in
+  (* like counters: emitted once, not re-emitted unchanged *)
+  check Alcotest.int "one histogram event" 1 (List.length hist_events);
+  Obs.observe "lat" 4.0;
+  Obs.flush ();
+  let hist_events =
+    List.filter (function Obs.Histogram _ -> true | _ -> false) !events
+  in
+  check Alcotest.int "changed histogram re-emitted" 2 (List.length hist_events);
+  Obs.reset_counters ();
+  check Alcotest.int "reset clears histograms" 0 (List.length (Obs.histograms ()))
+
+(* --- event JSON round-trip ------------------------------------------------------ *)
+
+let event_json_roundtrip () =
+  let evs =
+    [
+      Obs.Span_start { ts = 1.5; name = "a"; id = 3; parent = None; domain = 0 };
+      Obs.Span_start { ts = 1.6; name = "b"; id = 4; parent = Some 3; domain = 2 };
+      Obs.Span_end
+        {
+          ts = 1.7;
+          name = "b";
+          id = 4;
+          parent = Some 3;
+          domain = 2;
+          dur_ms = 0.25;
+          attrs = [ ("n", Obs.Int 7); ("ok", Obs.Bool true); ("s", Obs.Str "x") ];
+        };
+      Obs.Counter { ts = 1.8; name = "c"; value = 42.0 };
+      Obs.Histogram
+        {
+          ts = 1.9;
+          name = "h";
+          stats = { Obs.count = 10; p50 = 0.1; p90 = 0.2; p99 = 0.3; max = 0.4 };
+        };
+    ]
+  in
+  List.iter
+    (fun e ->
+      match Obs.event_of_json (Obs.event_to_json e) with
+      | Ok e' ->
+          check Alcotest.string "round-trip fixpoint"
+            (Json.to_string (Obs.event_to_json e))
+            (Json.to_string (Obs.event_to_json e'))
+      | Error msg -> Alcotest.failf "round-trip failed: %s" msg)
+    evs;
+  (* unknown kinds and missing fields are errors, not silent drops *)
+  List.iter
+    (fun s ->
+      let j =
+        match Json.of_string s with Ok j -> j | Error e -> Alcotest.failf "bad fixture: %s" e
+      in
+      check Alcotest.bool (Printf.sprintf "rejects %s" s) true
+        (Result.is_error (Obs.event_of_json j)))
+    [
+      {|{"ts":1.0,"kind":"mystery","name":"x"}|};
+      {|{"ts":1.0,"kind":"span_start","name":"x"}|};
+      {|{"kind":"counter","name":"x","value":1.0}|};
+      {|{"ts":1.0,"kind":"span_end","name":"x","id":1,"domain":0}|};
+    ]
 
 (* --- JSON printer/parser -------------------------------------------------------- *)
 
@@ -197,6 +437,7 @@ let () =
       ( "spans",
         [
           Alcotest.test_case "nesting and durations" `Quick span_nesting;
+          Alcotest.test_case "context capture" `Quick span_context_capture;
           Alcotest.test_case "exception outcome" `Quick with_span_on_raise;
         ] );
       ( "counters",
@@ -204,11 +445,21 @@ let () =
           Alcotest.test_case "accumulation" `Quick counters_accumulate;
           Alcotest.test_case "flush dedup" `Quick flush_emits_counter_deltas_once;
         ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick hist_bucket_boundaries;
+          Alcotest.test_case "percentiles" `Quick hist_percentiles;
+          Alcotest.test_case "merge/diff/copy" `Quick hist_merge_diff;
+          Alcotest.test_case "observe and flush" `Quick observe_and_flush_histograms;
+        ] );
       ("null sink", [ Alcotest.test_case "inert" `Quick null_sink_is_inert ]);
+      ( "sink swap",
+        [ Alcotest.test_case "set_sink after domain spawn" `Quick set_sink_after_domains ] );
       ("jsonl sink", [ Alcotest.test_case "round-trip" `Quick jsonl_roundtrip ]);
       ( "json",
         [
           Alcotest.test_case "round-trip" `Quick json_roundtrip;
+          Alcotest.test_case "event round-trip" `Quick event_json_roundtrip;
           Alcotest.test_case "errors" `Quick json_rejects_garbage;
         ] );
     ]
