@@ -96,6 +96,10 @@ type section = {
 
 let sections : section list ref = ref []
 
+(* Summary of the --serve benchmark (set by [run_serve], emitted by
+   [write_json] under the optional "serve" key). *)
+let serve_summary : Mcml_obs.Json.t option ref = ref None
+
 let timed name f =
   let c0 = Mcml_obs.Obs.counters () in
   let h0 = Mcml_obs.Obs.histogram_copies () in
@@ -148,6 +152,25 @@ let read_baseline path =
       Format.eprintf "bench: cannot parse --baseline %s: %s@." path msg;
       exit 2
   | Ok doc -> (
+      (* a pre-v3 summary lacks the percentile fields the gate and the
+         speedup report assume; name the schema we need instead of
+         failing later with a confusing "no usable sections" *)
+      let expected = "mcml.bench.v3" in
+      (match Json.member "schema" doc with
+      | Some (Json.Str s) when s = expected -> ()
+      | Some (Json.Str s) ->
+          Format.eprintf
+            "bench: --baseline %s has schema %S but this binary needs %S — \
+             regenerate it with the current bench --json@."
+            path s expected;
+          exit 2
+      | _ ->
+          Format.eprintf
+            "bench: --baseline %s carries no \"schema\" field (expected %S) — \
+             it predates the versioned summary format; regenerate it with the \
+             current bench --json@."
+            path expected;
+          exit 2);
       match Json.member "sections" doc with
       | Some (Json.List secs) -> (
           match
@@ -244,7 +267,7 @@ let write_json path ~seed ~budget ~jobs ~cache ~baseline ~total =
   in
   let doc =
     Json.Obj
-      [
+      ([
         ("schema", Json.Str "mcml.bench.v3");
         ("seed", Json.Int seed);
         ("budget_s", Json.Float budget);
@@ -255,14 +278,207 @@ let write_json path ~seed ~budget ~jobs ~cache ~baseline ~total =
         ("cache_evictions", Json.Int ce);
         ("total_wall_s", Json.Float total);
         ("sections", Json.List (List.rev_map section !sections));
-        ("counters_total", Json.Obj (List.map (fun (k, v) -> (k, num v)) (Obs.counters ())));
       ]
+      @ (match !serve_summary with
+        | None -> []
+        | Some s -> [ ("serve", s) ])
+      @ [
+        ("counters_total", Json.Obj (List.map (fun (k, v) -> (k, num v)) (Obs.counters ())));
+      ])
   in
   let oc = open_out path in
   output_string oc (Json.to_string doc);
   output_char oc '\n';
   close_out oc;
   Format.fprintf fmt "wrote %s@." path
+
+(* ---------------------------------------------------------------------- *)
+(* Serve-mode benchmark (--serve)                                          *)
+(* ---------------------------------------------------------------------- *)
+
+(* Measures the counting service against direct execution of the same
+   requests: the protocol + pool + connection machinery is the only
+   difference, so the gap is the serving overhead.  Latencies go into
+   local histograms (usable without any telemetry sink installed); the
+   summary lands in --json under the optional "serve" key. *)
+let serve_requests ~budget ~seed =
+  let props =
+    List.map Props.find_exn
+      [ "Reflexive"; "Irreflexive"; "Antisymmetric"; "Transitive"; "PartialOrder" ]
+  in
+  List.concat
+    (List.map
+       (fun round ->
+         List.concat
+           (List.map
+              (fun scope ->
+                List.mapi
+                  (fun i prop ->
+                    {
+                      Mcml_serve.Protocol.id =
+                        Mcml_obs.Json.Int ((round * 100) + (scope * 10) + i);
+                      deadline_ms = None;
+                      kind =
+                        Mcml_serve.Protocol.Count
+                          {
+                            Mcml_serve.Protocol.prop;
+                            scope = Some scope;
+                            symmetry = false;
+                            negate = false;
+                            backend = Mcml_counting.Counter.Exact;
+                            budget;
+                            seed;
+                          };
+                    })
+                  props)
+              [ 3; 4 ]))
+       [ 0; 1; 2; 3 ])
+
+let hist_summary h =
+  match Mcml_obs.Obs.Histogram.stats h with
+  | None -> []
+  | Some s ->
+      let open Mcml_obs in
+      [
+        ("p50_ms", Json.Float s.Obs.p50);
+        ("p90_ms", Json.Float s.Obs.p90);
+        ("p99_ms", Json.Float s.Obs.p99);
+        ("max_ms", Json.Float s.Obs.max);
+      ]
+
+let run_serve ~jobs ~budget ~seed ~use_cache =
+  banner "serve mode: served requests vs direct execution";
+  let open Mcml_obs in
+  let open Mcml_serve in
+  let now = Obs.monotonic_s in
+  let reqs = serve_requests ~budget ~seed in
+  let n = List.length reqs in
+  let fail_on_error (resp : Protocol.response) =
+    match resp.Protocol.body with
+    | Ok _ -> ()
+    | Error (code, msg) ->
+        Format.eprintf "bench: serve request failed (%s): %s@."
+          (Protocol.code_name code) msg;
+        exit 2
+  in
+  (* direct baseline: the same computations, no protocol, no pool hop *)
+  let h_direct = Obs.Histogram.create () in
+  let direct_wall =
+    let srv =
+      Server.create { Server.default_config with Server.cache = use_cache }
+    in
+    let t0 = now () in
+    List.iter
+      (fun r ->
+        let t = now () in
+        fail_on_error (Server.execute srv r);
+        Obs.Histogram.observe h_direct ((now () -. t) *. 1000.0))
+      reqs;
+    let w = now () -. t0 in
+    Server.shutdown srv;
+    w
+  in
+  (* served, closed loop: one request in flight, per-request round trip *)
+  let h_rtt = Obs.Histogram.create () in
+  let srv =
+    Server.create { Server.default_config with Server.jobs; cache = use_cache }
+  in
+  let connect () =
+    let sfd, cfd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let handler =
+      Thread.create
+        (fun () ->
+          let oc = Unix.out_channel_of_descr sfd in
+          Server.handle_connection srv ~input:sfd ~output:oc;
+          try close_out oc with Sys_error _ -> ())
+        ()
+    in
+    (cfd, Unix.in_channel_of_descr cfd, Unix.out_channel_of_descr cfd, handler)
+  in
+  let send oc r =
+    output_string oc (Json.to_string (Protocol.request_to_json r));
+    output_char oc '\n';
+    flush oc
+  in
+  let recv ic =
+    match Protocol.response_of_string (input_line ic) with
+    | Ok resp ->
+        fail_on_error resp;
+        resp
+    | Error msg ->
+        Format.eprintf "bench: malformed serve response: %s@." msg;
+        exit 2
+  in
+  let closed_wall =
+    let cfd, ic, oc, handler = connect () in
+    let t0 = now () in
+    List.iter
+      (fun r ->
+        let t = now () in
+        send oc r;
+        ignore (recv ic);
+        Obs.Histogram.observe h_rtt ((now () -. t) *. 1000.0))
+      reqs;
+    let w = now () -. t0 in
+    Unix.shutdown cfd Unix.SHUTDOWN_SEND;
+    Thread.join handler;
+    close_in_noerr ic;
+    w
+  in
+  (* served, pipelined: every request written before the first read —
+     queueing, admission and in-order write-back under burst load *)
+  let pipelined_wall =
+    let cfd, ic, oc, handler = connect () in
+    let t0 = now () in
+    List.iter (fun r -> send oc r) reqs;
+    Unix.shutdown cfd Unix.SHUTDOWN_SEND;
+    List.iter (fun _ -> ignore (recv ic)) reqs;
+    let w = now () -. t0 in
+    Thread.join handler;
+    close_in_noerr ic;
+    w
+  in
+  Server.shutdown srv;
+  let rps w = float_of_int n /. w in
+  let pct h p = Obs.Histogram.percentile h p in
+  Format.fprintf fmt "%d count requests, jobs=%d, cache=%b@." n jobs use_cache;
+  Format.fprintf fmt
+    "  direct    : %7.3fs  %8.1f req/s   p50=%.3fms p90=%.3fms p99=%.3fms@."
+    direct_wall (rps direct_wall) (pct h_direct 0.5) (pct h_direct 0.9)
+    (pct h_direct 0.99);
+  Format.fprintf fmt
+    "  closed    : %7.3fs  %8.1f req/s   p50=%.3fms p90=%.3fms p99=%.3fms@."
+    closed_wall (rps closed_wall) (pct h_rtt 0.5) (pct h_rtt 0.9) (pct h_rtt 0.99);
+  Format.fprintf fmt "  pipelined : %7.3fs  %8.1f req/s@." pipelined_wall
+    (rps pipelined_wall);
+  serve_summary :=
+    Some
+      (Json.Obj
+         [
+           ("requests", Json.Int n);
+           ("jobs", Json.Int jobs);
+           ("cache_enabled", Json.Bool use_cache);
+           ( "direct",
+             Json.Obj
+               ([
+                  ("wall_s", Json.Float direct_wall);
+                  ("throughput_rps", Json.Float (rps direct_wall));
+                ]
+               @ hist_summary h_direct) );
+           ( "closed_loop",
+             Json.Obj
+               ([
+                  ("wall_s", Json.Float closed_wall);
+                  ("throughput_rps", Json.Float (rps closed_wall));
+                ]
+               @ hist_summary h_rtt) );
+           ( "pipelined",
+             Json.Obj
+               [
+                 ("wall_s", Json.Float pipelined_wall);
+                 ("throughput_rps", Json.Float (rps pipelined_wall));
+               ] );
+         ])
 
 (* ---------------------------------------------------------------------- *)
 (* Micro-benchmarks                                                        *)
@@ -420,6 +636,7 @@ let run_ablations cfg =
 let () =
   let table = ref 0 in
   let micro_only = ref false in
+  let serve_only = ref false in
   let ablation_only = ref false in
   let tables_only = ref false in
   let budget = ref Experiments.fast.Experiments.budget in
@@ -433,6 +650,11 @@ let () =
     [
       ("--table", Arg.Set_int table, "N  regenerate only table N");
       ("--micro", Arg.Set micro_only, "  micro-benchmarks only");
+      ( "--serve",
+        Arg.Set serve_only,
+        "  benchmark the counting service (mcml serve) against direct \
+         execution: throughput and latency percentiles, closed-loop and \
+         pipelined" );
       ("--ablation", Arg.Set ablation_only, "  ablation studies only");
       ("--tables", Arg.Set tables_only, "  tables only, skip micro-benchmarks");
       ("--budget", Arg.Set_float budget, "S  per-count timeout in seconds");
@@ -489,7 +711,10 @@ let () =
     }
   in
   let t0 = Mcml_obs.Obs.monotonic_s () in
-  if !micro_only then timed "micro" run_micro
+  if !serve_only then
+    timed "serve" (fun () ->
+        run_serve ~jobs:!jobs ~budget:!budget ~seed:!seed ~use_cache:(not !no_cache))
+  else if !micro_only then timed "micro" run_micro
   else if !ablation_only then timed "ablations" (fun () -> run_ablations cfg)
   else if !table > 0 then
     timed

@@ -121,4 +121,97 @@ fi
 sed -n '/regression gate/,$p' "$gate_log"
 rm -f "$fresh" "$gate_log"
 
+echo "== serve smoke gate: concurrent served answers == direct CLI =="
+# start the daemon at --jobs 4 with a trace, fire 20 concurrent mixed
+# requests from two clients, require every count byte-identical to the
+# direct CLI answer, then SIGTERM and require a clean drain and a
+# schema-valid trace.  The binary is already built; run it directly so
+# concurrent invocations don't contend on the dune lock.
+MCML=_build/default/bin/main.exe
+sock="/tmp/mcml_serve.$$.sock"
+strace="$(mktemp /tmp/mcml_serve.XXXXXX.jsonl)"
+"$MCML" serve --socket "$sock" --jobs 4 --trace "$strace" 2>/dev/null &
+serve_pid=$!
+i=0
+while [ ! -S "$sock" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$sock" ] || { echo "FAIL: serve socket never appeared" >&2; exit 1; }
+
+serve_props="Reflexive Irreflexive Antisymmetric Transitive PartialOrder"
+direct="$(mktemp /tmp/mcml_direct.XXXXXX.txt)"
+for p in $serve_props; do
+  for s in 3 4; do
+    v="$("$MCML" count -p "$p" -s "$s" | sed -n 's/^count = \([0-9]*\) .*/\1/p')"
+    [ -n "$v" ] || { echo "FAIL: no direct CLI count for $p scope $s" >&2; exit 1; }
+    echo "$p $s $v" >>"$direct"
+  done
+done
+
+serve_reqs() {
+  for p in $serve_props; do
+    for s in 3 4; do
+      echo "{\"id\":\"$1-$p-$s\",\"kind\":\"count\",\"prop\":\"$p\",\"scope\":$s}"
+    done
+  done
+}
+out1="$(mktemp /tmp/mcml_client1.XXXXXX.jsonl)"
+out2="$(mktemp /tmp/mcml_client2.XXXXXX.jsonl)"
+serve_reqs a | "$MCML" client --socket "$sock" >"$out1" &
+c1=$!
+serve_reqs b | "$MCML" client --socket "$sock" >"$out2" &
+c2=$!
+wait $c1 || { echo "FAIL: client 1 exited nonzero" >&2; exit 1; }
+wait $c2 || { echo "FAIL: client 2 exited nonzero" >&2; exit 1; }
+for f in "$out1" "$out2"; do
+  [ "$(wc -l <"$f")" -eq 10 ] || { echo "FAIL: expected 10 responses in $f" >&2; exit 1; }
+  if grep -q '"ok":false' "$f"; then
+    echo "FAIL: serve returned an error response:" >&2
+    grep '"ok":false' "$f" >&2
+    exit 1
+  fi
+done
+while read -r p s want; do
+  for f in "$out1" "$out2"; do
+    got="$(grep "\"prop\":\"$p\"" "$f" | grep "\"scope\":$s," \
+      | sed -n 's/.*"count":"\([0-9]*\)".*/\1/p')"
+    [ "$got" = "$want" ] || {
+      echo "FAIL: served count for $p scope $s = '$got', direct CLI = '$want'" >&2
+      exit 1
+    }
+  done
+done <"$direct"
+
+kill -TERM $serve_pid
+wait $serve_pid || { echo "FAIL: serve exited nonzero after SIGTERM" >&2; exit 1; }
+[ ! -e "$sock" ] || { echo "FAIL: drained server left its socket behind" >&2; exit 1; }
+grep -q '"name":"serve.request"' "$strace" || {
+  echo "FAIL: server trace has no serve.request spans" >&2
+  exit 1
+}
+"$MCML" stats --from-trace "$strace" >/dev/null || {
+  echo "FAIL: the server trace did not validate" >&2
+  exit 1
+}
+rm -f "$direct" "$out1" "$out2" "$strace"
+echo "   20/20 served answers identical to direct CLI; clean drain; valid trace"
+
+echo "== docs: dune build @doc =="
+# the container may lack odoc (it is not vendored and cannot be
+# installed here); the doc gate runs wherever it is available
+if command -v odoc >/dev/null 2>&1; then
+  doc_log="$(mktemp /tmp/mcml_doc.XXXXXX.txt)"
+  if ! dune build @doc >"$doc_log" 2>&1; then
+    cat "$doc_log" >&2
+    echo "FAIL: dune build @doc" >&2
+    exit 1
+  fi
+  if grep -qi "warning" "$doc_log"; then
+    cat "$doc_log" >&2
+    echo "FAIL: odoc emitted warnings" >&2
+    exit 1
+  fi
+  rm -f "$doc_log"
+else
+  echo "   (odoc not installed; skipping the doc build)"
+fi
+
 echo "OK"

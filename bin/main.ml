@@ -468,6 +468,150 @@ let exp_cmd =
     (Cmd.info "exp" ~doc:"Regenerate one of the paper's tables (scaled-down configuration).")
     Term.(const run $ obs_term $ table $ seed_arg $ budget_arg $ jobs $ no_cache)
 
+(* --- serve ----------------------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket to listen on. Without it the server speaks the \
+           same JSONL protocol over stdin/stdout (one-shot pipelines, tests).")
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the request pool (1 = run requests inline).")
+  in
+  let admission =
+    Arg.(
+      value
+      & opt int Mcml_serve.Server.default_config.Mcml_serve.Server.admission
+      & info [ "admission" ] ~docv:"N"
+          ~doc:
+            "Max counting requests in flight before new ones are rejected \
+             with code \"overloaded\" (0 rejects all counting requests).")
+  in
+  let queue_cap =
+    Arg.(
+      value
+      & opt int Mcml_serve.Server.default_config.Mcml_serve.Server.queue_cap
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Per-connection cap on responses queued for writing; a full queue \
+             pauses reading (socket backpressure).")
+  in
+  let no_cache =
+    Arg.(
+      value
+      & flag
+      & info [ "no-count-cache" ]
+          ~doc:"Disable the shared cross-request model-count cache.")
+  in
+  let run () socket jobs admission queue_cap no_cache =
+    if admission < 0 then begin
+      Printf.eprintf "mcml serve: --admission must be >= 0\n";
+      exit 2
+    end;
+    if queue_cap < 1 then begin
+      Printf.eprintf "mcml serve: --queue-cap must be >= 1\n";
+      exit 2
+    end;
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let srv =
+      Mcml_serve.Server.create
+        {
+          Mcml_serve.Server.jobs;
+          admission;
+          queue_cap;
+          cache = not no_cache;
+          cache_capacity =
+            Mcml_serve.Server.default_config.Mcml_serve.Server.cache_capacity;
+        }
+    in
+    let on_signal _ = Mcml_serve.Server.drain srv in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    (match socket with
+    | Some path ->
+        Printf.eprintf "mcml serve: listening on %s (jobs=%d, admission=%d)\n%!"
+          path jobs admission;
+        Mcml_serve.Server.serve_unix srv ~path;
+        Printf.eprintf "mcml serve: drained, exiting\n%!"
+    | None ->
+        Printf.eprintf "mcml serve: speaking JSONL on stdio (jobs=%d)\n%!" jobs;
+        Mcml_serve.Server.serve_stdio srv);
+    Mcml_serve.Server.shutdown srv
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the counting service: a long-lived daemon answering JSONL \
+          count/accmc/diffmc/health/stats requests over a Unix socket (or \
+          stdio) with a shared count cache, per-request deadlines, bounded \
+          admission, and graceful drain on SIGTERM/SIGINT.")
+    Term.(const run $ obs_term $ socket_arg $ jobs $ admission $ queue_cap $ no_cache)
+
+(* --- client ---------------------------------------------------------------------- *)
+
+let client_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Socket of a running 'mcml serve'.")
+  in
+  let run () path =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "mcml client: cannot connect to %s: %s\n" path
+         (Unix.error_message e);
+       exit 2);
+    (* a separate sender thread lets responses stream back while stdin
+       is still being copied — no deadlock however long the input is *)
+    let sender =
+      Thread.create
+        (fun () ->
+          (try
+             let oc = Unix.out_channel_of_descr fd in
+             (try
+                while true do
+                  let line = input_line stdin in
+                  if String.trim line <> "" then begin
+                    output_string oc line;
+                    output_char oc '\n'
+                  end
+                done
+              with End_of_file -> ());
+             flush oc
+           with Sys_error _ -> ());
+          (* half-close: tell the server we are done sending, keep reading *)
+          try Unix.shutdown fd Unix.SHUTDOWN_SEND
+          with Unix.Unix_error (_, _, _) -> ())
+        ()
+    in
+    let ic = Unix.in_channel_of_descr fd in
+    (try
+       while true do
+         print_endline (input_line ic)
+       done
+     with End_of_file | Sys_error _ -> ());
+    Thread.join sender;
+    Unix.close fd
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send JSONL requests from stdin to a running 'mcml serve' socket and \
+          print the responses (in request order) to stdout.")
+    Term.(const run $ obs_term $ socket)
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let () =
@@ -485,4 +629,6 @@ let () =
             diff_cmd;
             stats_cmd;
             exp_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

@@ -61,8 +61,16 @@ type spec = {
 }
 
 val pp_expr : Format.formatter -> expr -> unit
+(** Pretty-print an expression in Alloy surface syntax. *)
+
 val pp_fmla : Format.formatter -> fmla -> unit
+(** Pretty-print a formula in Alloy surface syntax. *)
+
 val pp_spec : Format.formatter -> spec -> unit
+(** Pretty-print a whole spec (signature, fields, preds, commands). *)
 
 val find_pred : spec -> string -> pred option
+(** Look a predicate up by name. *)
+
 val find_field : spec -> string -> field option
+(** Look a field up by name. *)

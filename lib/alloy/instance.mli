@@ -31,6 +31,8 @@ val random : Splitmix.t -> Ast.spec -> scope:int -> t
 
 val equal : t -> t -> bool
 val hash : t -> int
+(** Structural equality and a compatible hash — instances are used as
+    hashtable keys when deduplicating generated data. *)
 
 val pp : Format.formatter -> t -> unit
 (** Matrix rendering, e.g. for the quickstart's Figure-2 display. *)

@@ -8,15 +8,28 @@
     the evaluator and the translator agree — and the test suite checks
     that agreement on random instances. *)
 
+(** The boolean algebra the semantics is parameterized over. *)
 module type BOOL = sig
   type t
 
   val tru : t
+  (** The true element. *)
+
   val fls : t
+  (** The false element. *)
+
   val and_ : t list -> t
+  (** N-ary conjunction ([tru] on the empty list). *)
+
   val or_ : t list -> t
+  (** N-ary disjunction ([fls] on the empty list). *)
+
   val not_ : t -> t
+  (** Negation. *)
+
   val is_fls : t -> bool
+  (** Syntactic test for the false element — used to prune sparse
+      denotations, not a semantic equivalence check. *)
 end
 
 module Make (B : BOOL) : sig

@@ -39,6 +39,10 @@ type counts = {
 type style = Direct | Complement
 
 val default_style : Counter.backend -> style
+(** The counting style each backend defaults to: [Complement] for
+    exact counters (two counts instead of four), [Direct] for
+    approximate ones (complement counts don't subtract soundly under
+    approximation). *)
 
 val counts :
   ?budget:float ->

@@ -33,7 +33,11 @@ val counts :
     ({!Counter.cache}). *)
 
 val diff : counts -> nprimary:int -> float
+(** Fraction of the [2^nprimary] input space on which the two trees
+    disagree ([(tf + ft) / 2^n]). *)
+
 val sim : counts -> nprimary:int -> float
+(** [1 - diff]: the fraction on which the trees agree. *)
 
 val check_total : counts -> nprimary:int -> bool
 (** The four counts partition the [2^n] input space (exact backends). *)

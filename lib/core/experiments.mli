@@ -45,7 +45,12 @@ type config = {
 }
 
 val fast : config
+(** Scaled-down configuration (small scopes, short budgets) — CI and
+    smoke runs; every table regenerates in seconds to minutes. *)
+
 val paper : config
+(** The paper's configuration (scopes up to the study's, 5000s
+    budgets).  Hours of compute; for faithful replication runs. *)
 
 val scope_for : config -> Props.t -> symmetry:bool -> int
 (** The paper's scope-selection rule under this config. *)
@@ -64,6 +69,8 @@ type t1_row = {
 }
 
 val table1 : config -> t1_row list
+(** Table 1: per-property solution counts, exact vs closed form, with
+    and without symmetry breaking. *)
 
 (* --- Tables 2 and 4: six models × split ratios ----------------------- *)
 
@@ -100,6 +107,8 @@ type diff_row = {
 }
 
 val tree_differences : config -> diff_row list
+(** Table 8: DiffMC between trees trained under different
+    hyperparameters, per property. *)
 
 (* --- Table 9: class ratios, traditional vs MCML precision ------------ *)
 
@@ -110,6 +119,8 @@ type t9_row = {
 }
 
 val class_ratio_study : config -> prop:Props.t -> t9_row list
+(** Table 9: traditional vs MCML precision as the training class
+    ratio varies. *)
 
 (* --- Ablations (design-choice studies beyond the paper's tables) ----- *)
 

@@ -25,6 +25,8 @@ type outcome = {
 }
 
 val name : backend -> string
+(** Human-readable backend name, e.g. ["exact(projmc)"] — for display;
+    not parseable back (the serve protocol uses its own wire names). *)
 
 type cache = outcome option Mcml_exec.Memo.t
 (** Content-addressed memo of count outcomes, keyed by the full

@@ -134,6 +134,18 @@ let create ?queue_bound ~jobs () =
 
 let jobs p = p.jobs
 
+let queue_depth p =
+  Mutex.lock p.m;
+  let d = Queue.length p.queue in
+  Mutex.unlock p.m;
+  d
+
+let is_settled fut =
+  Mutex.lock fut.fm;
+  let s = match fut.st with Done _ | Failed _ -> true | _ -> false in
+  Mutex.unlock fut.fm;
+  s
+
 let submit ?deadline p thunk =
   let fut =
     {

@@ -61,6 +61,11 @@ val create : ?queue_bound:int -> jobs:int -> unit -> t
 val jobs : t -> int
 (** The configured parallelism (the [jobs] passed to {!create}). *)
 
+val queue_depth : t -> int
+(** Number of tasks currently queued and not yet picked up.  A
+    point-in-time reading for health endpoints and load shedding —
+    always [0] for [jobs <= 1] pools (tasks run inline). *)
+
 val submit : ?deadline:float -> t -> (unit -> 'a) -> 'a future
 (** Schedule a thunk.  [deadline] is an {e absolute} monotonic time
     ({!Mcml_obs.Obs.monotonic_s}; see {!deadline_in}): a task that has
@@ -78,6 +83,12 @@ val await : 'a future -> 'a
 (** Block until the task settles (helping to drain the pool's queue
     while waiting); return its result or re-raise its exception with
     the original backtrace.  Idempotent. *)
+
+val is_settled : 'a future -> bool
+(** [true] once the future holds a result or an exception (including
+    the {!Deadline_exceeded}/{!Cancelled} outcomes) — i.e. {!await}
+    would return without blocking.  A point-in-time reading; a [false]
+    answer can be stale by the time the caller acts on it. *)
 
 val cancel : 'a future -> bool
 (** Request cancellation.  Returns [true] if the request was recorded

@@ -11,6 +11,7 @@ type t
 
 val zero : t
 val one : t
+(** The constants 0 and 1. *)
 
 val of_int : int -> t
 (** [of_int n] is [n] as a natural number.  @raise Invalid_argument if
@@ -18,6 +19,7 @@ val of_int : int -> t
 
 val add : t -> t -> t
 val mul : t -> t -> t
+(** Addition and multiplication. *)
 
 val sub : t -> t -> t
 (** [sub a b] is [a - b], clamped to zero when [b > a] (natural
@@ -32,6 +34,7 @@ val shift_left : t -> int -> t
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val is_zero : t -> bool
+(** Numeric comparison, equality, and the test for 0. *)
 
 val to_int_opt : t -> int option
 (** [to_int_opt x] is [Some n] when [x] fits in a native [int]. *)

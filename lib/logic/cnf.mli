@@ -20,6 +20,7 @@ val make : ?projection:int array -> nvars:int -> Lit.t array list -> t
 
 val num_clauses : t -> int
 val num_literals : t -> int
+(** Clause count and total literal occurrences across all clauses. *)
 
 val projection_vars : t -> int array
 (** The explicit projection set ([1..nvars] when [projection = None]). *)

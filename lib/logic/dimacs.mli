@@ -6,6 +6,8 @@
 
 val to_string : Cnf.t -> string
 val print : out_channel -> Cnf.t -> unit
+(** Write the DIMACS rendering to a channel without building the
+    intermediate string. *)
 
 val parse : string -> Cnf.t
 (** Parse DIMACS text. @raise Failure on malformed input. *)

@@ -36,7 +36,10 @@ and node = private
 
 val tru : t
 val fls : t
+(** The constants. *)
+
 val var : int -> t
+(** [var v] is the variable [v] ([>= 1]). *)
 
 val not_ : t -> t
 val and_ : t list -> t
@@ -44,16 +47,29 @@ val or_ : t list -> t
 val implies : t -> t -> t
 val iff : t -> t -> t
 val xor : t -> t -> t
+(** Smart constructors: normalize (constant folding, flattening,
+    duplicate and complement elimination) and hash-cons. *)
 
 val and_array : t array -> t
 val or_array : t array -> t
+(** Array variants of {!and_}/{!or_} — avoid the intermediate list on
+    hot translation paths.  The input array is not retained. *)
 
 val equal : t -> t -> bool
+(** Physical (= structural, by hash-consing) equality; O(1). *)
+
 val compare : t -> t -> int
+(** Total order by hash-consing id: O(1) and consistent within a
+    process, but {e not} stable across runs — never let it influence
+    constructed formula structure. *)
+
 val hash : t -> int
+(** Hash on the hash-consing id; pairs with {!equal}. *)
 
 val is_true : t -> bool
 val is_false : t -> bool
+(** Tests for the constants (syntactic; normalization makes them
+    reliable for constant results). *)
 
 val eval : (int -> bool) -> t -> bool
 (** [eval env f] evaluates [f] under the variable valuation [env];
@@ -74,3 +90,4 @@ val map_vars : (int -> t) -> t -> t
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+(** Human-readable rendering (infix, parenthesized). *)

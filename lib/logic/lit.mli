@@ -14,8 +14,12 @@ val make : int -> bool -> t
 
 val pos : int -> t
 val neg_of_var : int -> t
+(** [pos v] / [neg_of_var v]: the positive / negative literal over
+    variable [v]. *)
 
 val var : t -> int
+(** The underlying variable. *)
+
 val sign : t -> bool
 (** [sign l] is [true] iff [l] is a positive literal. *)
 
@@ -26,6 +30,7 @@ val to_index : t -> int
 (** Dense index suitable for watch-list arrays: [2*v] or [2*v+1]. *)
 
 val of_index : int -> t
+(** Inverse of {!to_index}. *)
 
 val to_dimacs : t -> int
 (** Signed DIMACS integer: [v] or [-v]. *)
@@ -35,4 +40,7 @@ val of_dimacs : int -> t
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+(** Order and equality on the packed integer representation. *)
+
 val pp : Format.formatter -> t -> unit
+(** Prints the signed DIMACS form. *)

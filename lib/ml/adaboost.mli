@@ -10,6 +10,8 @@ val default_params : params
 
 val train : ?params:params -> Dataset.t -> t
 val predict : t -> bool array -> bool
+(** Weighted-majority vote of the stumps. *)
+
 val stump_weights : t -> float list
 (** The α weights, positive for any stump better than chance (exposed
     for invariant tests). *)

@@ -28,6 +28,7 @@ val default_params : params
 val train : ?params:params -> rng:Splitmix.t -> Dataset.t -> t
 
 val predict : t -> bool array -> bool
+(** Classify a feature vector (sign of the output unit). *)
 
 val hidden_unit : t -> int -> bool array -> bool
 (** [hidden_unit bnn j x] is neuron [j]'s ±1 activation (as a bool) on
@@ -36,3 +37,4 @@ val hidden_unit : t -> int -> bool array -> bool
 
 val num_inputs : t -> int
 val num_hidden : t -> int
+(** Input and hidden layer widths. *)

@@ -20,8 +20,11 @@ val of_arrays : nfeatures:int -> (bool array * bool) list -> t
 val size : t -> int
 val num_positive : t -> int
 val num_negative : t -> int
+(** Sample counts: total, positive-labelled, negative-labelled. *)
 
 val shuffle : Splitmix.t -> t -> t
+(** Fisher-Yates shuffle driven by the given RNG (deterministic per
+    seed). *)
 
 val split : Splitmix.t -> train_fraction:float -> t -> t * t
 (** Random split with no overlap; the paper's ratios 75:25 … 1:99 map

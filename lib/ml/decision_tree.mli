@@ -45,6 +45,7 @@ val paths : t -> ((int * bool) list * bool) list
 
 val num_leaves : t -> int
 val depth : t -> int
+(** Size measures of the learned tree. *)
 
 val eval_all : t -> scope_bits:int -> (bool array -> bool) -> Metrics.confusion
 (** Exhaustively evaluate the tree against an oracle over all

@@ -11,5 +11,7 @@ val default_params : params
 
 val train : ?params:params -> Dataset.t -> t
 val predict : t -> bool array -> bool
+(** Sign of {!decision_value}. *)
+
 val decision_value : t -> bool array -> float
 (** Raw additive score (log-odds scale). *)

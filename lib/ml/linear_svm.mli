@@ -12,5 +12,7 @@ val default_params : params
 
 val train : ?params:params -> rng:Splitmix.t -> Dataset.t -> t
 val predict : t -> bool array -> bool
+(** Sign of {!decision_value}. *)
+
 val decision_value : t -> bool array -> float
 (** Signed margin [w·x + b]. *)

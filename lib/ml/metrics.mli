@@ -11,12 +11,18 @@ type confusion = { tp : float; fp : float; tn : float; fn : float }
 
 val zero : confusion
 val add : confusion -> confusion -> confusion
+(** The empty confusion and cell-wise addition (for aggregating over
+    folds or batches). *)
 
 val of_predictions : predicted:bool array -> actual:bool array -> confusion
+(** Tally a prediction vector against ground truth. *)
 
 val accuracy : confusion -> float
 val precision : confusion -> float
 val recall : confusion -> float
 val f1 : confusion -> float
+(** The four classification metrics of the paper's tables ([0.] when
+    the denominator is empty). *)
 
 val pp : Format.formatter -> confusion -> unit
+(** Prints the four cells. *)

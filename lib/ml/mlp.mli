@@ -17,4 +17,7 @@ val default_params : params
 
 val train : ?params:params -> rng:Splitmix.t -> Dataset.t -> t
 val predict : t -> bool array -> bool
+(** Classify: {!probability} thresholded at 0.5. *)
+
 val probability : t -> bool array -> float
+(** Sigmoid output of the network, in [0..1]. *)

@@ -8,6 +8,7 @@ val kinds : kind list
 
 val name_of : kind -> string
 val kind_of_name : string -> kind option
+(** Parse a model-kind name ([name_of] inverse, case-sensitive). *)
 
 type sizes = {
   rft_trees : int;
@@ -33,6 +34,8 @@ type t = {
 }
 
 val train : ?sizes:sizes -> seed:int -> kind -> Dataset.t -> t
+(** Train a model of the given kind; [sizes] scales the ensemble /
+    network hyperparameters ({!fast_sizes} or {!paper_sizes}). *)
 
 val train_tree : ?params:Decision_tree.params -> seed:int -> Dataset.t -> t
 (** A DT with explicit tree hyperparameters (used by the DiffMC

@@ -13,4 +13,7 @@ val default_params : params
 
 val train : ?params:params -> rng:Splitmix.t -> Dataset.t -> t
 val predict : t -> bool array -> bool
+(** Majority vote of the trees. *)
+
 val trees : t -> Decision_tree.t list
+(** The underlying trees (e.g. for per-tree MCML analysis). *)

@@ -9,4 +9,7 @@ val train :
 (** Fit to real-valued [targets] (parallel to the dataset's samples). *)
 
 val predict : t -> bool array -> float
+(** The leaf value the feature vector routes to. *)
+
 val num_leaves : t -> int
+(** Number of leaves of the learned tree. *)

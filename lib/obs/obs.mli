@@ -145,6 +145,8 @@ val monotonic_s : unit -> float
 type span
 
 val start : string -> span
+(** Open a span and make it current on the calling domain. *)
+
 val finish : ?attrs:(string * attr) list -> span -> unit
 (** [finish sp] emits the [Span_end] and also feeds the span's
     duration into the histogram named after the span, so every
@@ -184,7 +186,11 @@ val with_context : context -> (unit -> 'a) -> 'a
 
 val add : string -> int -> unit
 val addf : string -> float -> unit
+(** [add name n] / [addf name x] accumulate into the counter [name]
+    (creating it on first use). *)
+
 val gauge : string -> float -> unit
+(** [gauge name x] overwrites the gauge [name] with [x]. *)
 
 val counter_value : string -> float
 (** 0. if the counter was never touched. *)
@@ -232,8 +238,13 @@ module Histogram : sig
   (** Inclusive upper edge of a bucket. *)
 
   val create : unit -> t
+  (** A fresh empty histogram. *)
+
   val observe : t -> float -> unit
+  (** Record one value. *)
+
   val count : t -> int
+  (** Number of recorded observations. *)
 
   val merge : t -> t -> t
   (** [merge a b] is a fresh histogram equivalent to observing
@@ -284,6 +295,7 @@ val flush : unit -> unit
 
 val attr_to_json : attr -> Json.t
 val event_to_json : event -> Json.t
+(** The JSONL (schema v2) renderings the {!jsonl} sink writes. *)
 
 val event_of_json : Json.t -> (event, string) result
 (** Parse one schema-v2 event object back (the inverse of

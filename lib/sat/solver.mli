@@ -45,6 +45,8 @@ val model : t -> bool array
 val num_conflicts : t -> int
 val num_decisions : t -> int
 val num_propagations : t -> int
+(** Search statistics accumulated across all [solve] calls on this
+    solver. *)
 
 type stats = {
   conflicts : int;

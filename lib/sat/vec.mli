@@ -4,16 +4,30 @@
 type 'a t
 
 val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty vector; [dummy] fills unused
+    capacity (never observable through the API). *)
+
 val size : 'a t -> int
 val is_empty : 'a t -> bool
+(** Element count / emptiness. *)
+
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
+(** Unchecked indexed access within [0 .. size-1]. *)
+
 val push : 'a t -> 'a -> unit
+(** Append (amortized O(1), growing capacity as needed). *)
+
 val pop : 'a t -> 'a
 val last : 'a t -> 'a
+(** Remove-and-return / peek at the final element. *)
+
 val clear : 'a t -> unit
+(** Reset to size 0 (capacity retained). *)
+
 val shrink : 'a t -> int -> unit
 (** [shrink v n] truncates [v] to the first [n] elements. *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 val to_list : 'a t -> 'a list
+(** In-order traversal / conversion. *)

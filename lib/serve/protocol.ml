@@ -1,0 +1,230 @@
+open Mcml_obs
+
+type query = {
+  prop : Mcml_props.Props.t;
+  scope : int option;
+  symmetry : bool;
+  negate : bool;
+  backend : Mcml_counting.Counter.backend;
+  budget : float;
+  seed : int;
+}
+
+type kind = Count of query | Accmc of query | Diffmc of query | Health | Stats
+
+type request = { id : Json.t; deadline_ms : float option; kind : kind }
+
+type error_code = Bad_request | Overloaded | Timeout | Draining | Internal
+
+type response = { rid : Json.t; body : (Json.t, error_code * string) result }
+
+let kind_name = function
+  | Count _ -> "count"
+  | Accmc _ -> "accmc"
+  | Diffmc _ -> "diffmc"
+  | Health -> "health"
+  | Stats -> "stats"
+
+let code_name = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Draining -> "draining"
+  | Internal -> "internal"
+
+let code_of_name = function
+  | "bad_request" -> Some Bad_request
+  | "overloaded" -> Some Overloaded
+  | "timeout" -> Some Timeout
+  | "draining" -> Some Draining
+  | "internal" -> Some Internal
+  | _ -> None
+
+(* CLI defaults, mirrored so a request with only "kind" and "prop"
+   computes exactly what the corresponding bare CLI invocation does *)
+let default_budget = 60.0
+let default_seed = 20200615
+
+let backend_of_name s =
+  match String.lowercase_ascii s with
+  | "exact" | "projmc" -> Some Mcml_counting.Counter.Exact
+  | "approx" | "approxmc" ->
+      Some (Mcml_counting.Counter.Approx Mcml_counting.Approx.default)
+  | "brute" -> Some Mcml_counting.Counter.Brute
+  | _ -> None
+
+(* wire name, not [Counter.name]: the latter renders "exact(projmc)"
+   etc. for humans, which [backend_of_name] must not be asked to parse *)
+let backend_name = function
+  | Mcml_counting.Counter.Exact -> "exact"
+  | Mcml_counting.Counter.Approx _ -> "approx"
+  | Mcml_counting.Counter.Brute -> "brute"
+
+(* --- parsing ----------------------------------------------------------- *)
+
+exception Bad of string
+
+let get_bool doc field ~default =
+  match Json.member field doc with
+  | None | Some Json.Null -> default
+  | Some (Json.Bool b) -> b
+  | Some _ -> raise (Bad (Printf.sprintf "%S must be a boolean" field))
+
+let get_int_opt doc field =
+  match Json.member field doc with
+  | None | Some Json.Null -> None
+  | Some (Json.Int n) -> Some n
+  | Some _ -> raise (Bad (Printf.sprintf "%S must be an integer" field))
+
+let get_num_opt doc field =
+  match Json.member field doc with
+  | None | Some Json.Null -> None
+  | Some j -> (
+      match Json.to_float_opt j with
+      | Some x -> Some x
+      | None -> raise (Bad (Printf.sprintf "%S must be a number" field)))
+
+let get_string_opt doc field =
+  match Json.member field doc with
+  | None | Some Json.Null -> None
+  | Some (Json.Str s) -> Some s
+  | Some _ -> raise (Bad (Printf.sprintf "%S must be a string" field))
+
+let query_of_json doc =
+  let prop =
+    match get_string_opt doc "prop" with
+    | None -> raise (Bad "missing \"prop\"")
+    | Some name -> (
+        match Mcml_props.Props.find name with
+        | Some p -> p
+        | None -> raise (Bad (Printf.sprintf "unknown property %S" name)))
+  in
+  let scope = get_int_opt doc "scope" in
+  (match scope with
+  | Some s when s < 1 -> raise (Bad "\"scope\" must be >= 1")
+  | _ -> ());
+  let backend =
+    match get_string_opt doc "backend" with
+    | None -> Mcml_counting.Counter.Exact
+    | Some name -> (
+        match backend_of_name name with
+        | Some b -> b
+        | None ->
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "unknown backend %S (exact | approx | brute)" name)))
+  in
+  let budget =
+    match get_num_opt doc "budget_s" with
+    | None -> default_budget
+    | Some b when b > 0.0 -> b
+    | Some _ -> raise (Bad "\"budget_s\" must be > 0")
+  in
+  {
+    prop;
+    scope;
+    symmetry = get_bool doc "symmetry" ~default:false;
+    negate = get_bool doc "negate" ~default:false;
+    backend;
+    budget;
+    seed = Option.value (get_int_opt doc "seed") ~default:default_seed;
+  }
+
+let request_of_string line =
+  match Json.of_string line with
+  | Error msg -> Error (Json.Null, "malformed JSON: " ^ msg)
+  | Ok (Json.Obj _ as doc) -> (
+      let id = Option.value (Json.member "id" doc) ~default:Json.Null in
+      try
+        let deadline_ms =
+          match get_num_opt doc "deadline_ms" with
+          | None -> None
+          | Some d when d > 0.0 -> Some d
+          | Some _ -> raise (Bad "\"deadline_ms\" must be > 0")
+        in
+        let kind =
+          match get_string_opt doc "kind" with
+          | None -> raise (Bad "missing \"kind\"")
+          | Some "count" -> Count (query_of_json doc)
+          | Some "accmc" -> Accmc (query_of_json doc)
+          | Some "diffmc" -> Diffmc (query_of_json doc)
+          | Some "health" -> Health
+          | Some "stats" -> Stats
+          | Some other -> raise (Bad (Printf.sprintf "unknown kind %S" other))
+        in
+        Ok { id; deadline_ms; kind }
+      with Bad msg -> Error (id, msg))
+  | Ok _ -> Error (Json.Null, "request must be a JSON object")
+
+let request_to_json { id; deadline_ms; kind } =
+  let base =
+    (match id with Json.Null -> [] | id -> [ ("id", id) ])
+    @ [ ("kind", Json.Str (kind_name kind)) ]
+  in
+  let deadline =
+    match deadline_ms with
+    | None -> []
+    | Some d -> [ ("deadline_ms", Json.Float d) ]
+  in
+  let query q =
+    [
+      ("prop", Json.Str q.prop.Mcml_props.Props.name);
+      ("symmetry", Json.Bool q.symmetry);
+      ("negate", Json.Bool q.negate);
+      ("backend", Json.Str (backend_name q.backend));
+      ("budget_s", Json.Float q.budget);
+      ("seed", Json.Int q.seed);
+    ]
+    @ match q.scope with None -> [] | Some s -> [ ("scope", Json.Int s) ]
+  in
+  let params =
+    match kind with
+    | Count q | Accmc q | Diffmc q -> query q
+    | Health | Stats -> []
+  in
+  Json.Obj (base @ params @ deadline)
+
+(* --- responses --------------------------------------------------------- *)
+
+let ok ~id payload = { rid = id; body = Ok payload }
+let err ~id code msg = { rid = id; body = Error (code, msg) }
+
+let response_to_json { rid; body } =
+  match body with
+  | Ok payload ->
+      Json.Obj [ ("id", rid); ("ok", Json.Bool true); ("result", payload) ]
+  | Error (code, msg) ->
+      Json.Obj
+        [
+          ("id", rid);
+          ("ok", Json.Bool false);
+          ("code", Json.Str (code_name code));
+          ("error", Json.Str msg);
+        ]
+
+let response_to_string r = Json.to_string (response_to_json r)
+
+let response_of_string line =
+  match Json.of_string line with
+  | Error msg -> Error ("malformed JSON: " ^ msg)
+  | Ok doc -> (
+      let rid = Option.value (Json.member "id" doc) ~default:Json.Null in
+      match Json.member "ok" doc with
+      | Some (Json.Bool true) -> (
+          match Json.member "result" doc with
+          | Some payload -> Ok (ok ~id:rid payload)
+          | None -> Error "ok response without \"result\"")
+      | Some (Json.Bool false) -> (
+          let msg =
+            match Json.member "error" doc with
+            | Some (Json.Str m) -> m
+            | _ -> ""
+          in
+          match Json.member "code" doc with
+          | Some (Json.Str c) -> (
+              match code_of_name c with
+              | Some code -> Ok (err ~id:rid code msg)
+              | None -> Error (Printf.sprintf "unknown error code %S" c))
+          | _ -> Error "error response without \"code\"")
+      | _ -> Error "response without a boolean \"ok\"")

@@ -1,0 +1,552 @@
+module Obs = Mcml_obs.Obs
+module Json = Mcml_obs.Json
+module Pool = Mcml_exec.Pool
+module Props = Mcml_props.Props
+module Counter = Mcml_counting.Counter
+module Bignat = Mcml_logic.Bignat
+
+type config = {
+  jobs : int;
+  admission : int;
+  queue_cap : int;
+  cache : bool;
+  cache_capacity : int;
+}
+
+let default_config =
+  { jobs = 1; admission = 64; queue_cap = 128; cache = true; cache_capacity = 4096 }
+
+(* Request totals, kept as atomics (not Obs counters) so the [stats]
+   response works even when no telemetry sink is installed. *)
+type totals = {
+  total : int Atomic.t;
+  ok : int Atomic.t;
+  bad_request : int Atomic.t;
+  overloaded : int Atomic.t;
+  timeout : int Atomic.t;
+  drained : int Atomic.t;
+  internal : int Atomic.t;
+}
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  cache : Counter.cache option;
+  inflight : int Atomic.t;  (** admitted counting requests not yet finished *)
+  drain_flag : bool Atomic.t;
+  started : float;
+  totals : totals;
+  root_ctx : Obs.context;
+      (** the no-span context, captured at [create]: connection spans
+          are started under it so they are always trace roots, however
+          threads interleave on the creating domain *)
+}
+
+let create cfg =
+  let cfg = { cfg with jobs = max 1 cfg.jobs; admission = max 0 cfg.admission } in
+  {
+    cfg;
+    pool = Pool.create ~jobs:cfg.jobs ();
+    cache =
+      (if cfg.cache then Some (Counter.cache_create ~capacity:cfg.cache_capacity ())
+       else None);
+    inflight = Atomic.make 0;
+    drain_flag = Atomic.make false;
+    started = Obs.monotonic_s ();
+    totals =
+      {
+        total = Atomic.make 0;
+        ok = Atomic.make 0;
+        bad_request = Atomic.make 0;
+        overloaded = Atomic.make 0;
+        timeout = Atomic.make 0;
+        drained = Atomic.make 0;
+        internal = Atomic.make 0;
+      };
+    root_ctx = Obs.current_context ();
+  }
+
+let jobs t = Pool.jobs t.pool
+let drain t = Atomic.set t.drain_flag true
+let draining t = Atomic.get t.drain_flag
+let shutdown t = Pool.shutdown t.pool
+
+(* Every response the server produces passes through here exactly once:
+   totals for [stats], mirrored to Obs counters for traces. *)
+let record t (resp : Protocol.response) =
+  Atomic.incr t.totals.total;
+  (match resp.Protocol.body with
+  | Ok _ ->
+      Atomic.incr t.totals.ok;
+      Obs.add "serve.requests.ok" 1
+  | Error (code, _) ->
+      let cell =
+        match code with
+        | Protocol.Bad_request -> t.totals.bad_request
+        | Protocol.Overloaded -> t.totals.overloaded
+        | Protocol.Timeout -> t.totals.timeout
+        | Protocol.Draining -> t.totals.drained
+        | Protocol.Internal -> t.totals.internal
+      in
+      Atomic.incr cell;
+      Obs.add ("serve.requests." ^ Protocol.code_name code) 1);
+  resp
+
+(* --- request execution -------------------------------------------------- *)
+
+let resolve_scope (q : Protocol.query) =
+  match q.scope with
+  | Some s -> s
+  | None ->
+      Mcml.Experiments.scope_for Mcml.Experiments.fast q.prop ~symmetry:q.symmetry
+
+(* The deadline-to-budget mapping: the time left until the request's
+   deadline clamps the counter budget, so deadline expiry takes the
+   counters' existing timeout path.  [None] = already expired. *)
+let clamp_budget ~deadline budget =
+  match deadline with
+  | None -> Some budget
+  | Some d ->
+      let remaining = d -. Obs.monotonic_s () in
+      if remaining <= 0.0 then None else Some (Float.min budget remaining)
+
+let expired = (Protocol.Timeout, "deadline expired before execution started")
+
+let timed_out budget =
+  (Protocol.Timeout, Printf.sprintf "count timed out (budget %.3gs)" budget)
+
+let run_count t ~deadline (q : Protocol.query) =
+  match clamp_budget ~deadline q.budget with
+  | None -> Error expired
+  | Some budget -> (
+      let scope = resolve_scope q in
+      let analyzer = Props.analyzer ~scope in
+      match
+        Mcml_alloy.Analyzer.count ~negate:q.negate ~symmetry:q.symmetry ~budget
+          ?cache:t.cache ~backend:q.backend analyzer ~pred:q.prop.Props.pred
+      with
+      | Some o ->
+          Ok
+            (Json.Obj
+               [
+                 ("prop", Json.Str q.prop.Props.name);
+                 ("scope", Json.Int scope);
+                 ("symmetry", Json.Bool q.symmetry);
+                 ("negate", Json.Bool q.negate);
+                 ("backend", Json.Str (Counter.name q.backend));
+                 ("count", Json.Str (Bignat.to_string o.Counter.count));
+                 ("exact", Json.Bool o.Counter.exact);
+                 ("time_s", Json.Float o.Counter.time);
+               ])
+      | None -> Error (timed_out budget))
+
+(* The accmc request replicates [mcml train-eval]'s phi section: same
+   dataset generation, same split and trainer seeds, so a served answer
+   equals the direct CLI answer for the same parameters. *)
+let run_accmc t ~deadline (q : Protocol.query) =
+  match clamp_budget ~deadline q.budget with
+  | None -> Error expired
+  | Some budget -> (
+      let scope = resolve_scope q in
+      let data =
+        Mcml.Pipeline.generate q.prop
+          {
+            Mcml.Pipeline.scope;
+            symmetry = q.symmetry;
+            max_positives = 3000;
+            seed = q.seed;
+          }
+      in
+      let rng = Mcml_logic.Splitmix.create (q.seed + 5) in
+      let train, test =
+        Mcml_ml.Dataset.split rng ~train_fraction:0.75 data.Mcml.Pipeline.dataset
+      in
+      let m =
+        Mcml_ml.Model.train ~sizes:Mcml_ml.Model.fast_sizes ~seed:q.seed
+          Mcml_ml.Model.DT train
+      in
+      let test_conf = Mcml_ml.Model.evaluate m test in
+      match m.Mcml_ml.Model.tree with
+      | None -> Error (Protocol.Internal, "DT training produced no tree")
+      | Some tree -> (
+          match
+            Mcml.Pipeline.accmc ~budget ~pool:t.pool ?cache:t.cache
+              ~backend:q.backend ~prop:q.prop ~scope ~eval_symmetry:q.symmetry
+              tree
+          with
+          | None -> Error (timed_out budget)
+          | Some counts ->
+              let phi = Mcml.Accmc.confusion counts in
+              Ok
+                (Json.Obj
+                   [
+                     ("prop", Json.Str q.prop.Props.name);
+                     ("scope", Json.Int scope);
+                     ("symmetry", Json.Bool q.symmetry);
+                     ("tp", Json.Str (Bignat.to_string counts.Mcml.Accmc.tp));
+                     ("fp", Json.Str (Bignat.to_string counts.Mcml.Accmc.fp));
+                     ("tn", Json.Str (Bignat.to_string counts.Mcml.Accmc.tn));
+                     ("fn", Json.Str (Bignat.to_string counts.Mcml.Accmc.fn));
+                     ("acc", Json.Float (Mcml_ml.Metrics.accuracy phi));
+                     ("precision", Json.Float (Mcml_ml.Metrics.precision phi));
+                     ("recall", Json.Float (Mcml_ml.Metrics.recall phi));
+                     ("f1", Json.Float (Mcml_ml.Metrics.f1 phi));
+                     ("test_acc", Json.Float (Mcml_ml.Metrics.accuracy test_conf));
+                     ("test_f1", Json.Float (Mcml_ml.Metrics.f1 test_conf));
+                     ("time_s", Json.Float counts.Mcml.Accmc.time);
+                   ])))
+
+(* Mirrors [mcml diff]: two trees from the same data under different
+   hyperparameters, then DiffMC between them. *)
+let run_diffmc t ~deadline (q : Protocol.query) =
+  match clamp_budget ~deadline q.budget with
+  | None -> Error expired
+  | Some budget -> (
+      let scope = resolve_scope q in
+      let data =
+        Mcml.Pipeline.generate q.prop
+          {
+            Mcml.Pipeline.scope;
+            symmetry = q.symmetry;
+            max_positives = 3000;
+            seed = q.seed;
+          }
+      in
+      let rng = Mcml_logic.Splitmix.create (q.seed + 29) in
+      let train, _ =
+        Mcml_ml.Dataset.split rng ~train_fraction:0.5 data.Mcml.Pipeline.dataset
+      in
+      let tree1 =
+        (Mcml_ml.Model.train_tree ~seed:(q.seed + 1) train).Mcml_ml.Model.tree
+      in
+      let tree2 =
+        (Mcml_ml.Model.train_tree
+           ~params:
+             {
+               Mcml_ml.Decision_tree.max_depth = Some 4;
+               min_samples_split = 8;
+               max_features = None;
+             }
+           ~seed:(q.seed + 2) train)
+          .Mcml_ml.Model.tree
+      in
+      match (tree1, tree2) with
+      | None, _ | _, None -> Error (Protocol.Internal, "DT training produced no tree")
+      | Some t1, Some t2 -> (
+          let nprimary = scope * scope in
+          match
+            Mcml.Diffmc.counts ~budget ~pool:t.pool ?cache:t.cache
+              ~backend:q.backend ~nprimary t1 t2
+          with
+          | None -> Error (timed_out budget)
+          | Some c ->
+              Ok
+                (Json.Obj
+                   [
+                     ("prop", Json.Str q.prop.Props.name);
+                     ("scope", Json.Int scope);
+                     ("tt", Json.Str (Bignat.to_string c.Mcml.Diffmc.tt));
+                     ("tf", Json.Str (Bignat.to_string c.Mcml.Diffmc.tf));
+                     ("ft", Json.Str (Bignat.to_string c.Mcml.Diffmc.ft));
+                     ("ff", Json.Str (Bignat.to_string c.Mcml.Diffmc.ff));
+                     ("diff_pct", Json.Float (100.0 *. Mcml.Diffmc.diff c ~nprimary));
+                     ("sim_pct", Json.Float (100.0 *. Mcml.Diffmc.sim c ~nprimary));
+                     ("time_s", Json.Float c.Mcml.Diffmc.time);
+                   ])))
+
+let cache_stats_json t =
+  match t.cache with
+  | None -> Json.Null
+  | Some c ->
+      let s = Counter.cache_stats c in
+      Json.Obj
+        [
+          ("hits", Json.Int s.Mcml_exec.Memo.hits);
+          ("misses", Json.Int s.Mcml_exec.Memo.misses);
+          ("evictions", Json.Int s.Mcml_exec.Memo.evictions);
+          ("size", Json.Int s.Mcml_exec.Memo.size);
+        ]
+
+let health_json t =
+  Json.Obj
+    [
+      ("status", Json.Str (if draining t then "draining" else "ok"));
+      ("jobs", Json.Int (jobs t));
+      ("inflight", Json.Int (Atomic.get t.inflight));
+      ("queue_depth", Json.Int (Pool.queue_depth t.pool));
+      ("uptime_s", Json.Float (Obs.monotonic_s () -. t.started));
+    ]
+
+let stats_json t =
+  let g c = Json.Int (Atomic.get c) in
+  Json.Obj
+    [
+      ( "requests",
+        Json.Obj
+          [
+            ("total", g t.totals.total);
+            ("ok", g t.totals.ok);
+            ("bad_request", g t.totals.bad_request);
+            ("overloaded", g t.totals.overloaded);
+            ("timeout", g t.totals.timeout);
+            ("draining", g t.totals.drained);
+            ("internal", g t.totals.internal);
+          ] );
+      ("inflight", Json.Int (Atomic.get t.inflight));
+      ("jobs", Json.Int (jobs t));
+      ("cache", cache_stats_json t);
+    ]
+
+(* Execute one request under a [serve.request] span; [ctx] (when given)
+   pins the span's parent explicitly — the connection span — so request
+   spans parent correctly however systhreads interleave on one domain. *)
+let execute_in t ?ctx ~deadline (req : Protocol.request) =
+  let body = ref (Error (Protocol.Internal, "unreached")) in
+  let run () =
+    Obs.with_span "serve.request"
+      ~attrs:(fun () ->
+        [
+          ("kind", Obs.Str (Protocol.kind_name req.Protocol.kind));
+          ( "outcome",
+            Obs.Str
+              (match !body with
+              | Ok _ -> "ok"
+              | Error (code, _) -> Protocol.code_name code) );
+        ])
+      (fun () ->
+        body :=
+          (try
+             match req.Protocol.kind with
+             | Protocol.Health -> Ok (health_json t)
+             | Protocol.Stats -> Ok (stats_json t)
+             | Protocol.Count q -> run_count t ~deadline q
+             | Protocol.Accmc q -> run_accmc t ~deadline q
+             | Protocol.Diffmc q -> run_diffmc t ~deadline q
+           with e -> Error (Protocol.Internal, Printexc.to_string e)))
+  in
+  (match ctx with None -> run () | Some ctx -> Obs.with_context ctx run);
+  record t { Protocol.rid = req.Protocol.id; body = !body }
+
+let execute t (req : Protocol.request) =
+  let deadline =
+    Option.map
+      (fun ms -> Obs.monotonic_s () +. (ms /. 1000.0))
+      req.Protocol.deadline_ms
+  in
+  execute_in t ~deadline req
+
+(* --- connection handling ------------------------------------------------ *)
+
+(* Buffered line reader over a raw descriptor.  A plain [in_channel]
+   would block in [read] with no way to notice {!drain}; this one polls
+   [stop] every 50ms while waiting, which is what makes SIGTERM able to
+   interrupt an idle connection. *)
+module Line_reader = struct
+  type r = {
+    fd : Unix.file_descr;
+    pending : Buffer.t;
+    chunk : Bytes.t;
+    mutable eof : bool;
+  }
+
+  let create fd = { fd; pending = Buffer.create 512; chunk = Bytes.create 8192; eof = false }
+
+  let rec next r ~stop =
+    let s = Buffer.contents r.pending in
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.clear r.pending;
+        Buffer.add_substring r.pending s (i + 1) (String.length s - i - 1);
+        Some (String.sub s 0 i)
+    | None ->
+        if r.eof then
+          if s = "" then None
+          else begin
+            (* final line without a trailing newline *)
+            Buffer.clear r.pending;
+            Some s
+          end
+        else if stop () then None
+        else begin
+          (match Unix.select [ r.fd ] [] [] 0.05 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              | exception Unix.Unix_error (_, _, _) -> r.eof <- true
+              | 0 -> r.eof <- true
+              | n -> Buffer.add_subbytes r.pending r.chunk 0 n));
+          next r ~stop
+        end
+end
+
+(* A response slot in connection order: either already computed (admin
+   kinds, rejections) or still running on the pool. *)
+type entry = Now of Protocol.response | Later of Json.t * Protocol.response Pool.future
+
+let handle_connection t ~input ~output =
+  (* connection span: forced to be a root via the server's no-span
+     context, current for the whole connection so request spans (and
+     pool tasks submitted from here) parent under it *)
+  let conn, conn_ctx =
+    Obs.with_context t.root_ctx (fun () ->
+        let sp = Obs.start "serve.conn" in
+        (sp, Obs.current_context ()))
+  in
+  let served = ref 0 in
+  let q : entry Queue.t = Queue.create () in
+  let qm = Mutex.create () in
+  let q_not_empty = Condition.create () in
+  let q_not_full = Condition.create () in
+  let reading_done = ref false in
+  let write_failed = ref false in
+  let responder () =
+    let rec loop () =
+      Mutex.lock qm;
+      while Queue.is_empty q && not !reading_done do
+        Condition.wait q_not_empty qm
+      done;
+      if Queue.is_empty q then Mutex.unlock qm (* reading done, all written *)
+      else begin
+        let e = Queue.pop q in
+        Condition.signal q_not_full;
+        Mutex.unlock qm;
+        let resp =
+          match e with
+          | Now r -> r
+          | Later (id, fut) -> (
+              try Pool.await fut
+              with exn ->
+                record t (Protocol.err ~id Protocol.Internal (Printexc.to_string exn)))
+        in
+        if not !write_failed then
+          (try
+             output_string output (Protocol.response_to_string resp);
+             output_char output '\n';
+             flush output
+           with Sys_error _ -> write_failed := true);
+        incr served;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let responder_thread = Thread.create responder () in
+  let enqueue e =
+    Mutex.lock qm;
+    while Queue.length q >= t.cfg.queue_cap && not (Atomic.get t.drain_flag) do
+      Condition.wait q_not_full qm
+    done;
+    Queue.push e q;
+    Condition.signal q_not_empty;
+    Mutex.unlock qm
+  in
+  let reader = Line_reader.create input in
+  let rec read_loop () =
+    match Line_reader.next reader ~stop:(fun () -> Atomic.get t.drain_flag) with
+    | None -> ()
+    | Some line when String.trim line = "" -> read_loop ()
+    | Some line ->
+        let e =
+          match Protocol.request_of_string line with
+          | Error (id, msg) ->
+              Now (record t (Protocol.err ~id Protocol.Bad_request msg))
+          | Ok req ->
+              if Atomic.get t.drain_flag then
+                Now
+                  (record t
+                     (Protocol.err ~id:req.Protocol.id Protocol.Draining
+                        "server is draining"))
+              else (
+                match req.Protocol.kind with
+                | Protocol.Health | Protocol.Stats ->
+                    Now (execute_in t ~ctx:conn_ctx ~deadline:None req)
+                | Protocol.Count _ | Protocol.Accmc _ | Protocol.Diffmc _ ->
+                    (* fetch-and-add keeps the admission check exact
+                       when several connection readers race *)
+                    if Atomic.fetch_and_add t.inflight 1 >= t.cfg.admission then begin
+                      Atomic.decr t.inflight;
+                      Now
+                        (record t
+                           (Protocol.err ~id:req.Protocol.id Protocol.Overloaded
+                              (Printf.sprintf
+                                 "admission limit reached (%d requests in flight)"
+                                 t.cfg.admission)))
+                    end
+                    else begin
+                      (* the deadline clock starts at admission *)
+                      let deadline =
+                        Option.map
+                          (fun ms -> Obs.monotonic_s () +. (ms /. 1000.0))
+                          req.Protocol.deadline_ms
+                      in
+                      let fut =
+                        Pool.submit t.pool (fun () ->
+                            Fun.protect
+                              ~finally:(fun () -> Atomic.decr t.inflight)
+                              (fun () ->
+                                execute_in t ~ctx:conn_ctx ~deadline req))
+                      in
+                      Later (req.Protocol.id, fut)
+                    end)
+        in
+        enqueue e;
+        read_loop ()
+  in
+  read_loop ();
+  Mutex.lock qm;
+  reading_done := true;
+  Condition.broadcast q_not_empty;
+  Mutex.unlock qm;
+  Thread.join responder_thread;
+  (try flush output with Sys_error _ -> ());
+  Obs.with_context conn_ctx (fun () ->
+      Obs.finish ~attrs:[ ("responses", Obs.Int !served) ] conn)
+
+let serve_stdio t = handle_connection t ~input:Unix.stdin ~output:stdout
+
+(* Accept loop: poll the listening socket so the drain flag is noticed
+   within 50ms even when no client ever connects. *)
+let serve_unix t ~path =
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 64;
+  let conns = ref [] in
+  let cm = Mutex.create () in
+  let rec accept_loop () =
+    if not (Atomic.get t.drain_flag) then begin
+      (match Unix.select [ lfd ] [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept lfd with
+          | exception Unix.Unix_error (_, _, _) -> ()
+          | cfd, _ ->
+              let th =
+                Thread.create
+                  (fun () ->
+                    let oc = Unix.out_channel_of_descr cfd in
+                    (try handle_connection t ~input:cfd ~output:oc
+                     with _ -> ());
+                    (* closes [cfd] too *)
+                    try close_out oc with Sys_error _ -> ())
+                  ()
+              in
+              Mutex.lock cm;
+              conns := th :: !conns;
+              Mutex.unlock cm));
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  Unix.close lfd;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let live =
+    Mutex.lock cm;
+    let l = !conns in
+    Mutex.unlock cm;
+    l
+  in
+  List.iter Thread.join live

@@ -1,0 +1,102 @@
+(** The [mcml serve] daemon: a long-running counting service over the
+    parallel runtime.
+
+    One server owns one {!Mcml_exec.Pool} and one shared
+    content-addressed count cache ({!Mcml_counting.Counter.cache}), so
+    a warm process answers repeated queries without re-counting and
+    concurrent requests share both.  Connections speak the JSONL
+    {!Protocol}; each connection is handled by {!handle_connection}:
+
+    - a {b reader} parses one request per line and either answers it
+      inline (admin kinds, parse errors, rejections) or {e admits} it —
+      submits its execution onto the pool and queues the future;
+    - a {b responder} thread writes responses back {e in request
+      order}, awaiting each future as its turn comes.
+
+    {b Bounded admission, explicit overload.}  At most
+    [config.admission] counting requests are in flight per server at
+    once; a request arriving beyond that is answered immediately with
+    [code = "overloaded"] — the service degrades by shedding load, not
+    by buffering it.  The per-connection response queue is additionally
+    capped at [config.queue_cap] entries; when even rejections cannot
+    be queued, the reader stops reading and the client feels socket
+    backpressure.  Memory per connection is therefore bounded by
+    construction.
+
+    {b Deadlines ride the budget discipline.}  A request's
+    [deadline_ms] is fixed at admission; when its execution starts, the
+    remaining time clamps the counter [budget]
+    ([min budget remaining]), so an expired or nearly-expired deadline
+    turns into the counters' existing timeout path and comes back as a
+    [code = "timeout"] response — the connection stays alive.
+
+    {b Graceful drain.}  {!drain} (wired to SIGTERM/SIGINT by the CLI)
+    stops admission: readers stop consuming input, requests already
+    read are answered with [code = "draining"], in-flight work runs to
+    completion and its responses are written, then connection loops and
+    {!serve_unix}'s accept loop return so the process can flush its
+    trace sink and exit 0.
+
+    {b Telemetry.}  Each connection runs inside a [serve.conn] span;
+    every request executes inside a [serve.request] span that parents
+    under it (across domains, via the pool's context capture), so a
+    [--trace] of a busy server replays as a well-formed forest with
+    [mcml stats --from-trace].  Counters: [serve.requests.*]. *)
+
+type config = {
+  jobs : int;  (** pool workers; [<= 1] executes inline on the reader *)
+  admission : int;
+      (** max counting requests in flight server-wide; beyond it,
+          requests are rejected with [Overloaded].  [0] rejects every
+          counting request (admin kinds still answer). *)
+  queue_cap : int;
+      (** per-connection cap on queued (not yet written) responses;
+          a full queue blocks the reader (socket backpressure) *)
+  cache : bool;  (** share one count cache across all requests *)
+  cache_capacity : int;  (** entries, FIFO-evicted ({!Mcml_exec.Memo}) *)
+}
+
+val default_config : config
+(** [jobs = 1], [admission = 64], [queue_cap = 128], [cache = true],
+    [cache_capacity = 4096]. *)
+
+type t
+
+val create : config -> t
+(** Spawn the pool (and cache) for a server.  {!shutdown} it when
+    done. *)
+
+val jobs : t -> int
+(** The configured pool parallelism. *)
+
+val drain : t -> unit
+(** Request a graceful drain (idempotent, callable from a signal
+    handler or any thread): stop admitting, finish in-flight requests,
+    let connection loops return. *)
+
+val draining : t -> bool
+
+val execute : t -> Protocol.request -> Protocol.response
+(** Execute one request synchronously on the calling domain —
+    admission, queueing and the pool are bypassed; the deadline (taken
+    relative to now) still clamps the budget.  This is the building
+    block the connection loop dispatches onto the pool, exposed for
+    [bench --serve]'s direct baseline and for tests. *)
+
+val handle_connection : t -> input:Unix.file_descr -> output:out_channel -> unit
+(** Serve one JSONL connection until EOF or {!drain}.  Returns only
+    after every admitted request has been answered and [output]
+    flushed.  Does not close either descriptor. *)
+
+val serve_stdio : t -> unit
+(** {!handle_connection} over stdin/stdout — the mode tests and
+    one-shot pipelines use ([mcml serve] without [--socket]). *)
+
+val serve_unix : t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (replacing a stale file),
+    accept connections until {!drain}, one thread per connection; on
+    drain, stop accepting, unlink [path], and join every live
+    connection.  The caller should ignore SIGPIPE. *)
+
+val shutdown : t -> unit
+(** Shut the pool down.  Call after the serve loop returns. *)

@@ -1,0 +1,328 @@
+(* Serve layer: protocol round-trips, malformed-input rejection, request
+   execution against direct counting, deadline expiry, bounded admission,
+   and graceful drain under a real SIGTERM. *)
+
+open Mcml_serve
+module Json = Mcml_obs.Json
+
+let check = Alcotest.check
+
+(* ---------------------------------------------------------------------- *)
+(* Protocol                                                                *)
+(* ---------------------------------------------------------------------- *)
+
+let mk_query ?scope ?(symmetry = false) ?(negate = false)
+    ?(backend = Mcml_counting.Counter.Exact) ?(budget = 12.5) ?(seed = 42) name =
+  {
+    Protocol.prop = Mcml_props.Props.find_exn name;
+    scope;
+    symmetry;
+    negate;
+    backend;
+    budget;
+    seed;
+  }
+
+let roundtrip req =
+  let line = Json.to_string (Protocol.request_to_json req) in
+  match Protocol.request_of_string line with
+  | Ok req' -> req'
+  | Error (_, msg) -> Alcotest.failf "round-trip rejected %s: %s" line msg
+
+let check_query (q : Protocol.query) (q' : Protocol.query) =
+  check Alcotest.string "prop" q.Protocol.prop.Mcml_props.Props.name
+    q'.Protocol.prop.Mcml_props.Props.name;
+  check Alcotest.(option int) "scope" q.Protocol.scope q'.Protocol.scope;
+  check Alcotest.bool "symmetry" q.Protocol.symmetry q'.Protocol.symmetry;
+  check Alcotest.bool "negate" q.Protocol.negate q'.Protocol.negate;
+  check Alcotest.bool "backend"
+    (match q.Protocol.backend with Mcml_counting.Counter.Exact -> true | _ -> false)
+    (match q'.Protocol.backend with Mcml_counting.Counter.Exact -> true | _ -> false);
+  check (Alcotest.float 1e-9) "budget" q.Protocol.budget q'.Protocol.budget;
+  check Alcotest.int "seed" q.Protocol.seed q'.Protocol.seed
+
+let proto_roundtrip_all_kinds () =
+  let q = mk_query ~scope:4 ~symmetry:true "PartialOrder" in
+  List.iter
+    (fun kind ->
+      let req = { Protocol.id = Json.Int 7; deadline_ms = Some 1500.0; kind } in
+      let req' = roundtrip req in
+      check Alcotest.string "kind"
+        (Protocol.kind_name req.Protocol.kind)
+        (Protocol.kind_name req'.Protocol.kind);
+      check
+        Alcotest.(option (float 1e-9))
+        "deadline" req.Protocol.deadline_ms req'.Protocol.deadline_ms;
+      check Alcotest.string "id" (Json.to_string req.Protocol.id)
+        (Json.to_string req'.Protocol.id);
+      match (req.Protocol.kind, req'.Protocol.kind) with
+      | Protocol.Count a, Protocol.Count b
+      | Protocol.Accmc a, Protocol.Accmc b
+      | Protocol.Diffmc a, Protocol.Diffmc b ->
+          check_query a b
+      | Protocol.Health, Protocol.Health | Protocol.Stats, Protocol.Stats -> ()
+      | _ -> Alcotest.fail "kind changed across the round-trip")
+    [
+      Protocol.Count q;
+      Protocol.Accmc q;
+      Protocol.Diffmc (mk_query ~backend:Mcml_counting.Counter.Brute "Reflexive");
+      Protocol.Health;
+      Protocol.Stats;
+    ]
+
+let proto_response_roundtrip () =
+  let ok = Protocol.ok ~id:(Json.Str "a") (Json.Obj [ ("count", Json.Str "64") ]) in
+  let er = Protocol.err ~id:(Json.Int 3) Protocol.Timeout "too slow" in
+  List.iter
+    (fun r ->
+      match Protocol.response_of_string (Protocol.response_to_string r) with
+      | Error msg -> Alcotest.failf "response round-trip failed: %s" msg
+      | Ok r' ->
+          check Alcotest.string "id" (Json.to_string r.Protocol.rid)
+            (Json.to_string r'.Protocol.rid);
+          check Alcotest.string "body"
+            (Protocol.response_to_string r)
+            (Protocol.response_to_string r'))
+    [ ok; er ]
+
+let expect_bad line =
+  match Protocol.request_of_string line with
+  | Ok _ -> Alcotest.failf "accepted malformed request: %s" line
+  | Error (_, msg) ->
+      check Alcotest.bool "error message non-empty" true (String.length msg > 0)
+
+let proto_malformed () =
+  expect_bad "{\"kind\":\"count\",\"prop\":\"Reflex";     (* truncated JSON *)
+  expect_bad "{\"kind\":\"frobnicate\"}";                 (* unknown kind *)
+  expect_bad "{\"kind\":\"count\",\"prop\":\"Reflexive\",\"deadline_ms\":-5}";
+  expect_bad "{\"kind\":\"count\",\"prop\":\"NoSuchProp\"}";
+  expect_bad "{\"kind\":\"count\",\"prop\":\"Reflexive\",\"backend\":\"cudd\"}";
+  expect_bad "{\"kind\":\"count\"}";                      (* missing prop *)
+  expect_bad "{\"kind\":\"count\",\"prop\":\"Reflexive\",\"scope\":0}";
+  expect_bad "{\"kind\":\"count\",\"prop\":\"Reflexive\",\"budget_s\":0}";
+  expect_bad "[1,2,3]";                                   (* not an object *)
+  (* the id still comes back on a rejected request when extractable *)
+  match Protocol.request_of_string "{\"id\":9,\"kind\":\"frobnicate\"}" with
+  | Error (Json.Int 9, _) -> ()
+  | Error (other, _) ->
+      Alcotest.failf "rejection lost the id: %s" (Json.to_string other)
+  | Ok _ -> Alcotest.fail "accepted unknown kind"
+
+(* ---------------------------------------------------------------------- *)
+(* Execution                                                               *)
+(* ---------------------------------------------------------------------- *)
+
+let with_server ?(cfg = Server.default_config) f =
+  let srv = Server.create cfg in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) (fun () -> f srv)
+
+let result_member resp field =
+  match resp.Protocol.body with
+  | Error (code, msg) ->
+      Alcotest.failf "expected ok response, got %s: %s" (Protocol.code_name code)
+        msg
+  | Ok payload -> (
+      match Json.member field payload with
+      | Some v -> v
+      | None ->
+          Alcotest.failf "result lacks %S: %s" field (Json.to_string payload))
+
+let execute_count_matches_direct () =
+  with_server (fun srv ->
+      let prop = Mcml_props.Props.find_exn "Reflexive" in
+      let req =
+        {
+          Protocol.id = Json.Int 1;
+          deadline_ms = None;
+          kind = Protocol.Count (mk_query ~scope:3 ~budget:30.0 "Reflexive");
+        }
+      in
+      let served = result_member (Server.execute srv req) "count" in
+      let direct =
+        match
+          Mcml_alloy.Analyzer.count ~budget:30.0
+            ~backend:Mcml_counting.Counter.Exact
+            (Mcml_props.Props.analyzer ~scope:3)
+            ~pred:prop.Mcml_props.Props.pred
+        with
+        | Some o -> Mcml_logic.Bignat.to_string o.Mcml_counting.Counter.count
+        | None -> Alcotest.fail "direct count timed out"
+      in
+      check Alcotest.string "served count = direct count"
+        (Json.to_string (Json.Str direct))
+        (Json.to_string served))
+
+let execute_health_stats () =
+  with_server (fun srv ->
+      let exec kind =
+        Server.execute srv { Protocol.id = Json.Null; deadline_ms = None; kind }
+      in
+      (match (exec Protocol.Health).Protocol.body with
+      | Ok payload -> (
+          match Json.member "status" payload with
+          | Some (Json.Str "ok") -> ()
+          | _ -> Alcotest.failf "health payload: %s" (Json.to_string payload))
+      | Error (_, msg) -> Alcotest.failf "health failed: %s" msg);
+      ignore (exec (Protocol.Count (mk_query ~scope:3 "Reflexive")));
+      match (exec Protocol.Stats).Protocol.body with
+      | Ok payload -> (
+          match (Json.member "requests" payload, Json.member "cache" payload) with
+          | Some (Json.Obj _), Some (Json.Obj _) -> ()
+          | _ -> Alcotest.failf "stats payload: %s" (Json.to_string payload))
+      | Error (_, msg) -> Alcotest.failf "stats failed: %s" msg)
+
+(* ---------------------------------------------------------------------- *)
+(* Connections (socketpair end-to-end)                                     *)
+(* ---------------------------------------------------------------------- *)
+
+type conn = {
+  cfd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  handler : Thread.t;
+}
+
+let connect srv =
+  let sfd, cfd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let handler =
+    Thread.create
+      (fun () ->
+        let out = Unix.out_channel_of_descr sfd in
+        Server.handle_connection srv ~input:sfd ~output:out;
+        try close_out out with Sys_error _ -> ())
+      ()
+  in
+  { cfd; ic = Unix.in_channel_of_descr cfd; oc = Unix.out_channel_of_descr cfd; handler }
+
+let send conn line =
+  output_string conn.oc line;
+  output_char conn.oc '\n';
+  flush conn.oc
+
+let recv conn =
+  match Protocol.response_of_string (input_line conn.ic) with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "bad response line: %s" msg
+
+let finish conn =
+  (try Unix.shutdown conn.cfd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  Thread.join conn.handler;
+  close_in_noerr conn.ic
+
+let code_of resp =
+  match resp.Protocol.body with
+  | Ok _ -> "ok"
+  | Error (code, _) -> Protocol.code_name code
+
+let connection_in_order () =
+  with_server (fun srv ->
+      let conn = connect srv in
+      send conn "{\"id\":1,\"kind\":\"count\",\"prop\":\"Reflexive\",\"scope\":3}";
+      send conn "{\"id\":2,\"kind\":\"health\"}";
+      send conn "{\"id\":3,\"kind\":\"count\",\"prop\":\"NoSuchProp\"}";
+      send conn "{\"id\":4,\"kind\":\"stats\"}";
+      let r1 = recv conn and r2 = recv conn and r3 = recv conn and r4 = recv conn in
+      finish conn;
+      check Alcotest.(list string) "ids echoed in request order"
+        [ "1"; "2"; "3"; "4" ]
+        (List.map (fun r -> Json.to_string r.Protocol.rid) [ r1; r2; r3; r4 ]);
+      check Alcotest.(list string) "outcomes"
+        [ "ok"; "ok"; "bad_request"; "ok" ]
+        (List.map code_of [ r1; r2; r3; r4 ]))
+
+let deadline_expiry_keeps_connection () =
+  with_server (fun srv ->
+      let conn = connect srv in
+      (* a deadline this short expires before the count starts *)
+      send conn
+        "{\"id\":1,\"kind\":\"count\",\"prop\":\"PartialOrder\",\"scope\":4,\"deadline_ms\":0.001}";
+      let r1 = recv conn in
+      check Alcotest.string "deadline expiry is a timeout response" "timeout"
+        (code_of r1);
+      (* ... and the connection is still alive and serving *)
+      send conn "{\"id\":2,\"kind\":\"count\",\"prop\":\"Reflexive\",\"scope\":3}";
+      let r2 = recv conn in
+      finish conn;
+      check Alcotest.string "next request on the same connection" "ok" (code_of r2))
+
+let admission_zero_rejects () =
+  with_server
+    ~cfg:{ Server.default_config with Server.admission = 0 }
+    (fun srv ->
+      let conn = connect srv in
+      send conn "{\"id\":1,\"kind\":\"count\",\"prop\":\"Reflexive\",\"scope\":3}";
+      send conn "{\"id\":2,\"kind\":\"health\"}";
+      let r1 = recv conn and r2 = recv conn in
+      finish conn;
+      check Alcotest.string "counting request rejected" "overloaded" (code_of r1);
+      check Alcotest.string "admin kind still answered" "ok" (code_of r2))
+
+let drain_completes_in_flight () =
+  with_server (fun srv ->
+      (* a real SIGTERM, delivered to this process, must end the serve
+         loop while the already-read request still gets its answer *)
+      let previous =
+        Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Server.drain srv))
+      in
+      Fun.protect
+        ~finally:(fun () -> Sys.set_signal Sys.sigterm previous)
+        (fun () ->
+          let conn = connect srv in
+          send conn "{\"id\":1,\"kind\":\"count\",\"prop\":\"Reflexive\",\"scope\":3}";
+          (* let the reader pick the request up before the drain lands *)
+          Thread.delay 0.05;
+          Unix.kill (Unix.getpid ()) Sys.sigterm;
+          (* the handler must terminate on its own now — no EOF from us *)
+          Thread.join conn.handler;
+          check Alcotest.bool "server is draining" true (Server.draining srv);
+          let r1 = recv conn in
+          check Alcotest.string "in-flight request completed" "ok" (code_of r1);
+          (match input_line conn.ic with
+          | exception End_of_file -> ()
+          | line -> Alcotest.failf "unexpected extra response: %s" line);
+          close_in_noerr conn.ic))
+
+let draining_rejects_new_requests () =
+  with_server (fun srv ->
+      let conn = connect srv in
+      send conn "{\"id\":1,\"kind\":\"health\"}";
+      ignore (recv conn);
+      Server.drain srv;
+      (* requests already buffered when the drain flag flips may race the
+         reader; the contract is only that the loop ends and everything
+         admitted is answered — so just check termination here *)
+      finish conn;
+      check Alcotest.bool "draining" true (Server.draining srv))
+
+let () =
+  Alcotest.run "mcml_serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip, all kinds" `Quick
+            proto_roundtrip_all_kinds;
+          Alcotest.test_case "response round-trip" `Quick proto_response_roundtrip;
+          Alcotest.test_case "malformed requests rejected" `Quick proto_malformed;
+        ] );
+      ( "execute",
+        [
+          Alcotest.test_case "count matches direct Analyzer.count" `Quick
+            execute_count_matches_direct;
+          Alcotest.test_case "health and stats" `Quick execute_health_stats;
+        ] );
+      ( "connection",
+        [
+          Alcotest.test_case "responses in request order" `Quick connection_in_order;
+          Alcotest.test_case "deadline expiry keeps the connection" `Quick
+            deadline_expiry_keeps_connection;
+          Alcotest.test_case "admission=0 sheds counting load" `Quick
+            admission_zero_rejects;
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "SIGTERM completes in-flight work" `Quick
+            drain_completes_in_flight;
+          Alcotest.test_case "drain ends the connection loop" `Quick
+            draining_rejects_new_requests;
+        ] );
+    ]
