@@ -227,6 +227,38 @@ let run_gate ~factor ~baseline =
   end;
   Format.fprintf fmt "  gate passed (%d section(s) compared)@." !compared
 
+(* End-of-run runtime section: peak RSS / CPU time from getrusage, the
+   GC totals, and a final probe snapshot of every gauge — so a stored
+   BENCH_*.json tracks memory alongside latency.  Additive to schema
+   v3: [--gate] reads only "sections", so old baselines keep working. *)
+let runtime_json () =
+  let open Mcml_obs in
+  let num v =
+    if Float.is_integer v && Float.abs v < 1e15 then Json.Int (int_of_float v)
+    else Json.Float v
+  in
+  Probe.sample ();
+  let ru = Probe.rusage () in
+  let g = Gc.quick_stat () in
+  Json.Obj
+    [
+      ("max_rss_bytes", num ru.Probe.max_rss_bytes);
+      ("cpu_user_s", Json.Float ru.Probe.user_s);
+      ("cpu_sys_s", Json.Float ru.Probe.sys_s);
+      ( "gc",
+        Json.Obj
+          [
+            ("minor_words", num g.Gc.minor_words);
+            ("promoted_words", num g.Gc.promoted_words);
+            ("major_words", num g.Gc.major_words);
+            ("heap_words", Json.Int g.Gc.heap_words);
+            ("minor_collections", Json.Int g.Gc.minor_collections);
+            ("major_collections", Json.Int g.Gc.major_collections);
+            ("compactions", Json.Int g.Gc.compactions);
+          ] );
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, num v)) (Obs.gauges ())));
+    ]
+
 let write_json path ~seed ~budget ~jobs ~cache ~baseline ~total =
   let open Mcml_obs in
   let num v =
@@ -284,6 +316,7 @@ let write_json path ~seed ~budget ~jobs ~cache ~baseline ~total =
         | Some s -> [ ("serve", s) ])
       @ [
         ("counters_total", Json.Obj (List.map (fun (k, v) -> (k, num v)) (Obs.counters ())));
+        ("runtime", runtime_json ());
       ])
   in
   let oc = open_out path in

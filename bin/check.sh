@@ -58,7 +58,21 @@ if dune exec bin/main.exe -- stats --from-trace "$bad" >/dev/null 2>&1; then
   echo "FAIL: a trace with a dangling parent id validated" >&2
   exit 1
 fi
-rm -f "$trace" "$bad"
+echo "== smoke: mcml profile --from-trace =="
+# folded stacks for flamegraph.pl/speedscope: "path value" per line,
+# integer microseconds, plus a self-time table on the other stream
+folded="$(mktemp /tmp/mcml_folded.XXXXXX.txt)"
+dune exec bin/main.exe -- profile --from-trace "$trace" -o "$folded" >/dev/null
+[ -s "$folded" ] || {
+  echo "FAIL: profile wrote no folded stacks" >&2
+  exit 1
+}
+if grep -q -v '^[^ ][^ ]* [0-9][0-9]*$' "$folded"; then
+  echo "FAIL: malformed folded stack lines:" >&2
+  grep -v '^[^ ][^ ]* [0-9][0-9]*$' "$folded" >&2
+  exit 1
+fi
+rm -f "$folded" "$trace" "$bad"
 
 echo "== span forest shape: --jobs 4 must equal --jobs 1 =="
 # --no-count-cache: at jobs>1 two identical in-flight queries can both
@@ -179,6 +193,41 @@ while read -r p s want; do
     }
   done
 done <"$direct"
+
+echo "== metrics smoke gate: live scrape of the running server =="
+# one deadlined request so the SLO counter families exist, then scrape
+# the registry over the wire and require a well-formed exposition —
+# no restart, no flush
+echo '{"id":"slo","kind":"count","prop":"Reflexive","scope":3,"deadline_ms":60000}' \
+  | "$MCML" client --socket "$sock" >/dev/null || {
+  echo "FAIL: deadlined warmup request failed" >&2
+  exit 1
+}
+metrics="$(mktemp /tmp/mcml_metrics.XXXXXX.txt)"
+"$MCML" client --socket "$sock" metrics >"$metrics" || {
+  echo "FAIL: metrics scrape failed" >&2
+  exit 1
+}
+for family in \
+  "# TYPE mcml_serve_requests_ok counter" \
+  "# TYPE mcml_serve_slo_deadline_requests counter" \
+  "# TYPE mcml_serve_slo_deadline_hit_ratio gauge" \
+  "# TYPE mcml_gc_heap_words gauge" \
+  "# TYPE mcml_proc_max_rss_bytes gauge" \
+  "# TYPE mcml_exec_pool_queue_depth gauge" \
+  "# TYPE mcml_serve_request histogram"; do
+  grep -q "^$family\$" "$metrics" || {
+    echo "FAIL: metrics exposition lacks '$family'" >&2
+    cat "$metrics" >&2
+    exit 1
+  }
+done
+tail -1 "$metrics" | grep -q '^# EOF$' || {
+  echo "FAIL: exposition does not end with # EOF" >&2
+  exit 1
+}
+rm -f "$metrics"
+echo "   exposition well-formed: SLO, GC, pool and latency families live"
 
 kill -TERM $serve_pid
 wait $serve_pid || { echo "FAIL: serve exited nonzero after SIGTERM" >&2; exit 1; }

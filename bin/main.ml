@@ -297,6 +297,38 @@ let diff_cmd =
       const run $ obs_term $ prop_arg $ scope_arg $ symmetry_arg $ seed_arg $ budget_arg
       $ backend_arg)
 
+(* --- trace replay helpers (stats --from-trace, profile) -------------------------- *)
+
+let load_trace path =
+  match Mcml_obs.Trace.load path with
+  | exception Sys_error msg ->
+      Printf.eprintf "mcml: cannot read trace: %s\n" msg;
+      exit 2
+  | Error errs ->
+      Printf.eprintf "mcml: malformed trace %s:\n" path;
+      List.iter (fun e -> Printf.eprintf "  %s\n" e) errs;
+      exit 1
+  | Ok t -> t
+
+(* The profiler's ranking: per span name, the time spent in that span
+   itself (children excluded), largest first. *)
+let print_self_times oc t ~top =
+  let rows = Mcml_obs.Trace.self_times t in
+  let total = List.fold_left (fun acc (_, _, s) -> acc +. s) 0.0 rows in
+  let shown =
+    if top > 0 && top < List.length rows then top else List.length rows
+  in
+  Printf.fprintf oc "-- self time (top %d of %d, total %.3fms) %s\n" shown
+    (List.length rows) total
+    (String.make 24 '-');
+  Printf.fprintf oc "%-36s %10s %14s %7s\n" "span" "calls" "self" "share";
+  List.iteri
+    (fun i (name, calls, self) ->
+      if i < shown then
+        Printf.fprintf oc "%-36s %10d %12.3fms %6.1f%%\n" name calls self
+          (if total > 0.0 then 100.0 *. self /. total else 0.0))
+    rows
+
 (* --- stats ----------------------------------------------------------------------- *)
 
 let stats_cmd =
@@ -324,22 +356,27 @@ let stats_cmd =
              The shape of a --jobs N trace is byte-identical to the --jobs 1 \
              trace of the same run, which is what bin/check.sh diffs.")
   in
-  let replay_trace path ~shape =
-    match Mcml_obs.Trace.load path with
-    | exception Sys_error msg ->
-        Printf.eprintf "mcml: cannot read trace: %s\n" msg;
-        exit 2
-    | Error errs ->
-        Printf.eprintf "mcml: malformed trace %s:\n" path;
-        List.iter (fun e -> Printf.eprintf "  %s\n" e) errs;
-        exit 1
-    | Ok t ->
-        if shape then print_string (Mcml_obs.Trace.shape t)
-        else Mcml_obs.Trace.render stdout t
+  let top_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"N"
+          ~doc:
+            "With --from-trace: print only the top $(docv) spans by self \
+             time (the profiler's aggregation; 0 = all spans), instead of \
+             the full replay.")
   in
-  let run () from_trace shape prop scope symmetry seed budget backend =
+  let replay_trace path ~shape ~top =
+    let t = load_trace path in
+    if shape then print_string (Mcml_obs.Trace.shape t)
+    else
+      match top with
+      | Some n -> print_self_times stdout t ~top:n
+      | None -> Mcml_obs.Trace.render stdout t
+  in
+  let run () from_trace shape top prop scope symmetry seed budget backend =
     match from_trace with
-    | Some path -> replay_trace path ~shape
+    | Some path -> replay_trace path ~shape ~top
     | None ->
     let prop =
       match prop with
@@ -391,8 +428,68 @@ let stats_cmd =
           --trace for a JSONL trace) — or, with --from-trace FILE, validate \
           and replay an existing trace instead.")
     Term.(
-      const run $ obs_term $ from_trace_arg $ shape_arg $ prop_opt_arg $ scope_arg
-      $ symmetry_arg $ seed_arg $ budget_arg $ backend_arg)
+      const run $ obs_term $ from_trace_arg $ shape_arg $ top_arg $ prop_opt_arg
+      $ scope_arg $ symmetry_arg $ seed_arg $ budget_arg $ backend_arg)
+
+(* --- profile --------------------------------------------------------------------- *)
+
+let profile_cmd =
+  let from_trace_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "from-trace" ] ~docv:"FILE"
+          ~doc:"JSONL trace written by --trace to profile.")
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Rows in the self-time table (0 = all spans).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Write the folded stacks to $(docv) instead of stdout (the \
+             self-time table then goes to stdout instead of stderr).")
+  in
+  let run () path top out =
+    let t = load_trace path in
+    let folded = Mcml_obs.Trace.folded t in
+    (* flamegraph.pl wants integer values; integer microseconds keep
+       sub-millisecond spans from rounding away *)
+    let render oc =
+      List.iter
+        (fun (stack, self_ms) ->
+          Printf.fprintf oc "%s %.0f\n" stack (Float.round (self_ms *. 1000.0)))
+        folded
+    in
+    let table_oc =
+      match out with
+      | Some file ->
+          let oc = open_out file in
+          render oc;
+          close_out oc;
+          Printf.printf "wrote %d folded stacks to %s\n" (List.length folded) file;
+          stdout
+      | None ->
+          render stdout;
+          stderr
+    in
+    print_self_times table_oc t ~top
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Replay a JSONL trace into flamegraph-compatible folded stacks \
+          (one 'root;child;leaf MICROSECONDS' line per aggregated call \
+          path, self time only) plus a top-N self-time table. Pipe the \
+          folded output into flamegraph.pl or paste it into speedscope.")
+    Term.(const run $ obs_term $ from_trace_arg $ top_arg $ out_arg)
 
 (* --- exp ------------------------------------------------------------------------- *)
 
@@ -522,6 +619,11 @@ let serve_cmd =
       exit 2
     end;
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (* A server without --trace/--verbose-stats still answers [metrics]
+       scrapes: turn the registry on (stats_only records counters and
+       histograms but emits no events) unless a real sink is installed. *)
+    if not (Mcml_obs.Obs.enabled ()) then
+      Mcml_obs.Obs.set_sink (Mcml_obs.Obs.stats_only ());
     let srv =
       Mcml_serve.Server.create
         {
@@ -531,6 +633,8 @@ let serve_cmd =
           cache = not no_cache;
           cache_capacity =
             Mcml_serve.Server.default_config.Mcml_serve.Server.cache_capacity;
+          probe_interval_s =
+            Mcml_serve.Server.default_config.Mcml_serve.Server.probe_interval_s;
         }
     in
     let on_signal _ = Mcml_serve.Server.drain srv in
@@ -551,9 +655,10 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the counting service: a long-lived daemon answering JSONL \
-          count/accmc/diffmc/health/stats requests over a Unix socket (or \
-          stdio) with a shared count cache, per-request deadlines, bounded \
-          admission, and graceful drain on SIGTERM/SIGINT.")
+          count/accmc/diffmc/health/stats/metrics requests over a Unix \
+          socket (or stdio) with a shared count cache, per-request \
+          deadlines, bounded admission, live OpenMetrics scraping, and \
+          graceful drain on SIGTERM/SIGINT.")
     Term.(const run $ obs_term $ socket_arg $ jobs $ admission $ queue_cap $ no_cache)
 
 (* --- client ---------------------------------------------------------------------- *)
@@ -565,7 +670,53 @@ let client_cmd =
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH" ~doc:"Socket of a running 'mcml serve'.")
   in
-  let run () path =
+  let request_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Optional one-shot request. $(b,metrics) scrapes the server's \
+             live OpenMetrics exposition and prints the raw text. Without \
+             it, JSONL requests are read from stdin.")
+  in
+  (* One-shot scrape: send a metrics request, unwrap the exposition
+     text from the JSON envelope, print it raw (greppable, and exactly
+     what a Prometheus file-based scraper wants on disk). *)
+  let scrape_metrics fd =
+    let oc = Unix.out_channel_of_descr fd in
+    output_string oc "{\"id\":0,\"kind\":\"metrics\"}\n";
+    flush oc;
+    (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    let ic = Unix.in_channel_of_descr fd in
+    match input_line ic with
+    | exception End_of_file ->
+        Printf.eprintf "mcml client: server closed without answering\n";
+        exit 1
+    | line -> (
+        match Mcml_serve.Protocol.response_of_string line with
+        | Error msg ->
+            Printf.eprintf "mcml client: bad response: %s\n" msg;
+            exit 1
+        | Ok { Mcml_serve.Protocol.body = Error (code, msg); _ } ->
+            Printf.eprintf "mcml client: %s: %s\n"
+              (Mcml_serve.Protocol.code_name code)
+              msg;
+            exit 1
+        | Ok { Mcml_serve.Protocol.body = Ok payload; _ } -> (
+            match Mcml_obs.Json.member "exposition" payload with
+            | Some (Mcml_obs.Json.Str text) -> print_string text
+            | _ ->
+                Printf.eprintf
+                  "mcml client: metrics response without exposition text\n";
+                exit 1))
+  in
+  let run () path request =
+    (match request with
+    | None | Some "metrics" -> ()
+    | Some other ->
+        Printf.eprintf "mcml client: unknown request %S (try: metrics)\n" other;
+        exit 2);
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (try Unix.connect fd (Unix.ADDR_UNIX path)
@@ -573,6 +724,11 @@ let client_cmd =
        Printf.eprintf "mcml client: cannot connect to %s: %s\n" path
          (Unix.error_message e);
        exit 2);
+    if request = Some "metrics" then begin
+      scrape_metrics fd;
+      Unix.close fd;
+      exit 0
+    end;
     (* a separate sender thread lets responses stream back while stdin
        is still being copied — no deadlock however long the input is *)
     let sender =
@@ -609,8 +765,10 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:
          "Send JSONL requests from stdin to a running 'mcml serve' socket and \
-          print the responses (in request order) to stdout.")
-    Term.(const run $ obs_term $ socket)
+          print the responses (in request order) to stdout — or, with the \
+          $(b,metrics) argument, scrape and print the live OpenMetrics \
+          exposition.")
+    Term.(const run $ obs_term $ socket $ request_arg)
 
 (* --- main ------------------------------------------------------------------------ *)
 
@@ -628,6 +786,7 @@ let () =
             train_eval_cmd;
             diff_cmd;
             stats_cmd;
+            profile_cmd;
             exp_cmd;
             serve_cmd;
             client_cmd;

@@ -33,7 +33,10 @@ type state = {
 
 let check_time st =
   st.ticks <- st.ticks + 1;
-  if st.ticks land 1023 = 0 then
+  (* stride of 1024, anchored at the first tick: an already-expired
+     deadline (a served request admitted past it) must time out even
+     when the whole count would finish in under one stride *)
+  if st.ticks land 1023 = 1 then
     match st.deadline with
     | Some d when Mcml_obs.Obs.monotonic_s () > d -> raise Timeout
     | _ -> ()

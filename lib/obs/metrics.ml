@@ -1,0 +1,235 @@
+type snapshot = {
+  taken_at : float;
+  counters : (string * float) list;
+  gauges : (string * float) list;
+  histograms : (string * Obs.Histogram.t) list;
+}
+
+let snapshot () =
+  {
+    taken_at = Unix.gettimeofday ();
+    counters = Obs.monotonic_counters ();
+    gauges = Obs.gauges ();
+    histograms =
+      List.filter
+        (fun (_, h) -> Obs.Histogram.count h > 0)
+        (Obs.histogram_copies ());
+  }
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let metric_name name =
+  let b = Bytes.of_string ("mcml_" ^ name) in
+  Bytes.iteri
+    (fun i c -> if not (is_name_char c) then Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+(* Render a float the way Prometheus clients do: integral values
+   without a fractional part, everything else with enough digits to
+   round-trip the interesting ones. *)
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let to_openmetrics snap =
+  let buf = Buffer.create 4096 in
+  let sample name value =
+    Buffer.add_string buf name;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (fmt_value value);
+    Buffer.add_char buf '\n'
+  in
+  let type_line name kind =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name name in
+      type_line n "counter";
+      sample (n ^ "_total") v)
+    snap.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name name in
+      type_line n "gauge";
+      sample n v)
+    snap.gauges;
+  List.iter
+    (fun (name, h) ->
+      let n = metric_name name in
+      type_line n "histogram";
+      (* cumulative buckets: one sample per occupied bucket plus the
+         mandatory +Inf; empty buckets add nothing to a cumulative
+         series, so skipping them loses no information *)
+      let cum = ref 0 in
+      for i = 0 to Obs.Histogram.bucket_count - 1 do
+        let c = (Obs.Histogram.bucket_count_at h i : int) in
+        if c > 0 then begin
+          cum := !cum + c;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+               (fmt_value (Obs.Histogram.bucket_upper i))
+               !cum)
+        end
+      done;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n
+           (Obs.Histogram.count h));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count %d\n" n (Obs.Histogram.count h));
+      sample (n ^ "_sum") (Obs.Histogram.sum h))
+    snap.histograms;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let to_json snap =
+  let num_obj kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) kvs) in
+  let hist_obj (name, h) =
+    let base =
+      [
+        ("count", Json.Int (Obs.Histogram.count h));
+        ("sum", Json.Float (Obs.Histogram.sum h));
+      ]
+    in
+    let stats =
+      match Obs.Histogram.stats h with
+      | None -> []
+      | Some s ->
+          [
+            ("p50_ms", Json.Float s.Obs.p50);
+            ("p90_ms", Json.Float s.Obs.p90);
+            ("p99_ms", Json.Float s.Obs.p99);
+            ("max_ms", Json.Float s.Obs.max);
+          ]
+    in
+    (name, Json.Obj (base @ stats))
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "mcml.metrics.v1");
+      ("ts", Json.Float snap.taken_at);
+      ("counters", num_obj snap.counters);
+      ("gauges", num_obj snap.gauges);
+      ("histograms", Json.Obj (List.map hist_obj snap.histograms));
+    ]
+
+(* --- exposition linter ------------------------------------------------- *)
+
+type family_kind = Counter_family | Gauge_family | Histogram_family
+
+let valid_name s =
+  String.length s > 0
+  && (not (s.[0] >= '0' && s.[0] <= '9'))
+  && String.for_all is_name_char s
+
+(* Strip a known suffix and report which family a sample belongs to. *)
+let family_of_sample families name =
+  let strip suffix =
+    if
+      String.length name > String.length suffix
+      && String.ends_with ~suffix name
+    then Some (String.sub name 0 (String.length name - String.length suffix))
+    else None
+  in
+  let check base kinds =
+    match Hashtbl.find_opt families base with
+    | Some k when List.mem k kinds -> true
+    | _ -> false
+  in
+  match strip "_total" with
+  | Some base when check base [ Counter_family ] -> Some base
+  | _ -> (
+      let hist_suffix =
+        List.find_map
+          (fun s ->
+            match strip s with
+            | Some base when check base [ Histogram_family ] -> Some base
+            | _ -> None)
+          [ "_bucket"; "_count"; "_sum" ]
+      in
+      match hist_suffix with
+      | Some base -> Some base
+      | None -> if check name [ Gauge_family ] then Some name else None)
+
+let lint text =
+  let ( let* ) = Result.bind in
+  let families : (string, family_kind) Hashtbl.t = Hashtbl.create 64 in
+  let lines = String.split_on_char '\n' text in
+  (* a trailing newline yields one final empty element; drop it *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let err i msg = Error (Printf.sprintf "line %d: %s" (i + 1) msg) in
+  let n_lines = List.length lines in
+  let check_line i line =
+    if line = "# EOF" then
+      if i = n_lines - 1 then Ok () else err i "# EOF is not the last line"
+    else if String.length line = 0 then err i "blank line"
+    else if line.[0] = '#' then
+      match String.split_on_char ' ' line with
+      | "#" :: "TYPE" :: name :: kind :: [] ->
+          let* k =
+            match kind with
+            | "counter" -> Ok Counter_family
+            | "gauge" -> Ok Gauge_family
+            | "histogram" -> Ok Histogram_family
+            | k -> err i (Printf.sprintf "unknown metric type %S" k)
+          in
+          if not (valid_name name) then
+            err i (Printf.sprintf "invalid family name %S" name)
+          else if Hashtbl.mem families name then
+            err i (Printf.sprintf "duplicate TYPE for family %S" name)
+          else begin
+            Hashtbl.add families name k;
+            Ok ()
+          end
+      | "#" :: "HELP" :: _ -> Ok ()
+      | _ -> err i "malformed comment (expected # TYPE, # HELP or # EOF)"
+    else begin
+      (* sample: name[{labels}] value *)
+      let name_end =
+        match (String.index_opt line '{', String.index_opt line ' ') with
+        | Some b, Some sp when b < sp -> b
+        | _, Some sp -> sp
+        | _, None -> String.length line
+      in
+      let name = String.sub line 0 name_end in
+      let* rest =
+        if name_end < String.length line && line.[name_end] = '{' then
+          match String.index_from_opt line name_end '}' with
+          | Some close
+            when close + 1 < String.length line && line.[close + 1] = ' ' ->
+              Ok (String.sub line (close + 2) (String.length line - close - 2))
+          | _ -> err i "malformed label set"
+        else if name_end < String.length line then
+          Ok (String.sub line (name_end + 1) (String.length line - name_end - 1))
+        else err i "sample has no value"
+      in
+      if not (valid_name name) then
+        err i (Printf.sprintf "invalid sample name %S" name)
+      else if rest <> "+Inf" && Float.of_string_opt rest = None then
+        err i (Printf.sprintf "unparseable sample value %S" rest)
+      else
+        match family_of_sample families name with
+        | Some _ -> Ok ()
+        | None ->
+            err i
+              (Printf.sprintf
+                 "sample %S does not belong to a declared family" name)
+    end
+  in
+  let rec walk i = function
+    | [] -> if i = 0 then Error "empty exposition" else Ok ()
+    | line :: rest ->
+        let* () = check_line i line in
+        walk (i + 1) rest
+  in
+  let* () = walk 0 lines in
+  match List.rev lines with
+  | "# EOF" :: _ -> Ok ()
+  | _ -> Error "exposition does not end with # EOF"

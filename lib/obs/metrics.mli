@@ -1,0 +1,65 @@
+(** Live metrics exposition: a point-in-time snapshot of the metric
+    registry (counters, gauges, histograms), rendered as
+    OpenMetrics/Prometheus text or as JSON — independent of sink
+    {!Obs.flush}, so a long-running server can be scraped while it
+    works.
+
+    A {!snapshot} copies the registry under the Obs lock (histograms
+    are independent {!Obs.Histogram} copies), so rendering never races
+    with live mutation and two renderings of one snapshot agree.
+
+    {b Exposition format.}  Names are sanitized to the OpenMetrics
+    charset ([[a-zA-Z0-9_:]]; every other character becomes [_]) and
+    prefixed with [mcml_], so the counter [serve.requests.ok] exposes
+    as the family [mcml_serve_requests_ok].  Counters carry the
+    [_total] suffix on their sample; histograms expose cumulative
+    [_bucket{le="..."}] samples (occupied buckets only, plus the
+    mandatory [le="+Inf"]), then [_count] and [_sum].  The text ends
+    with the OpenMetrics [# EOF] marker:
+
+    {v
+    # TYPE mcml_serve_requests_ok counter
+    mcml_serve_requests_ok_total 42
+    # TYPE mcml_gc_heap_words gauge
+    mcml_gc_heap_words 786432
+    # TYPE mcml_serve_request histogram
+    mcml_serve_request_bucket{le="0.421697"} 17
+    mcml_serve_request_bucket{le="+Inf"} 42
+    mcml_serve_request_count 42
+    mcml_serve_request_sum 12.5
+    # EOF
+    v} *)
+
+type snapshot = {
+  taken_at : float;  (** wall-clock Unix seconds when taken *)
+  counters : (string * float) list;  (** sorted, monotonic counters *)
+  gauges : (string * float) list;  (** sorted *)
+  histograms : (string * Obs.Histogram.t) list;
+      (** sorted; independent copies, empty ones omitted *)
+}
+
+val snapshot : unit -> snapshot
+(** Copy the current registry.  Does {e not} sample the runtime probes
+    — call {!Probe.sample} first if GC/rusage gauges should be
+    fresh. *)
+
+val metric_name : string -> string
+(** The sanitized, [mcml_]-prefixed OpenMetrics family name of a
+    registry name ([serve.requests.ok] → [mcml_serve_requests_ok]). *)
+
+val to_openmetrics : snapshot -> string
+(** Render the text exposition shown above.  Always ends with
+    [# EOF] and a newline; {!lint} accepts the result. *)
+
+val to_json : snapshot -> Json.t
+(** JSON rendering (schema [mcml.metrics.v1]): [ts], a [counters] and
+    a [gauges] object keyed by the {e original} registry names, and a
+    [histograms] object with count/sum/percentiles/max per name. *)
+
+val lint : string -> (unit, string) result
+(** Validate a text exposition: every line is a [# TYPE]/[# HELP]
+    comment, a sample of a previously-declared family (with the suffix
+    its declared type requires) carrying a parseable value, or the
+    final [# EOF] — which must be present, and last.  [Error] names
+    the offending line.  This is a grammar check for tests and the CI
+    smoke gate, not a full OpenMetrics parser. *)

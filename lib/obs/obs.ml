@@ -74,10 +74,15 @@ module Histogram = struct
   let bucket_count = 512
   let log_growth = Float.log growth
 
-  type t = { buckets : int array; mutable n : int; mutable vmax : float }
+  type t = {
+    buckets : int array;
+    mutable n : int;
+    mutable vmax : float;
+    mutable vsum : float;
+  }
 
   let create () =
-    { buckets = Array.make bucket_count 0; n = 0; vmax = neg_infinity }
+    { buckets = Array.make bucket_count 0; n = 0; vmax = neg_infinity; vsum = 0.0 }
 
   let bucket_of v =
     if (not (Float.is_finite v)) || v <= lo then 0
@@ -91,17 +96,22 @@ module Histogram = struct
   let observe t v =
     t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
     t.n <- t.n + 1;
+    if Float.is_finite v && v > 0.0 then t.vsum <- t.vsum +. v;
     if v > t.vmax then t.vmax <- v
 
   let count t = t.n
+  let sum t = t.vsum
+  let bucket_count_at t i = t.buckets.(i)
 
-  let copy t = { buckets = Array.copy t.buckets; n = t.n; vmax = t.vmax }
+  let copy t =
+    { buckets = Array.copy t.buckets; n = t.n; vmax = t.vmax; vsum = t.vsum }
 
   let merge a b =
     {
       buckets = Array.init bucket_count (fun i -> a.buckets.(i) + b.buckets.(i));
       n = a.n + b.n;
       vmax = Float.max a.vmax b.vmax;
+      vsum = a.vsum +. b.vsum;
     }
 
   let diff later earlier =
@@ -111,6 +121,7 @@ module Histogram = struct
             max 0 (later.buckets.(i) - earlier.buckets.(i)));
       n = max 0 (later.n - earlier.n);
       vmax = later.vmax;
+      vsum = Float.max 0.0 (later.vsum -. earlier.vsum);
     }
 
   (* Linear interpolation inside the containing bucket: rank r = p*n
@@ -283,17 +294,25 @@ let event_of_json j =
       Ok (Histogram { ts; name; stats = { count; p50; p90; p99; max } })
   | k -> Error (Printf.sprintf "unknown event kind %S" k)
 
-(* --- counters --------------------------------------------------------- *)
+(* --- counters and gauges ---------------------------------------------- *)
 
+(* Monotonic counters and point-in-time gauges live in separate tables
+   so a snapshot can tell the kinds apart (OpenMetrics exposition emits
+   [counter] vs [gauge] TYPE lines).  [counters ()] still returns the
+   merged view — callers that diff "all numeric telemetry" around a
+   region (bench sections, the console sink) predate the split. *)
 let counter_table : (string, float ref) Hashtbl.t = Hashtbl.create 64
+let gauge_table : (string, float ref) Hashtbl.t = Hashtbl.create 32
 
-let cell name =
-  match Hashtbl.find_opt counter_table name with
+let cell_in table name =
+  match Hashtbl.find_opt table name with
   | Some r -> r
   | None ->
       let r = ref 0.0 in
-      Hashtbl.add counter_table name r;
+      Hashtbl.add table name r;
       r
+
+let cell name = cell_in counter_table name
 
 let addf name x =
   if enabled () then locked (fun () -> let r = cell name in r := !r +. x)
@@ -302,16 +321,31 @@ let add name n =
   if enabled () then
     locked (fun () -> let r = cell name in r := !r +. float_of_int n)
 
-let gauge name x = if enabled () then locked (fun () -> cell name := x)
+let gauge_set name x = locked (fun () -> cell_in gauge_table name := x)
+let gauge name x = if enabled () then gauge_set name x
 
 let counter_value name =
   locked (fun () ->
-      match Hashtbl.find_opt counter_table name with Some r -> !r | None -> 0.0)
+      match Hashtbl.find_opt counter_table name with
+      | Some r -> !r
+      | None -> (
+          match Hashtbl.find_opt gauge_table name with
+          | Some r -> !r
+          | None -> 0.0))
+
+let fold_table table acc =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table acc
+
+let sorted_by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l
 
 let counters () =
-  locked (fun () ->
-      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counter_table [])
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  locked (fun () -> fold_table counter_table (fold_table gauge_table []))
+  |> sorted_by_name
+
+let monotonic_counters () =
+  locked (fun () -> fold_table counter_table []) |> sorted_by_name
+
+let gauges () = locked (fun () -> fold_table gauge_table []) |> sorted_by_name
 
 let hist_table : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
 
@@ -354,6 +388,7 @@ let flushed_hist_counts : (string, int) Hashtbl.t = Hashtbl.create 32
 let reset_counters () =
   locked (fun () ->
       Hashtbl.reset counter_table;
+      Hashtbl.reset gauge_table;
       Hashtbl.reset hist_table;
       Hashtbl.reset flushed_values;
       Hashtbl.reset flushed_hist_counts)
@@ -454,8 +489,8 @@ let flush () =
     locked (fun () ->
         let ts = now () in
         let snapshot =
-          Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counter_table []
-          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+          fold_table counter_table (fold_table gauge_table [])
+          |> sorted_by_name
         in
         List.iter
           (fun (name, value) ->

@@ -182,7 +182,9 @@ val with_context : context -> (unit -> 'a) -> 'a
 (** {1 Counters and gauges}
 
     Counters are global, keyed by name, and accumulate only while
-    {!enabled}; gauges overwrite.  Reading is always allowed. *)
+    {!enabled}; gauges overwrite.  The two kinds live in separate
+    tables so a snapshot can expose them with the correct OpenMetrics
+    type (see {!Metrics}).  Reading is always allowed. *)
 
 val add : string -> int -> unit
 val addf : string -> float -> unit
@@ -190,13 +192,30 @@ val addf : string -> float -> unit
     (creating it on first use). *)
 
 val gauge : string -> float -> unit
-(** [gauge name x] overwrites the gauge [name] with [x]. *)
+(** [gauge name x] overwrites the gauge [name] with [x] — only while
+    {!enabled}, like every hot-path instrumentation point. *)
+
+val gauge_set : string -> float -> unit
+(** Like {!gauge} but unconditional: records even under the {!null}
+    sink.  For explicit sampling points ({!Probe.sample}) that only run
+    when someone asked for a snapshot — never call it from a hot
+    path. *)
 
 val counter_value : string -> float
-(** 0. if the counter was never touched. *)
+(** Current value of the counter — or, if no counter has that name,
+    the gauge — called [name]; [0.] if neither was ever touched. *)
 
 val counters : unit -> (string * float) list
-(** Sorted snapshot of all counters and gauges. *)
+(** Sorted snapshot of all counters {e and} gauges, merged — the
+    historical "everything numeric" view that bench section deltas and
+    the console sink consume.  Use {!monotonic_counters} / {!gauges}
+    when the kind matters. *)
+
+val monotonic_counters : unit -> (string * float) list
+(** Sorted snapshot of the monotonic counters only ({!add}/{!addf}). *)
+
+val gauges : unit -> (string * float) list
+(** Sorted snapshot of the gauges only ({!gauge}/{!gauge_set}). *)
 
 val reset_counters : unit -> unit
 (** Clears counters, gauges and histograms. *)
@@ -245,6 +264,15 @@ module Histogram : sig
 
   val count : t -> int
   (** Number of recorded observations. *)
+
+  val sum : t -> float
+  (** Exact sum of the finite positive observed values (tracked on the
+      side, like the max) — what OpenMetrics exposition reports as the
+      [_sum] sample. *)
+
+  val bucket_count_at : t -> int -> int
+  (** Observations in bucket [i] (raises on an out-of-range index) —
+      what exposition renders as cumulative [_bucket] samples. *)
 
   val merge : t -> t -> t
   (** [merge a b] is a fresh histogram equivalent to observing

@@ -1,0 +1,49 @@
+type rusage = { max_rss_bytes : float; user_s : float; sys_s : float }
+
+external getrusage_self : unit -> float * float * float = "mcml_obs_getrusage"
+
+let rusage () =
+  let max_rss_bytes, user_s, sys_s = getrusage_self () in
+  { max_rss_bytes; user_s; sys_s }
+
+(* Dynamic sources, guarded by their own lock: [sample] must not call
+   user code while holding the Obs lock (it is a leaf), so we snapshot
+   the source list first and evaluate outside. *)
+let sources : (string, unit -> float) Hashtbl.t = Hashtbl.create 16
+let sources_lock = Mutex.create ()
+
+let register name f =
+  Mutex.lock sources_lock;
+  Hashtbl.replace sources name f;
+  Mutex.unlock sources_lock
+
+let unregister name =
+  Mutex.lock sources_lock;
+  Hashtbl.remove sources name;
+  Mutex.unlock sources_lock
+
+let sample () =
+  let g = Gc.quick_stat () in
+  Obs.gauge_set "gc.minor_words" g.Gc.minor_words;
+  Obs.gauge_set "gc.promoted_words" g.Gc.promoted_words;
+  Obs.gauge_set "gc.major_words" g.Gc.major_words;
+  Obs.gauge_set "gc.heap_words" (float_of_int g.Gc.heap_words);
+  Obs.gauge_set "gc.compactions" (float_of_int g.Gc.compactions);
+  Obs.gauge_set "gc.minor_collections" (float_of_int g.Gc.minor_collections);
+  Obs.gauge_set "gc.major_collections" (float_of_int g.Gc.major_collections);
+  let ru = rusage () in
+  Obs.gauge_set "proc.max_rss_bytes" ru.max_rss_bytes;
+  Obs.gauge_set "proc.cpu_user_s" ru.user_s;
+  Obs.gauge_set "proc.cpu_sys_s" ru.sys_s;
+  let dyn =
+    Mutex.lock sources_lock;
+    let l = Hashtbl.fold (fun k f acc -> (k, f) :: acc) sources [] in
+    Mutex.unlock sources_lock;
+    l
+  in
+  List.iter
+    (fun (name, f) ->
+      match f () with
+      | v -> Obs.gauge_set name v
+      | exception _ -> ())
+    dyn

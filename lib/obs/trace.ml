@@ -206,6 +206,57 @@ let shape t =
   List.iter (go "") (by_name (aggregate t).a_children);
   Buffer.contents buf
 
+(* --- profiling --------------------------------------------------------- *)
+
+(* Self time: a span's duration minus the time accounted to its
+   children.  Children that overlap their parent's end (cross-domain
+   futures awaited later) could push the sum past the parent; clamp at
+   zero so totals never go negative. *)
+let span_self_ms sp =
+  let children_ms =
+    List.fold_left (fun acc c -> acc +. c.dur_ms) 0.0 sp.children
+  in
+  Float.max 0.0 (sp.dur_ms -. children_ms)
+
+let self_times t =
+  let tbl : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 64 in
+  let rec go sp =
+    let calls, self =
+      match Hashtbl.find_opt tbl sp.name with
+      | Some cell -> cell
+      | None ->
+          let cell = (ref 0, ref 0.0) in
+          Hashtbl.add tbl sp.name cell;
+          cell
+    in
+    incr calls;
+    self := !self +. span_self_ms sp;
+    List.iter go sp.children
+  in
+  List.iter go t.roots;
+  Hashtbl.fold (fun name (calls, self) acc -> (name, !calls, !self) :: acc) tbl []
+  |> List.sort (fun (na, _, sa) (nb, _, sb) ->
+         match Float.compare sb sa with 0 -> String.compare na nb | c -> c)
+
+let folded t =
+  let tbl : (string, float ref) Hashtbl.t = Hashtbl.create 64 in
+  let rec go prefix sp =
+    let path = if prefix = "" then sp.name else prefix ^ ";" ^ sp.name in
+    let cell =
+      match Hashtbl.find_opt tbl path with
+      | Some r -> r
+      | None ->
+          let r = ref 0.0 in
+          Hashtbl.add tbl path r;
+          r
+    in
+    cell := !cell +. span_self_ms sp;
+    List.iter (go path) sp.children
+  in
+  List.iter (go "") t.roots;
+  Hashtbl.fold (fun path self acc -> (path, !self) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let dur_str ms =
   if ms >= 1000.0 then Printf.sprintf "%.2fs" (ms /. 1000.0)
   else if ms >= 1.0 then Printf.sprintf "%.1fms" ms

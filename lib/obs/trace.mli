@@ -57,6 +57,22 @@ val shape : t -> string
     byte-identical across [--jobs N] settings for a deterministic
     workload. *)
 
+val self_times : t -> (string * int * float) list
+(** Per span name: [(name, calls, total self time in ms)], sorted by
+    self time descending (ties by name).  {e Self time} is a span's
+    duration minus the summed durations of its direct children,
+    clamped at zero — the "where did the time actually go" number a
+    profiler reports; summed over a forest it never exceeds, and on a
+    well-nested trace equals, the summed root durations. *)
+
+val folded : t -> (string * float) list
+(** Flamegraph-compatible folded stacks: one
+    [(root;child;…;leaf, self_ms)] pair per distinct aggregated call
+    path (same-name siblings under one parent path merge), sorted by
+    path.  Rendered as [path space value] lines this is exactly the
+    input [flamegraph.pl] and speedscope accept; the sum of all values
+    equals the sum over {!self_times}. *)
+
 val render : ?per_domain:bool -> out_channel -> t -> unit
 (** Human-readable report: the aggregated span forest (children in
     start order with call counts and total durations), the latency

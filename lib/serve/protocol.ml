@@ -10,7 +10,13 @@ type query = {
   seed : int;
 }
 
-type kind = Count of query | Accmc of query | Diffmc of query | Health | Stats
+type kind =
+  | Count of query
+  | Accmc of query
+  | Diffmc of query
+  | Health
+  | Stats
+  | Metrics of [ `Text | `Json ]
 
 type request = { id : Json.t; deadline_ms : float option; kind : kind }
 
@@ -24,6 +30,7 @@ let kind_name = function
   | Diffmc _ -> "diffmc"
   | Health -> "health"
   | Stats -> "stats"
+  | Metrics _ -> "metrics"
 
 let code_name = function
   | Bad_request -> "bad_request"
@@ -151,6 +158,14 @@ let request_of_string line =
           | Some "diffmc" -> Diffmc (query_of_json doc)
           | Some "health" -> Health
           | Some "stats" -> Stats
+          | Some "metrics" -> (
+              match get_string_opt doc "format" with
+              | None | Some "text" -> Metrics `Text
+              | Some "json" -> Metrics `Json
+              | Some other ->
+                  raise
+                    (Bad
+                       (Printf.sprintf "unknown format %S (text | json)" other)))
           | Some other -> raise (Bad (Printf.sprintf "unknown kind %S" other))
         in
         Ok { id; deadline_ms; kind }
@@ -182,6 +197,8 @@ let request_to_json { id; deadline_ms; kind } =
     match kind with
     | Count q | Accmc q | Diffmc q -> query q
     | Health | Stats -> []
+    | Metrics fmt ->
+        [ ("format", Json.Str (match fmt with `Text -> "text" | `Json -> "json")) ]
   in
   Json.Obj (base @ params @ deadline)
 

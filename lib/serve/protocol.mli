@@ -48,6 +48,11 @@ type kind =
   | Diffmc of query  (** train two DTs, then DiffMC between them *)
   | Health  (** liveness: status, jobs, in-flight, uptime *)
   | Stats  (** request totals and count-cache statistics *)
+  | Metrics of [ `Text | `Json ]
+      (** live registry scrape: the server samples the runtime probes
+          and returns an {!Mcml_obs.Metrics} snapshot — as OpenMetrics
+          text (the default; wire field ["format":"text"]) or as the
+          JSON rendering (["format":"json"]) *)
 
 type request = {
   id : Json.t;  (** echoed verbatim in the response; [Null] if absent *)
@@ -70,7 +75,7 @@ type response = {
 
 val kind_name : kind -> string
 (** Wire name of the kind: ["count"], ["accmc"], ["diffmc"],
-    ["health"], ["stats"]. *)
+    ["health"], ["stats"], ["metrics"]. *)
 
 val code_name : error_code -> string
 (** Wire name of the code: ["bad_request"], ["overloaded"],

@@ -1,5 +1,7 @@
 module Obs = Mcml_obs.Obs
 module Json = Mcml_obs.Json
+module Metrics = Mcml_obs.Metrics
+module Probe = Mcml_obs.Probe
 module Pool = Mcml_exec.Pool
 module Props = Mcml_props.Props
 module Counter = Mcml_counting.Counter
@@ -11,10 +13,18 @@ type config = {
   queue_cap : int;
   cache : bool;
   cache_capacity : int;
+  probe_interval_s : float;
 }
 
 let default_config =
-  { jobs = 1; admission = 64; queue_cap = 128; cache = true; cache_capacity = 4096 }
+  {
+    jobs = 1;
+    admission = 64;
+    queue_cap = 128;
+    cache = true;
+    cache_capacity = 4096;
+    probe_interval_s = 1.0;
+  }
 
 (* Request totals, kept as atomics (not Obs counters) so the [stats]
    response works even when no telemetry sink is installed. *)
@@ -42,34 +52,74 @@ type t = {
           threads interleave on the creating domain *)
 }
 
+(* Dynamic probe sources the server owns: registered at [create],
+   removed at [shutdown], so a [metrics] scrape always carries fresh
+   pool/cache/SLO gauges. *)
+let probe_sources = [ "serve.inflight"; "serve.uptime_s"; "exec.pool.queue_depth";
+                      "exec.count_cache.hit_ratio"; "exec.count_cache.size";
+                      "serve.slo.deadline_hit_ratio"; "serve.request.p99_ms" ]
+
+let register_probes t =
+  Probe.register "serve.inflight" (fun () ->
+      float_of_int (Atomic.get t.inflight));
+  Probe.register "serve.uptime_s" (fun () -> Obs.monotonic_s () -. t.started);
+  Probe.register "exec.pool.queue_depth" (fun () ->
+      float_of_int (Pool.queue_depth t.pool));
+  (match t.cache with
+  | None -> ()
+  | Some c ->
+      Probe.register "exec.count_cache.hit_ratio" (fun () ->
+          let s = Counter.cache_stats c in
+          let total = s.Mcml_exec.Memo.hits + s.Mcml_exec.Memo.misses in
+          if total = 0 then 1.0
+          else float_of_int s.Mcml_exec.Memo.hits /. float_of_int total);
+      Probe.register "exec.count_cache.size" (fun () ->
+          float_of_int (Counter.cache_stats c).Mcml_exec.Memo.size));
+  Probe.register "serve.slo.deadline_hit_ratio" (fun () ->
+      let total = Obs.counter_value "serve.slo.deadline_requests" in
+      if total <= 0.0 then 1.0
+      else Obs.counter_value "serve.slo.deadline_hit" /. total);
+  Probe.register "serve.request.p99_ms" (fun () ->
+      match Obs.histogram_stats "serve.request" with
+      | Some s -> s.Obs.p99
+      | None -> 0.0)
+
 let create cfg =
   let cfg = { cfg with jobs = max 1 cfg.jobs; admission = max 0 cfg.admission } in
-  {
-    cfg;
-    pool = Pool.create ~jobs:cfg.jobs ();
-    cache =
-      (if cfg.cache then Some (Counter.cache_create ~capacity:cfg.cache_capacity ())
-       else None);
-    inflight = Atomic.make 0;
-    drain_flag = Atomic.make false;
-    started = Obs.monotonic_s ();
-    totals =
-      {
-        total = Atomic.make 0;
-        ok = Atomic.make 0;
-        bad_request = Atomic.make 0;
-        overloaded = Atomic.make 0;
-        timeout = Atomic.make 0;
-        drained = Atomic.make 0;
-        internal = Atomic.make 0;
-      };
-    root_ctx = Obs.current_context ();
-  }
+  let t =
+    {
+      cfg;
+      pool = Pool.create ~jobs:cfg.jobs ();
+      cache =
+        (if cfg.cache then
+           Some (Counter.cache_create ~capacity:cfg.cache_capacity ())
+         else None);
+      inflight = Atomic.make 0;
+      drain_flag = Atomic.make false;
+      started = Obs.monotonic_s ();
+      totals =
+        {
+          total = Atomic.make 0;
+          ok = Atomic.make 0;
+          bad_request = Atomic.make 0;
+          overloaded = Atomic.make 0;
+          timeout = Atomic.make 0;
+          drained = Atomic.make 0;
+          internal = Atomic.make 0;
+        };
+      root_ctx = Obs.current_context ();
+    }
+  in
+  register_probes t;
+  t
 
 let jobs t = Pool.jobs t.pool
 let drain t = Atomic.set t.drain_flag true
 let draining t = Atomic.get t.drain_flag
-let shutdown t = Pool.shutdown t.pool
+
+let shutdown t =
+  List.iter Probe.unregister probe_sources;
+  Pool.shutdown t.pool
 
 (* Every response the server produces passes through here exactly once:
    totals for [stats], mirrored to Obs counters for traces. *)
@@ -89,7 +139,9 @@ let record t (resp : Protocol.response) =
         | Protocol.Internal -> t.totals.internal
       in
       Atomic.incr cell;
-      Obs.add ("serve.requests." ^ Protocol.code_name code) 1);
+      Obs.add ("serve.requests." ^ Protocol.code_name code) 1;
+      if code = Protocol.Overloaded then
+        Obs.add "serve.slo.overload_rejections" 1);
   resp
 
 (* --- request execution -------------------------------------------------- *)
@@ -297,6 +349,21 @@ let stats_json t =
       ("cache", cache_stats_json t);
     ]
 
+(* A [metrics] scrape: sample the probes first so the GC/rusage and
+   dynamic gauges in the snapshot are current, not last-tick stale. *)
+let metrics_json fmt =
+  Probe.sample ();
+  let snap = Metrics.snapshot () in
+  match fmt with
+  | `Json -> Ok (Metrics.to_json snap)
+  | `Text ->
+      Ok
+        (Json.Obj
+           [
+             ("format", Json.Str "openmetrics");
+             ("exposition", Json.Str (Metrics.to_openmetrics snap));
+           ])
+
 (* Execute one request under a [serve.request] span; [ctx] (when given)
    pins the span's parent explicitly — the connection span — so request
    spans parent correctly however systhreads interleave on one domain. *)
@@ -319,12 +386,26 @@ let execute_in t ?ctx ~deadline (req : Protocol.request) =
              match req.Protocol.kind with
              | Protocol.Health -> Ok (health_json t)
              | Protocol.Stats -> Ok (stats_json t)
+             | Protocol.Metrics fmt -> metrics_json fmt
              | Protocol.Count q -> run_count t ~deadline q
              | Protocol.Accmc q -> run_accmc t ~deadline q
              | Protocol.Diffmc q -> run_diffmc t ~deadline q
            with e -> Error (Protocol.Internal, Printexc.to_string e)))
   in
   (match ctx with None -> run () | Some ctx -> Obs.with_context ctx run);
+  (* SLO accounting: a deadlined request that came back [Ok] met its
+     deadline; one that timed out (expired before start or exhausted
+     the clamped budget) missed it.  Other errors say nothing about
+     the deadline and count as neither. *)
+  (match req.Protocol.deadline_ms with
+  | None -> ()
+  | Some ms ->
+      Obs.add "serve.slo.deadline_requests" 1;
+      Obs.observe "serve.deadline_ms" ms;
+      (match !body with
+      | Ok _ -> Obs.add "serve.slo.deadline_hit" 1
+      | Error (Protocol.Timeout, _) -> Obs.add "serve.slo.deadline_miss" 1
+      | Error _ -> ()));
   record t { Protocol.rid = req.Protocol.id; body = !body }
 
 let execute t (req : Protocol.request) =
@@ -460,7 +541,7 @@ let handle_connection t ~input ~output =
                         "server is draining"))
               else (
                 match req.Protocol.kind with
-                | Protocol.Health | Protocol.Stats ->
+                | Protocol.Health | Protocol.Stats | Protocol.Metrics _ ->
                     Now (execute_in t ~ctx:conn_ctx ~deadline:None req)
                 | Protocol.Count _ | Protocol.Accmc _ | Protocol.Diffmc _ ->
                     (* fetch-and-add keeps the admission check exact
@@ -515,8 +596,18 @@ let serve_unix t ~path =
   Unix.listen lfd 64;
   let conns = ref [] in
   let cm = Mutex.create () in
+  (* the accept loop doubles as the probe ticker: it already wakes
+     every 50ms to poll the drain flag, so GC/rusage/pool gauges stay
+     at most [probe_interval_s] stale even while no client scrapes *)
+  let last_probe = ref neg_infinity in
   let rec accept_loop () =
     if not (Atomic.get t.drain_flag) then begin
+      (if t.cfg.probe_interval_s > 0.0 then
+         let now = Obs.monotonic_s () in
+         if now -. !last_probe >= t.cfg.probe_interval_s then begin
+           last_probe := now;
+           Probe.sample ()
+         end);
       (match Unix.select [ lfd ] [] [] 0.05 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | [], _, _ -> ()

@@ -41,7 +41,23 @@
     every request executes inside a [serve.request] span that parents
     under it (across domains, via the pool's context capture), so a
     [--trace] of a busy server replays as a well-formed forest with
-    [mcml stats --from-trace].  Counters: [serve.requests.*]. *)
+    [mcml stats --from-trace].  Counters: [serve.requests.*], plus the
+    SLO family [serve.slo.*] — [deadline_requests]/[deadline_hit]/
+    [deadline_miss] for requests that carried a [deadline_ms]
+    ([hit] = answered [Ok], [miss] = [timeout]) and
+    [overload_rejections] — and the [serve.deadline_ms] histogram of
+    requested deadlines (compare its spread against the
+    [serve.request] latency histogram's p99).
+
+    {b Live metrics.}  A [metrics] request answers with an
+    {!Mcml_obs.Metrics} snapshot of the whole registry (sampling the
+    runtime probes first), independent of any sink flush.  At
+    {!create} the server registers dynamic probe sources — pool queue
+    depth, in-flight count, count-cache hit ratio and size, deadline
+    hit ratio, [serve.request] p99 — which {!shutdown} removes;
+    {!serve_unix} additionally samples every
+    [config.probe_interval_s] seconds so gauges stay fresh between
+    scrapes. *)
 
 type config = {
   jobs : int;  (** pool workers; [<= 1] executes inline on the reader *)
@@ -54,11 +70,15 @@ type config = {
           a full queue blocks the reader (socket backpressure) *)
   cache : bool;  (** share one count cache across all requests *)
   cache_capacity : int;  (** entries, FIFO-evicted ({!Mcml_exec.Memo}) *)
+  probe_interval_s : float;
+      (** minimum seconds between periodic {!Mcml_obs.Probe.sample}
+          ticks in {!serve_unix}'s accept loop ([<= 0.] disables the
+          ticker; a [metrics] request still samples on demand) *)
 }
 
 val default_config : config
 (** [jobs = 1], [admission = 64], [queue_cap = 128], [cache = true],
-    [cache_capacity = 4096]. *)
+    [cache_capacity = 4096], [probe_interval_s = 1.0]. *)
 
 type t
 

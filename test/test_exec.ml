@@ -257,6 +257,60 @@ let trace_shape_matches_sequential () =
   in
   check Alcotest.string "same span forest shape at jobs=1 and jobs=4" (shape p1) (shape p4)
 
+let trace_profile_folded () =
+  let open Mcml_obs in
+  with_temp_trace @@ fun path ->
+  traced_run ~jobs:1 path;
+  match Trace.load path with
+  | Error errs ->
+      Alcotest.failf "trace invalid:\n%s" (String.concat "\n" errs)
+  | Ok t ->
+      let selfs = Trace.self_times t in
+      let folded = Trace.folded t in
+      check Alcotest.bool "has self-time rows" true (selfs <> []);
+      List.iter
+        (fun (_, calls, self) ->
+          check Alcotest.bool "calls positive" true (calls > 0);
+          check Alcotest.bool "self time non-negative" true (self >= 0.0))
+        selfs;
+      let rec desc = function
+        | (_, _, a) :: ((_, _, b) :: _ as rest) -> a >= b && desc rest
+        | _ -> true
+      in
+      check Alcotest.bool "self_times sorted by self time desc" true (desc selfs);
+      (* the profiler's accounting identity: folded stacks carry the
+         same total self time the flat table reports, and neither
+         exceeds the wall time of the roots *)
+      let total_self = List.fold_left (fun a (_, _, s) -> a +. s) 0.0 selfs in
+      let total_folded = List.fold_left (fun a (_, s) -> a +. s) 0.0 folded in
+      check Alcotest.bool "folded accounts for >= 99% of self time" true
+        (total_self > 0.0 && total_folded >= 0.99 *. total_self);
+      check Alcotest.bool "folded never exceeds self time" true
+        (total_folded <= total_self +. 1e-6);
+      let root_ms =
+        List.fold_left (fun a r -> a +. r.Trace.dur_ms) 0.0 t.Trace.roots
+      in
+      check Alcotest.bool "self time bounded by root wall time" true
+        (total_self <= root_ms +. 1e-6);
+      (* every folded path is well-formed: sorted, unique, and its leaf
+         names a span the flat table knows *)
+      let paths = List.map fst folded in
+      check Alcotest.bool "paths sorted and unique" true
+        (paths = List.sort_uniq compare paths);
+      List.iter
+        (fun (p, _) ->
+          check Alcotest.bool "non-empty path" true (String.length p > 0);
+          let leaf =
+            match String.rindex_opt p ';' with
+            | Some i -> String.sub p (i + 1) (String.length p - i - 1)
+            | None -> p
+          in
+          check Alcotest.bool
+            (Printf.sprintf "leaf %S is a known span name" leaf)
+            true
+            (List.exists (fun (n, _, _) -> n = leaf) selfs))
+        folded
+
 let () =
   Alcotest.run "mcml_exec"
     [
@@ -288,5 +342,6 @@ let () =
         [
           Alcotest.test_case "jobs=4 trace well-formed" `Slow trace_well_formed_at_jobs4;
           Alcotest.test_case "forest shape = sequential" `Slow trace_shape_matches_sequential;
+          Alcotest.test_case "profiler folded stacks" `Slow trace_profile_folded;
         ] );
     ]

@@ -328,6 +328,20 @@ let hist_merge_diff () =
   (* the copy is independent of the original *)
   check Alcotest.int "copy unaffected" 50 (H.count snap)
 
+let hist_sum () =
+  let module H = Obs.Histogram in
+  let h = H.create () in
+  check (Alcotest.float 1e-12) "empty sum" 0.0 (H.sum h);
+  H.observe h 1.5;
+  H.observe h 2.5;
+  check (Alcotest.float 1e-9) "sum accumulates" 4.0 (H.sum h);
+  let snap = H.copy h in
+  H.observe h 10.0;
+  check (Alcotest.float 1e-9) "copy's sum is independent" 4.0 (H.sum snap);
+  check (Alcotest.float 1e-9) "diff recovers the interval's sum" 10.0
+    (H.sum (H.diff h snap));
+  check (Alcotest.float 1e-9) "merge adds sums" 18.0 (H.sum (H.merge h snap))
+
 let observe_and_flush_histograms () =
   with_clean_obs @@ fun () ->
   let sink, events = recording () in
@@ -356,6 +370,201 @@ let observe_and_flush_histograms () =
   check Alcotest.int "changed histogram re-emitted" 2 (List.length hist_events);
   Obs.reset_counters ();
   check Alcotest.int "reset clears histograms" 0 (List.length (Obs.histograms ()))
+
+(* --- counter/gauge registry split ----------------------------------------------- *)
+
+let registry_split () =
+  with_clean_obs @@ fun () ->
+  Obs.set_sink (Obs.stats_only ());
+  Obs.add "req.ok" 3;
+  Obs.gauge "pool.depth" 2.0;
+  Obs.gauge "pool.depth" 5.0;
+  check
+    Alcotest.(list (pair string (float 1e-9)))
+    "monotonic counters" [ ("req.ok", 3.0) ]
+    (Obs.monotonic_counters ());
+  check
+    Alcotest.(list (pair string (float 1e-9)))
+    "gauges" [ ("pool.depth", 5.0) ] (Obs.gauges ());
+  (* the merged view spans both tables, still sorted *)
+  check
+    Alcotest.(list (pair string (float 1e-9)))
+    "merged view"
+    [ ("pool.depth", 5.0); ("req.ok", 3.0) ]
+    (Obs.counters ());
+  check floatc "counter_value reads gauges too" 5.0 (Obs.counter_value "pool.depth");
+  Obs.reset_counters ();
+  check Alcotest.int "reset clears counters" 0 (List.length (Obs.monotonic_counters ()));
+  check Alcotest.int "reset clears gauges" 0 (List.length (Obs.gauges ()))
+
+let gauge_set_bypasses_sink () =
+  with_clean_obs @@ fun () ->
+  check Alcotest.bool "null sink installed" false (Obs.enabled ());
+  Obs.gauge "g" 1.0;
+  (* conditional: dropped *)
+  Obs.gauge_set "g" 7.0;
+  (* unconditional: recorded even under the null sink *)
+  check floatc "gauge_set recorded" 7.0 (Obs.counter_value "g");
+  check
+    Alcotest.(list (pair string (float 1e-9)))
+    "listed as a gauge" [ ("g", 7.0) ] (Obs.gauges ());
+  check Alcotest.int "not a counter" 0 (List.length (Obs.monotonic_counters ()))
+
+(* --- metrics exposition ---------------------------------------------------------- *)
+
+let metric_name_sanitized () =
+  check Alcotest.string "dots become underscores" "mcml_serve_requests_ok"
+    (Metrics.metric_name "serve.requests.ok");
+  check Alcotest.string "arbitrary chars sanitized" "mcml_a_b_c:d"
+    (Metrics.metric_name "a-b c:d")
+
+let metrics_exposition_roundtrip () =
+  with_clean_obs @@ fun () ->
+  Obs.set_sink (Obs.stats_only ());
+  Obs.add "serve.requests.ok" 42;
+  Obs.gauge "gc.heap_words" 786432.0;
+  Obs.observe "serve.request" 0.5;
+  Obs.observe "serve.request" 1.5;
+  let snap = Metrics.snapshot () in
+  check Alcotest.int "one counter" 1 (List.length snap.Metrics.counters);
+  check Alcotest.int "one gauge" 1 (List.length snap.Metrics.gauges);
+  check Alcotest.int "one histogram" 1 (List.length snap.Metrics.histograms);
+  let text = Metrics.to_openmetrics snap in
+  (match Metrics.lint text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "lint rejected our own exposition: %s" e);
+  let lines = String.split_on_char '\n' text in
+  let has l =
+    check Alcotest.bool (Printf.sprintf "line %S present" l) true (List.mem l lines)
+  in
+  has "# TYPE mcml_serve_requests_ok counter";
+  has "mcml_serve_requests_ok_total 42";
+  has "# TYPE mcml_gc_heap_words gauge";
+  has "mcml_gc_heap_words 786432";
+  has "# TYPE mcml_serve_request histogram";
+  has {|mcml_serve_request_bucket{le="+Inf"} 2|};
+  has "mcml_serve_request_count 2";
+  has "mcml_serve_request_sum 2";
+  (* cumulative buckets: the last finite bucket already accounts for
+     every observation *)
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if
+          String.length l > 0
+          && String.starts_with ~prefix:"mcml_serve_request_bucket{le=\"" l
+          && not (String.starts_with ~prefix:{|mcml_serve_request_bucket{le="+Inf"|} l)
+        then
+          match String.rindex_opt l ' ' with
+          | Some sp ->
+              int_of_string_opt
+                (String.sub l (sp + 1) (String.length l - sp - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  check Alcotest.bool "finite buckets are cumulative" true
+    (bucket_counts = List.sort compare bucket_counts);
+  check Alcotest.(option int) "last finite bucket covers all" (Some 2)
+    (match List.rev bucket_counts with c :: _ -> Some c | [] -> None);
+  check Alcotest.bool "ends with # EOF" true
+    (match List.rev lines with "" :: "# EOF" :: _ -> true | _ -> false);
+  (* two renderings of one snapshot agree (it is a copy, not a view) *)
+  Obs.add "serve.requests.ok" 1;
+  check Alcotest.string "snapshot is immutable" text (Metrics.to_openmetrics snap)
+
+let metrics_json_rendering () =
+  with_clean_obs @@ fun () ->
+  Obs.set_sink (Obs.stats_only ());
+  Obs.add "c" 3;
+  Obs.gauge "g" 1.5;
+  Obs.observe "h" 2.0;
+  let j = Metrics.to_json (Metrics.snapshot ()) in
+  check Alcotest.bool "schema tag" true
+    (Json.member "schema" j = Some (Json.Str "mcml.metrics.v1"));
+  check Alcotest.bool "has ts" true
+    (Option.is_some (Option.bind (Json.member "ts" j) Json.to_float_opt));
+  let num section name =
+    Option.bind (Json.member section j) (fun s ->
+        Option.bind (Json.member name s) Json.to_float_opt)
+  in
+  check Alcotest.(option (float 1e-9)) "counter by original name" (Some 3.0)
+    (num "counters" "c");
+  check Alcotest.(option (float 1e-9)) "gauge by original name" (Some 1.5)
+    (num "gauges" "g");
+  match Option.bind (Json.member "histograms" j) (Json.member "h") with
+  | None -> Alcotest.fail "histogram missing from JSON rendering"
+  | Some hj ->
+      check Alcotest.bool "histogram count" true
+        (Json.member "count" hj = Some (Json.Int 1));
+      check Alcotest.(option (float 1e-9)) "histogram sum" (Some 2.0)
+        (Option.bind (Json.member "sum" hj) Json.to_float_opt);
+      check Alcotest.bool "histogram p99" true
+        (Option.is_some (Option.bind (Json.member "p99_ms" hj) Json.to_float_opt))
+
+let metrics_lint_rejects () =
+  List.iter
+    (fun (label, text) ->
+      check Alcotest.bool label true (Result.is_error (Metrics.lint text)))
+    [
+      ("missing # EOF", "# TYPE mcml_x counter\nmcml_x_total 1\n");
+      ("sample without declaration", "mcml_x_total 1\n# EOF\n");
+      ("counter sample without _total", "# TYPE mcml_x counter\nmcml_x 1\n# EOF\n");
+      ("gauge sample with _total", "# TYPE mcml_x gauge\nmcml_x_total 1\n# EOF\n");
+      ("unparseable value", "# TYPE mcml_x gauge\nmcml_x pony\n# EOF\n");
+      ("text after # EOF", "# EOF\nmcml_x 1\n");
+      ("invalid family name", "# TYPE mcml-x counter\nmcml-x_total 1\n# EOF\n");
+      ("duplicate family", "# TYPE mcml_x gauge\n# TYPE mcml_x gauge\nmcml_x 1\n# EOF\n");
+      ("malformed labels", "# TYPE mcml_x histogram\nmcml_x_bucket{le=\"1\" 2\n# EOF\n");
+      ("blank line", "# TYPE mcml_x gauge\n\nmcml_x 1\n# EOF\n");
+      ("empty exposition", "");
+    ];
+  check Alcotest.bool "empty snapshot still lints" true
+    (Result.is_ok
+       (Metrics.lint
+          (Metrics.to_openmetrics
+             { Metrics.taken_at = 0.0; counters = []; gauges = []; histograms = [] })))
+
+(* --- runtime probes --------------------------------------------------------------- *)
+
+let probe_builtin_gauges () =
+  with_clean_obs @@ fun () ->
+  (* sampling records even under the null sink: it is an explicit act *)
+  Probe.sample ();
+  let g = Obs.counter_value in
+  check Alcotest.bool "gc.heap_words positive" true (g "gc.heap_words" > 0.0);
+  check Alcotest.bool "gc.minor_words positive" true (g "gc.minor_words" > 0.0);
+  check Alcotest.bool "proc.max_rss_bytes positive" true (g "proc.max_rss_bytes" > 0.0);
+  check Alcotest.bool "proc.cpu_user_s non-negative" true (g "proc.cpu_user_s" >= 0.0);
+  (* every built-in lands in the gauge table, none in the counters *)
+  check Alcotest.int "no monotonic counters" 0 (List.length (Obs.monotonic_counters ()));
+  check Alcotest.bool "gauges listed" true (List.mem_assoc "gc.heap_words" (Obs.gauges ()));
+  let ru = Probe.rusage () in
+  check Alcotest.bool "rusage max_rss positive" true (ru.Probe.max_rss_bytes > 0.0);
+  check Alcotest.bool "rusage cpu times non-negative" true
+    (ru.Probe.user_s >= 0.0 && ru.Probe.sys_s >= 0.0)
+
+let probe_dynamic_sources () =
+  with_clean_obs @@ fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      Probe.unregister "test.answer";
+      Probe.unregister "test.boom")
+  @@ fun () ->
+  Probe.register "test.answer" (fun () -> 42.0);
+  Probe.register "test.boom" (fun () -> failwith "dying subsystem");
+  Probe.sample ();
+  check floatc "dynamic source sampled" 42.0 (Obs.counter_value "test.answer");
+  check floatc "raising source skipped, scrape survives" 0.0
+    (Obs.counter_value "test.boom");
+  Probe.register "test.answer" (fun () -> 43.0);
+  Probe.sample ();
+  check floatc "register replaces" 43.0 (Obs.counter_value "test.answer");
+  Probe.unregister "test.answer";
+  Obs.reset_counters ();
+  Probe.sample ();
+  check floatc "unregistered source no longer sampled" 0.0
+    (Obs.counter_value "test.answer")
 
 (* --- event JSON round-trip ------------------------------------------------------ *)
 
@@ -444,13 +653,28 @@ let () =
         [
           Alcotest.test_case "accumulation" `Quick counters_accumulate;
           Alcotest.test_case "flush dedup" `Quick flush_emits_counter_deltas_once;
+          Alcotest.test_case "counter/gauge split" `Quick registry_split;
+          Alcotest.test_case "gauge_set under null sink" `Quick gauge_set_bypasses_sink;
         ] );
       ( "histograms",
         [
           Alcotest.test_case "bucket boundaries" `Quick hist_bucket_boundaries;
           Alcotest.test_case "percentiles" `Quick hist_percentiles;
           Alcotest.test_case "merge/diff/copy" `Quick hist_merge_diff;
+          Alcotest.test_case "sum" `Quick hist_sum;
           Alcotest.test_case "observe and flush" `Quick observe_and_flush_histograms;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "metric_name" `Quick metric_name_sanitized;
+          Alcotest.test_case "exposition round-trip" `Quick metrics_exposition_roundtrip;
+          Alcotest.test_case "json rendering" `Quick metrics_json_rendering;
+          Alcotest.test_case "lint rejections" `Quick metrics_lint_rejects;
+        ] );
+      ( "probes",
+        [
+          Alcotest.test_case "built-in gauges" `Quick probe_builtin_gauges;
+          Alcotest.test_case "dynamic sources" `Quick probe_dynamic_sources;
         ] );
       ("null sink", [ Alcotest.test_case "inert" `Quick null_sink_is_inert ]);
       ( "sink swap",

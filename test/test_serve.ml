@@ -61,6 +61,8 @@ let proto_roundtrip_all_kinds () =
       | Protocol.Diffmc a, Protocol.Diffmc b ->
           check_query a b
       | Protocol.Health, Protocol.Health | Protocol.Stats, Protocol.Stats -> ()
+      | Protocol.Metrics a, Protocol.Metrics b ->
+          check Alcotest.bool "metrics format preserved" true (a = b)
       | _ -> Alcotest.fail "kind changed across the round-trip")
     [
       Protocol.Count q;
@@ -68,6 +70,8 @@ let proto_roundtrip_all_kinds () =
       Protocol.Diffmc (mk_query ~backend:Mcml_counting.Counter.Brute "Reflexive");
       Protocol.Health;
       Protocol.Stats;
+      Protocol.Metrics `Text;
+      Protocol.Metrics `Json;
     ]
 
 let proto_response_roundtrip () =
@@ -101,6 +105,12 @@ let proto_malformed () =
   expect_bad "{\"kind\":\"count\",\"prop\":\"Reflexive\",\"scope\":0}";
   expect_bad "{\"kind\":\"count\",\"prop\":\"Reflexive\",\"budget_s\":0}";
   expect_bad "[1,2,3]";                                   (* not an object *)
+  expect_bad "{\"kind\":\"metrics\",\"format\":\"xml\"}"; (* unknown format *)
+  (* an absent format defaults to the text exposition *)
+  (match Protocol.request_of_string "{\"kind\":\"metrics\"}" with
+  | Ok { Protocol.kind = Protocol.Metrics `Text; _ } -> ()
+  | Ok _ -> Alcotest.fail "bare metrics request did not default to text"
+  | Error (_, msg) -> Alcotest.failf "bare metrics request rejected: %s" msg);
   (* the id still comes back on a rejected request when extractable *)
   match Protocol.request_of_string "{\"id\":9,\"kind\":\"frobnicate\"}" with
   | Error (Json.Int 9, _) -> ()
@@ -257,6 +267,112 @@ let admission_zero_rejects () =
       check Alcotest.string "counting request rejected" "overloaded" (code_of r1);
       check Alcotest.string "admin kind still answered" "ok" (code_of r2))
 
+(* ---------------------------------------------------------------------- *)
+(* Live metrics and SLO accounting                                         *)
+(* ---------------------------------------------------------------------- *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let metrics_request_scrapes_registry () =
+  with_server (fun srv ->
+      let conn = connect srv in
+      (* prime the registry with one real request first *)
+      send conn "{\"id\":1,\"kind\":\"count\",\"prop\":\"Reflexive\",\"scope\":3}";
+      send conn "{\"id\":2,\"kind\":\"metrics\"}";
+      send conn "{\"id\":3,\"kind\":\"metrics\",\"format\":\"json\"}";
+      send conn "{\"id\":4,\"kind\":\"metrics\",\"format\":\"xml\"}";
+      let r1 = recv conn and r2 = recv conn and r3 = recv conn and r4 = recv conn in
+      finish conn;
+      check Alcotest.string "count answered" "ok" (code_of r1);
+      (* text format: a lint-clean exposition carrying the probe gauges
+         and the server's dynamic sources, live — no flush happened *)
+      (match (result_member r2 "format", result_member r2 "exposition") with
+      | Json.Str "openmetrics", Json.Str text ->
+          (match Mcml_obs.Metrics.lint text with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "served exposition fails lint: %s" e);
+          List.iter
+            (fun family ->
+              check Alcotest.bool (Printf.sprintf "exposes %s" family) true
+                (contains text family))
+            [
+              "mcml_gc_heap_words";
+              "mcml_proc_max_rss_bytes";
+              "mcml_exec_pool_queue_depth";
+              "mcml_serve_inflight";
+              "mcml_serve_slo_deadline_hit_ratio";
+            ]
+      | f, e ->
+          Alcotest.failf "unexpected metrics payload: %s / %s" (Json.to_string f)
+            (Json.to_string e));
+      (* json format: the schema-tagged rendering *)
+      (match result_member r3 "schema" with
+      | Json.Str "mcml.metrics.v1" -> ()
+      | other -> Alcotest.failf "metrics json schema: %s" (Json.to_string other));
+      check Alcotest.string "unknown format rejected" "bad_request" (code_of r4))
+
+let slo_counters_accumulate () =
+  let module Obs = Mcml_obs.Obs in
+  Obs.set_sink (Obs.stats_only ());
+  Obs.reset_counters ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink Obs.null;
+      Obs.reset_counters ())
+  @@ fun () ->
+  with_server (fun srv ->
+      let count ?deadline_ms prop scope =
+        Server.execute srv
+          {
+            Protocol.id = Json.Null;
+            deadline_ms;
+            kind = Protocol.Count (mk_query ~scope ~budget:30.0 prop);
+          }
+      in
+      (* no deadline: no SLO accounting at all *)
+      check Alcotest.string "undeadlined ok" "ok" (code_of (count "Reflexive" 3));
+      check (Alcotest.float 1e-9) "no deadline, no slo" 0.0
+        (Obs.counter_value "serve.slo.deadline_requests");
+      (* a generous deadline is met; one already expired at execution
+         (clamped budget ~1µs, blown by the first deadline tick) misses *)
+      check Alcotest.string "hit" "ok"
+        (code_of (count ~deadline_ms:60000.0 "Reflexive" 3));
+      check Alcotest.string "miss" "timeout"
+        (code_of (count ~deadline_ms:0.001 "PartialOrder" 4));
+      check (Alcotest.float 1e-9) "two deadlined requests" 2.0
+        (Obs.counter_value "serve.slo.deadline_requests");
+      check (Alcotest.float 1e-9) "one hit" 1.0
+        (Obs.counter_value "serve.slo.deadline_hit");
+      check (Alcotest.float 1e-9) "one miss" 1.0
+        (Obs.counter_value "serve.slo.deadline_miss");
+      (* the requested deadlines landed in the serve.deadline_ms histogram *)
+      match Obs.histogram_stats "serve.deadline_ms" with
+      | Some s -> check Alcotest.int "deadline histogram count" 2 s.Mcml_obs.Obs.count
+      | None -> Alcotest.fail "serve.deadline_ms histogram missing")
+
+let overload_rejections_counted () =
+  let module Obs = Mcml_obs.Obs in
+  Obs.set_sink (Obs.stats_only ());
+  Obs.reset_counters ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink Obs.null;
+      Obs.reset_counters ())
+  @@ fun () ->
+  with_server
+    ~cfg:{ Server.default_config with Server.admission = 0 }
+    (fun srv ->
+      let conn = connect srv in
+      send conn "{\"id\":1,\"kind\":\"count\",\"prop\":\"Reflexive\",\"scope\":3}";
+      let r1 = recv conn in
+      finish conn;
+      check Alcotest.string "rejected" "overloaded" (code_of r1);
+      check (Alcotest.float 1e-9) "rejection counted against the SLO" 1.0
+        (Obs.counter_value "serve.slo.overload_rejections"))
+
 let drain_completes_in_flight () =
   with_server (fun srv ->
       (* a real SIGTERM, delivered to this process, must end the serve
@@ -317,6 +433,14 @@ let () =
             deadline_expiry_keeps_connection;
           Alcotest.test_case "admission=0 sheds counting load" `Quick
             admission_zero_rejects;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "metrics request scrapes the registry" `Quick
+            metrics_request_scrapes_registry;
+          Alcotest.test_case "SLO counters" `Quick slo_counters_accumulate;
+          Alcotest.test_case "overload rejections counted" `Quick
+            overload_rejections_counted;
         ] );
       ( "drain",
         [
