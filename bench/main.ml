@@ -334,7 +334,13 @@ let write_json path ~seed ~budget ~jobs ~cache ~baseline ~total =
    difference, so the gap is the serving overhead.  Latencies go into
    local histograms (usable without any telemetry sink installed); the
    summary lands in --json under the optional "serve" key. *)
-let serve_requests ~budget ~seed =
+(* [jitter] > 0 perturbs each request's budget by [jitter * id]: the
+   budget is part of the count-cache key (printed %h, so any float
+   difference separates keys), which turns the workload into pure
+   cache-miss traffic — every request really counts.  The fleet bench
+   needs that: identical requests would be absorbed by single-flight
+   and the shard memos instead of exercising the shards. *)
+let serve_requests ?(jitter = 0.0) ~budget ~seed () =
   let props =
     List.map Props.find_exn
       [ "Reflexive"; "Irreflexive"; "Antisymmetric"; "Transitive"; "PartialOrder" ]
@@ -347,9 +353,9 @@ let serve_requests ~budget ~seed =
               (fun scope ->
                 List.mapi
                   (fun i prop ->
+                    let id = (round * 100) + (scope * 10) + i in
                     {
-                      Mcml_serve.Protocol.id =
-                        Mcml_obs.Json.Int ((round * 100) + (scope * 10) + i);
+                      Mcml_serve.Protocol.id = Mcml_obs.Json.Int id;
                       deadline_ms = None;
                       kind =
                         Mcml_serve.Protocol.Count
@@ -359,7 +365,7 @@ let serve_requests ~budget ~seed =
                             symmetry = false;
                             negate = false;
                             backend = Mcml_counting.Counter.Exact;
-                            budget;
+                            budget = budget +. (jitter *. float_of_int id);
                             seed;
                           };
                     })
@@ -384,7 +390,7 @@ let run_serve ~jobs ~budget ~seed ~use_cache =
   let open Mcml_obs in
   let open Mcml_serve in
   let now = Obs.monotonic_s in
-  let reqs = serve_requests ~budget ~seed in
+  let reqs = serve_requests ~budget ~seed () in
   let n = List.length reqs in
   let fail_on_error (resp : Protocol.response) =
     match resp.Protocol.body with
@@ -511,6 +517,223 @@ let run_serve ~jobs ~budget ~seed ~use_cache =
                  ("wall_s", Json.Float pipelined_wall);
                  ("throughput_rps", Json.Float (rps pipelined_wall));
                ] );
+         ])
+
+(* ---------------------------------------------------------------------- *)
+(* Fleet-mode serve benchmark (--serve --fleet)                            *)
+(* ---------------------------------------------------------------------- *)
+
+(* One in-process counting shard behind its own domain: the dispatch
+   hook hands a request to the shard's queue and blocks until the
+   domain has executed it.  Domains (not systhreads) so the shards'
+   compute actually runs in parallel where cores exist — the same
+   reason [mcml fleet] uses processes. *)
+type fleet_job = {
+  fj_req : Mcml_serve.Protocol.request;
+  mutable fj_resp : Mcml_serve.Protocol.response option;
+  fj_m : Mutex.t;
+  fj_cv : Condition.t;
+}
+
+type fleet_worker = {
+  fw_srv : Mcml_serve.Server.t;
+  fw_q : fleet_job Queue.t;
+  fw_m : Mutex.t;
+  fw_cv : Condition.t;
+  mutable fw_stop : bool;
+}
+
+let fleet_worker_create ~use_cache =
+  let open Mcml_serve in
+  let srv = Server.create { Server.default_config with Server.cache = use_cache } in
+  let w =
+    {
+      fw_srv = srv;
+      fw_q = Queue.create ();
+      fw_m = Mutex.create ();
+      fw_cv = Condition.create ();
+      fw_stop = false;
+    }
+  in
+  let dom =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          Mutex.lock w.fw_m;
+          let rec next () =
+            if not (Queue.is_empty w.fw_q) then Some (Queue.pop w.fw_q)
+            else if w.fw_stop then None
+            else begin
+              Condition.wait w.fw_cv w.fw_m;
+              next ()
+            end
+          in
+          let job = next () in
+          Mutex.unlock w.fw_m;
+          match job with
+          | None -> ()
+          | Some j ->
+              let resp =
+                try Server.execute srv j.fj_req
+                with e ->
+                  Protocol.err ~id:j.fj_req.Protocol.id Protocol.Internal
+                    (Printexc.to_string e)
+              in
+              Mutex.lock j.fj_m;
+              j.fj_resp <- Some resp;
+              Condition.broadcast j.fj_cv;
+              Mutex.unlock j.fj_m;
+              loop ()
+        in
+        loop ())
+  in
+  (w, dom)
+
+let fleet_worker_stop (w, dom) =
+  Mutex.lock w.fw_m;
+  w.fw_stop <- true;
+  Condition.broadcast w.fw_cv;
+  Mutex.unlock w.fw_m;
+  Domain.join dom;
+  Mcml_serve.Server.shutdown w.fw_srv
+
+let fleet_dispatch workers shard req =
+  let w, _ = workers.(shard) in
+  let j =
+    { fj_req = req; fj_resp = None; fj_m = Mutex.create (); fj_cv = Condition.create () }
+  in
+  Mutex.lock w.fw_m;
+  Queue.push j w.fw_q;
+  Condition.signal w.fw_cv;
+  Mutex.unlock w.fw_m;
+  Mutex.lock j.fj_m;
+  while j.fj_resp = None do
+    Condition.wait j.fj_cv j.fj_m
+  done;
+  Mutex.unlock j.fj_m;
+  Option.get j.fj_resp
+
+let run_fleet_serve ~shards ~budget ~seed ~use_cache =
+  banner
+    (Printf.sprintf "serve fleet mode: %d-shard router vs one server, cache-miss traffic"
+       shards);
+  let open Mcml_obs in
+  let open Mcml_serve in
+  let module Router = Mcml_fleet.Router in
+  let now = Obs.monotonic_s in
+  let reqs = serve_requests ~jitter:1e-9 ~budget ~seed () in
+  let n = List.length reqs in
+  (* pipeline the whole list through one JSONL connection: write every
+     request, half-close, read every response — the fleet's burst shape *)
+  let pipeline handle =
+    let sfd, cfd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let handler =
+      Thread.create
+        (fun () ->
+          let oc = Unix.out_channel_of_descr sfd in
+          (handle ~input:sfd ~output:oc : unit);
+          try close_out oc with Sys_error _ -> ())
+        ()
+    in
+    let ic = Unix.in_channel_of_descr cfd in
+    let oc = Unix.out_channel_of_descr cfd in
+    let t0 = now () in
+    List.iter
+      (fun r ->
+        output_string oc (Json.to_string (Protocol.request_to_json r));
+        output_char oc '\n')
+      reqs;
+    flush oc;
+    Unix.shutdown cfd Unix.SHUTDOWN_SEND;
+    let resps =
+      List.map
+        (fun _ ->
+          match Protocol.response_of_string (input_line ic) with
+          | Ok resp -> resp
+          | Error msg ->
+              Format.eprintf "bench: malformed fleet response: %s@." msg;
+              exit 2)
+        reqs
+    in
+    let w = now () -. t0 in
+    Thread.join handler;
+    close_in_noerr ic;
+    (w, resps)
+  in
+  (* the answers that matter: id -> count, errors are a bench failure *)
+  let counts resps =
+    List.map
+      (fun (r : Protocol.response) ->
+        match r.Protocol.body with
+        | Error (code, msg) ->
+            Format.eprintf "bench: fleet request %s failed (%s): %s@."
+              (Json.to_string r.Protocol.rid) (Protocol.code_name code) msg;
+            exit 2
+        | Ok payload ->
+            let c =
+              match Json.member "count" payload with
+              | Some (Json.Str s) -> s
+              | _ -> Json.to_string payload
+            in
+            (Json.to_string r.Protocol.rid, c))
+      resps
+    |> List.sort compare
+  in
+  let single_wall, single_resps =
+    let srv = Server.create { Server.default_config with Server.cache = use_cache } in
+    let r = pipeline (Server.handle_connection srv) in
+    Server.shutdown srv;
+    r
+  in
+  let fleet_wall, fleet_resps =
+    let workers = Array.init shards (fun _ -> fleet_worker_create ~use_cache) in
+    let router =
+      Router.create
+        { Router.default_config with Router.shards }
+        ~dispatch:(fleet_dispatch workers)
+    in
+    let r = pipeline (Router.handle_connection router) in
+    Router.shutdown router;
+    Array.iter fleet_worker_stop workers;
+    r
+  in
+  if counts single_resps <> counts fleet_resps then begin
+    Format.eprintf "bench: fleet counts diverge from the single server's@.";
+    exit 2
+  end;
+  let rps w = float_of_int n /. w in
+  let speedup = single_wall /. fleet_wall in
+  let cores = Domain.recommended_domain_count () in
+  Format.fprintf fmt "%d cache-miss count requests, %d shards, %d core(s)@." n
+    shards cores;
+  Format.fprintf fmt "  single    : %7.3fs  %8.1f req/s@." single_wall
+    (rps single_wall);
+  Format.fprintf fmt "  fleet     : %7.3fs  %8.1f req/s   speedup %.2fx@."
+    fleet_wall (rps fleet_wall) speedup;
+  if cores < 2 then
+    Format.fprintf fmt
+      "  (single-core host: shard parallelism cannot show a wall-clock win here)@.";
+  serve_summary :=
+    Some
+      (Json.Obj
+         [
+           ("mode", Json.Str "fleet");
+           ("requests", Json.Int n);
+           ("shards", Json.Int shards);
+           ("cores", Json.Int cores);
+           ("cache_enabled", Json.Bool use_cache);
+           ( "single",
+             Json.Obj
+               [
+                 ("wall_s", Json.Float single_wall);
+                 ("throughput_rps", Json.Float (rps single_wall));
+               ] );
+           ( "fleet",
+             Json.Obj
+               [
+                 ("wall_s", Json.Float fleet_wall);
+                 ("throughput_rps", Json.Float (rps fleet_wall));
+               ] );
+           ("speedup", Json.Float speedup);
          ])
 
 (* ---------------------------------------------------------------------- *)
@@ -670,6 +893,8 @@ let () =
   let table = ref 0 in
   let micro_only = ref false in
   let serve_only = ref false in
+  let fleet = ref false in
+  let shards = ref 4 in
   let ablation_only = ref false in
   let tables_only = ref false in
   let budget = ref Experiments.fast.Experiments.budget in
@@ -688,6 +913,13 @@ let () =
         "  benchmark the counting service (mcml serve) against direct \
          execution: throughput and latency percentiles, closed-loop and \
          pipelined" );
+      ( "--fleet",
+        Arg.Set fleet,
+        "  with --serve: pipeline cache-miss traffic through an in-process \
+         fleet router (--shards domains) and compare against one server" );
+      ( "--shards",
+        Arg.Set_int shards,
+        "N  shard count for --serve --fleet (default 4)" );
       ("--ablation", Arg.Set ablation_only, "  ablation studies only");
       ("--tables", Arg.Set tables_only, "  tables only, skip micro-benchmarks");
       ("--budget", Arg.Set_float budget, "S  per-count timeout in seconds");
@@ -744,7 +976,11 @@ let () =
     }
   in
   let t0 = Mcml_obs.Obs.monotonic_s () in
-  if !serve_only then
+  if !serve_only && !fleet then
+    timed "serve.fleet" (fun () ->
+        run_fleet_serve ~shards:!shards ~budget:!budget ~seed:!seed
+          ~use_cache:(not !no_cache))
+  else if !serve_only then
     timed "serve" (fun () ->
         run_serve ~jobs:!jobs ~budget:!budget ~seed:!seed ~use_cache:(not !no_cache))
   else if !micro_only then timed "micro" run_micro

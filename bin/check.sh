@@ -135,6 +135,29 @@ fi
 sed -n '/regression gate/,$p' "$gate_log"
 rm -f "$fresh" "$gate_log"
 
+echo "== bench serve.fleet gate: fleet throughput recorded and gated =="
+# same settings the committed serve.fleet baseline section was
+# generated with: --shards 4 --budget 5.  The sub-second section gets
+# a looser factor than the tables (scheduler noise dominates at that
+# scale); the speedup itself is recorded, not gated — this host may
+# have a single core.
+fleet_json="$(mktemp /tmp/mcml_fleet_bench.XXXXXX.json)"
+fleet_gate_log="$(mktemp /tmp/mcml_fleet_gate.XXXXXX.txt)"
+if ! dune exec bench/main.exe -- --serve --fleet --shards 4 --budget 5 \
+  --json "$fleet_json" --baseline BENCH_baseline.json --gate 3.0 >"$fleet_gate_log"; then
+  echo "FAIL: serve.fleet bench gate" >&2
+  sed -n '/regression gate/,$p' "$fleet_gate_log" >&2
+  exit 1
+fi
+sed -n '/regression gate/,$p' "$fleet_gate_log"
+for field in '"mode":"fleet"' '"shards":4' '"speedup":' '"throughput_rps":'; do
+  grep -q "$field" "$fleet_json" || {
+    echo "FAIL: $field missing from serve.fleet JSON" >&2
+    exit 1
+  }
+done
+rm -f "$fleet_json" "$fleet_gate_log"
+
 echo "== serve smoke gate: concurrent served answers == direct CLI =="
 # start the daemon at --jobs 4 with a trace, fire 20 concurrent mixed
 # requests from two clients, require every count byte-identical to the
@@ -240,8 +263,107 @@ grep -q '"name":"serve.request"' "$strace" || {
   echo "FAIL: the server trace did not validate" >&2
   exit 1
 }
-rm -f "$direct" "$out1" "$out2" "$strace"
+rm -f "$out1" "$out2" "$strace"
 echo "   20/20 served answers identical to direct CLI; clean drain; valid trace"
+
+echo "== fleet smoke gate: 3 shards, kill-recovery, disk-cache replay =="
+# a 3-shard fleet with a persistent cache; 30 concurrent counts from 3
+# clients while one shard is SIGKILLed mid-run: the supervisor must
+# respawn it and every response must still be correct (the router
+# retries the dead shard's requests until it returns).  Then a cold
+# restart over the same cache directory must serve the same keys from
+# disk: zero recounts.
+fsock="/tmp/mcml_fleet.$$.sock"
+fdir="$(mktemp -d /tmp/mcml_fleet.XXXXXX)"
+"$MCML" fleet --shards 3 --socket "$fsock" \
+  --cache-dir "$fdir/cache" --shard-dir "$fdir/shards" 2>/dev/null &
+fleet_pid=$!
+i=0
+while [ ! -S "$fsock" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$fsock" ] || { echo "FAIL: fleet socket never appeared" >&2; exit 1; }
+shard_pid="$(pgrep -f "$fdir/shards/shard-1.sock" || true)"
+[ -n "$shard_pid" ] || { echo "FAIL: shard 1 never came up" >&2; exit 1; }
+
+fout1="$(mktemp /tmp/mcml_fleet1.XXXXXX.jsonl)"
+fout2="$(mktemp /tmp/mcml_fleet2.XXXXXX.jsonl)"
+fout3="$(mktemp /tmp/mcml_fleet3.XXXXXX.jsonl)"
+serve_reqs f1 | "$MCML" client --socket "$fsock" >"$fout1" &
+fc1=$!
+serve_reqs f2 | "$MCML" client --socket "$fsock" >"$fout2" &
+fc2=$!
+kill -9 "$shard_pid"
+serve_reqs f3 | "$MCML" client --socket "$fsock" >"$fout3" &
+fc3=$!
+wait $fc1 || { echo "FAIL: fleet client 1 exited nonzero" >&2; exit 1; }
+wait $fc2 || { echo "FAIL: fleet client 2 exited nonzero" >&2; exit 1; }
+wait $fc3 || { echo "FAIL: fleet client 3 exited nonzero" >&2; exit 1; }
+for f in "$fout1" "$fout2" "$fout3"; do
+  [ "$(wc -l <"$f")" -eq 10 ] || { echo "FAIL: expected 10 fleet responses in $f" >&2; exit 1; }
+  if grep -q '"ok":false' "$f"; then
+    echo "FAIL: fleet returned an error response (shard kill must be absorbed):" >&2
+    grep '"ok":false' "$f" >&2
+    exit 1
+  fi
+done
+while read -r p s want; do
+  for f in "$fout1" "$fout2" "$fout3"; do
+    got="$(grep "\"prop\":\"$p\"" "$f" | grep "\"scope\":$s," \
+      | sed -n 's/.*"count":"\([0-9]*\)".*/\1/p')"
+    [ "$got" = "$want" ] || {
+      echo "FAIL: fleet count for $p scope $s = '$got', direct CLI = '$want'" >&2
+      exit 1
+    }
+  done
+done <"$direct"
+fhealth="$(mktemp /tmp/mcml_fleet_health.XXXXXX.json)"
+echo '{"id":"h","kind":"health"}' | "$MCML" client --socket "$fsock" >"$fhealth"
+grep -q '"restarts":[1-9]' "$fhealth" || {
+  echo "FAIL: merged health does not report the shard respawn:" >&2
+  cat "$fhealth" >&2
+  exit 1
+}
+kill -TERM $fleet_pid
+wait $fleet_pid || { echo "FAIL: fleet exited nonzero after SIGTERM" >&2; exit 1; }
+[ ! -e "$fsock" ] || { echo "FAIL: drained fleet left its socket behind" >&2; exit 1; }
+
+# cold restart: same cache directory, fresh shards — every key must be
+# served from the disk cache without a single recount
+"$MCML" fleet --shards 3 --socket "$fsock" \
+  --cache-dir "$fdir/cache" --shard-dir "$fdir/shards" 2>/dev/null &
+fleet_pid=$!
+i=0
+while [ ! -S "$fsock" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$fsock" ] || { echo "FAIL: restarted fleet socket never appeared" >&2; exit 1; }
+serve_reqs replay | "$MCML" client --socket "$fsock" >"$fout1" || {
+  echo "FAIL: replay client exited nonzero" >&2
+  exit 1
+}
+if grep -q '"ok":false' "$fout1"; then
+  echo "FAIL: replay returned an error response" >&2
+  exit 1
+fi
+while read -r p s want; do
+  got="$(grep "\"prop\":\"$p\"" "$fout1" | grep "\"scope\":$s," \
+    | sed -n 's/.*"count":"\([0-9]*\)".*/\1/p')"
+  [ "$got" = "$want" ] || {
+    echo "FAIL: replayed count for $p scope $s = '$got', direct CLI = '$want'" >&2
+    exit 1
+  }
+done <"$direct"
+fstats="$(mktemp /tmp/mcml_fleet_stats.XXXXXX.json)"
+echo '{"id":"s","kind":"stats"}' | "$MCML" client --socket "$fsock" >"$fstats"
+# the merged fleet-wide cache section precedes the per-shard list;
+# strip the latter and require zero recounts
+if ! sed 's/"shards":.*//' "$fstats" | grep -q '"misses":0'; then
+  echo "FAIL: disk-cache replay recounted (merged cache misses != 0):" >&2
+  cat "$fstats" >&2
+  exit 1
+fi
+kill -TERM $fleet_pid
+wait $fleet_pid || { echo "FAIL: restarted fleet exited nonzero after SIGTERM" >&2; exit 1; }
+rm -rf "$fdir" "$fout1" "$fout2" "$fout3" "$fhealth" "$fstats" "$direct"
+echo "   30/30 fleet answers identical to direct CLI across a shard kill;"
+echo "   restart replayed every key from disk with zero recounts"
 
 echo "== docs: dune build @doc =="
 # the container may lack odoc (it is not vendored and cannot be

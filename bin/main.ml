@@ -609,7 +609,26 @@ let serve_cmd =
       & info [ "no-count-cache" ]
           ~doc:"Disable the shared cross-request model-count cache.")
   in
-  let run () socket jobs admission queue_cap no_cache =
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Back the count cache with a persistent on-disk cache at $(docv) \
+             (append-only CRC-checked log; survives restarts). One writer \
+             per directory.")
+  in
+  let shard_id =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-id" ] ~docv:"N"
+          ~doc:
+            "Fleet shard identity: stamp health/stats responses with a \
+             \"shard\" field. Set by 'mcml fleet' on the shards it spawns.")
+  in
+  let run () socket jobs admission queue_cap no_cache cache_dir shard_id =
     if admission < 0 then begin
       Printf.eprintf "mcml serve: --admission must be >= 0\n";
       exit 2
@@ -635,6 +654,8 @@ let serve_cmd =
             Mcml_serve.Server.default_config.Mcml_serve.Server.cache_capacity;
           probe_interval_s =
             Mcml_serve.Server.default_config.Mcml_serve.Server.probe_interval_s;
+          shard_id;
+          cache_dir;
         }
     in
     let on_signal _ = Mcml_serve.Server.drain srv in
@@ -659,7 +680,290 @@ let serve_cmd =
           socket (or stdio) with a shared count cache, per-request \
           deadlines, bounded admission, live OpenMetrics scraping, and \
           graceful drain on SIGTERM/SIGINT.")
-    Term.(const run $ obs_term $ socket_arg $ jobs $ admission $ queue_cap $ no_cache)
+    Term.(
+      const run $ obs_term $ socket_arg $ jobs $ admission $ queue_cap
+      $ no_cache $ cache_dir $ shard_id)
+
+(* --- fleet ----------------------------------------------------------------------- *)
+
+let fleet_cmd =
+  let shards =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Number of shard processes (each a full 'mcml serve').")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains per shard.")
+  in
+  let admission =
+    Arg.(
+      value
+      & opt int Mcml_serve.Server.default_config.Mcml_serve.Server.admission
+      & info [ "admission" ] ~docv:"N" ~doc:"Per-shard admission limit.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Root of the persistent count cache; shard $(i,i) owns \
+             $(docv)/shard-$(i,i) (the ring partitions keys, so slices \
+             never overlap).")
+  in
+  let shard_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the shard sockets (default: a per-pid directory \
+             under the system temp dir).")
+  in
+  let run () socket shards jobs admission cache_dir shard_dir =
+    if shards < 1 then begin
+      Printf.eprintf "mcml fleet: --shards must be >= 1\n";
+      exit 2
+    end;
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    if not (Mcml_obs.Obs.enabled ()) then
+      Mcml_obs.Obs.set_sink (Mcml_obs.Obs.stats_only ());
+    let dir =
+      match shard_dir with
+      | Some d -> d
+      | None ->
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "mcml-fleet-%d" (Unix.getpid ()))
+    in
+    let procs =
+      Mcml_fleet.Proc.start
+        {
+          (Mcml_fleet.Proc.default_config ~exe:Sys.executable_name ~dir) with
+          Mcml_fleet.Proc.shards;
+          jobs;
+          admission;
+          cache_dir;
+        }
+    in
+    let router =
+      Mcml_fleet.Router.create
+        ~restarts:(fun () -> Mcml_fleet.Proc.restarts procs)
+        { Mcml_fleet.Router.default_config with Mcml_fleet.Router.shards }
+        ~dispatch:(Mcml_fleet.Proc.dispatch procs)
+    in
+    let on_signal _ = Mcml_fleet.Router.drain router in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    (match socket with
+    | Some path ->
+        Printf.eprintf
+          "mcml fleet: %d shard(s) under %s, listening on %s%s\n%!" shards dir
+          path
+          (match cache_dir with
+          | Some d -> Printf.sprintf " (cache %s)" d
+          | None -> "");
+        Mcml_fleet.Router.serve_unix router ~path;
+        Printf.eprintf "mcml fleet: drained, stopping shards\n%!"
+    | None ->
+        Printf.eprintf "mcml fleet: %d shard(s) under %s, speaking JSONL on stdio\n%!"
+          shards dir;
+        Mcml_fleet.Router.serve_stdio router);
+    Mcml_fleet.Router.shutdown router;
+    Mcml_fleet.Proc.stop procs
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run a sharded counting fleet: N supervised 'mcml serve' shard \
+          processes behind one JSONL endpoint. Counting requests are \
+          consistent-hashed across shards and deduplicated in flight; \
+          health/stats/metrics fan out and merge; a crashed shard is \
+          respawned with bounded backoff while the router retries its \
+          requests. With --cache-dir, counts persist across restarts.")
+    Term.(
+      const run $ obs_term $ socket_arg $ shards $ jobs $ admission $ cache_dir
+      $ shard_dir)
+
+(* --- cache ----------------------------------------------------------------------- *)
+
+let cache_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Persistent cache directory.")
+  in
+  (* stats: read-only open (no writer lock), so it works against a live
+     server's cache directory. *)
+  let stats_cmd =
+    let run () dir =
+      match Mcml_exec.Diskcache.open_ ~readonly:true dir with
+      | exception Failure msg ->
+          Printf.eprintf "mcml cache stats: %s\n" msg;
+          exit 1
+      | dc ->
+          let s = Mcml_exec.Diskcache.stats dc in
+          Mcml_exec.Diskcache.close dc;
+          Printf.printf "entries   %d\nlog_bytes %d\nrecovered %d\n"
+            s.Mcml_exec.Diskcache.entries s.Mcml_exec.Diskcache.log_bytes
+            s.Mcml_exec.Diskcache.recovered_bytes
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Print entry and size statistics of a cache directory.")
+      Term.(const run $ obs_term $ dir_arg)
+  in
+  let verify_cmd =
+    let run () dir =
+      match Mcml_exec.Diskcache.verify dir with
+      | Ok s ->
+          Printf.printf "ok: %d entries, %d bytes\n" s.Mcml_exec.Diskcache.entries
+            s.Mcml_exec.Diskcache.log_bytes
+      | Error msg ->
+          Printf.printf "corrupt: %s\n" msg;
+          exit 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Scan every record of the log and checksum it (read-only; never \
+            repairs). Exit 1 on the first defect.")
+      Term.(const run $ obs_term $ dir_arg)
+  in
+  (* warm: precompute counts into the cache so a later serve/fleet starts
+     hot.  With --shards N the key space is partitioned exactly like the
+     fleet router partitions it, each outcome landing in the slice of
+     the shard that will be asked for it. *)
+  let warm_cmd =
+    let props_arg =
+      Arg.(
+        value
+        & opt_all prop_converter []
+        & info [ "p"; "property" ] ~docv:"PROP"
+            ~doc:"Property to warm (repeatable; default: all 16).")
+    in
+    let scopes_arg =
+      Arg.(
+        value
+        & opt_all int []
+        & info [ "s"; "scope" ] ~docv:"N"
+            ~doc:"Scope to warm (repeatable; default: the paper's rule per property).")
+    in
+    let shards_arg =
+      Arg.(
+        value
+        & opt int 0
+        & info [ "shards" ] ~docv:"N"
+            ~doc:
+              "Partition into per-shard slices ($(b,DIR)/shard-$(i,i)) with \
+               the fleet's ring; 0 (default) writes $(b,DIR) flat for a \
+               single 'mcml serve --cache-dir'.")
+    in
+    let run () dir props scopes symmetry backend budget shards =
+      let props = match props with [] -> Props.all | ps -> ps in
+      (* one open handle per target slice, created on first use *)
+      let handles : (int, Mcml_exec.Diskcache.t) Hashtbl.t = Hashtbl.create 8 in
+      let ring =
+        if shards > 0 then Some (Mcml_fleet.Ring.create ~shards ()) else None
+      in
+      let slice key =
+        let idx = match ring with None -> -1 | Some r -> Mcml_fleet.Ring.shard r key in
+        match Hashtbl.find_opt handles idx with
+        | Some dc -> dc
+        | None ->
+            let path =
+              if idx < 0 then dir
+              else Filename.concat dir (Printf.sprintf "shard-%d" idx)
+            in
+            let dc = Mcml_exec.Diskcache.open_ path in
+            Hashtbl.replace handles idx dc;
+            dc
+      in
+      let caches : (int, Mcml_counting.Counter.cache) Hashtbl.t = Hashtbl.create 8 in
+      let cache_for idx dc =
+        match Hashtbl.find_opt caches idx with
+        | Some c -> c
+        | None ->
+            let c = Mcml_counting.Counter.cache_create ~disk:dc () in
+            Hashtbl.replace caches idx c;
+            c
+      in
+      List.iter
+        (fun prop ->
+          let scopes =
+            match scopes with
+            | [] -> [ default_scope prop ~symmetry ]
+            | ss -> ss
+          in
+          List.iter
+            (fun scope ->
+              (* the fleet routes by the request's wire identity, so
+                 warming must hash the same string the router will *)
+              let req =
+                {
+                  Mcml_serve.Protocol.id = Mcml_obs.Json.Null;
+                  deadline_ms = None;
+                  kind =
+                    Mcml_serve.Protocol.Count
+                      {
+                        Mcml_serve.Protocol.prop;
+                        scope = Some scope;
+                        symmetry;
+                        negate = false;
+                        backend;
+                        budget;
+                        seed = 20200615;
+                      };
+                }
+              in
+              let key =
+                Option.get (Mcml_fleet.Router.routing_key req)
+              in
+              let dc = slice key in
+              let idx = match ring with None -> -1 | Some r -> Mcml_fleet.Ring.shard r key in
+              let cache = cache_for idx dc in
+              let analyzer = Props.analyzer ~scope in
+              match
+                Mcml_alloy.Analyzer.count ~negate:false ~symmetry ~budget ~cache
+                  ~backend analyzer ~pred:prop.Props.pred
+              with
+              | Some o ->
+                  Printf.printf "%-16s scope %-3d %s= %s\n%!" prop.Props.name
+                    scope
+                    (match ring with
+                    | None -> ""
+                    | Some r ->
+                        Printf.sprintf "shard %d " (Mcml_fleet.Ring.shard r key))
+                    (Bignat.to_string o.Mcml_counting.Counter.count)
+              | None ->
+                  Printf.printf "%-16s scope %-3d timeout (recorded)\n%!"
+                    prop.Props.name scope)
+            scopes)
+        props;
+      Hashtbl.iter (fun _ dc -> Mcml_exec.Diskcache.close dc) handles
+    in
+    Cmd.v
+      (Cmd.info "warm"
+         ~doc:
+           "Precompute model counts into a persistent cache directory so a \
+            later 'mcml serve --cache-dir' or 'mcml fleet --cache-dir' \
+            starts hot.")
+      Term.(
+        const run $ obs_term $ dir_arg $ props_arg $ scopes_arg $ symmetry_arg
+        $ backend_arg $ budget_arg $ shards_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect and populate the persistent on-disk count cache (the \
+          append-only CRC-checked log behind 'serve --cache-dir' and \
+          'fleet --cache-dir').")
+    [ warm_cmd; stats_cmd; verify_cmd ]
 
 (* --- client ---------------------------------------------------------------------- *)
 
@@ -711,19 +1015,62 @@ let client_cmd =
                   "mcml client: metrics response without exposition text\n";
                 exit 1))
   in
-  let run () path request =
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a refused/absent connection up to $(docv) times (a fleet \
+             shard or server may be restarting). Default 0: fail hard, \
+             which is what tests asserting unavailability want.")
+  in
+  let retry_ms_arg =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "retry-ms" ] ~docv:"MS"
+          ~doc:
+            "Base delay between connection retries; doubles per attempt \
+             (capped at 5s) with up to 25% random jitter added.")
+  in
+  (* Only connect refusal retries: ECONNREFUSED (socket exists, nobody
+     accepting) and ENOENT (socket not bound yet).  Anything else —
+     permissions, a non-socket path — fails immediately however many
+     retries remain. *)
+  let connect_with_retry path ~retries ~retry_ms =
+    let rng = lazy (Random.State.make_self_init ()) in
+    let rec go attempt delay_ms =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> fd
+      | exception Unix.Unix_error (e, _, _) ->
+          Unix.close fd;
+          (match e with
+          | (Unix.ECONNREFUSED | Unix.ENOENT) when attempt < retries ->
+              let jitter =
+                Random.State.float (Lazy.force rng) (float_of_int delay_ms *. 0.25)
+              in
+              Unix.sleepf ((float_of_int delay_ms +. jitter) /. 1000.0);
+              go (attempt + 1) (min (delay_ms * 2) 5000)
+          | _ ->
+              Printf.eprintf "mcml client: cannot connect to %s: %s%s\n" path
+                (Unix.error_message e)
+                (if retries > 0 then
+                   Printf.sprintf " (after %d attempt(s))" (attempt + 1)
+                 else "");
+              exit 2)
+    in
+    go 0 (max 1 retry_ms)
+  in
+  let run () path request retries retry_ms =
     (match request with
     | None | Some "metrics" -> ()
     | Some other ->
         Printf.eprintf "mcml client: unknown request %S (try: metrics)\n" other;
         exit 2);
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_UNIX path)
-     with Unix.Unix_error (e, _, _) ->
-       Printf.eprintf "mcml client: cannot connect to %s: %s\n" path
-         (Unix.error_message e);
-       exit 2);
+    let fd = connect_with_retry path ~retries ~retry_ms in
     if request = Some "metrics" then begin
       scrape_metrics fd;
       Unix.close fd;
@@ -768,7 +1115,7 @@ let client_cmd =
           print the responses (in request order) to stdout — or, with the \
           $(b,metrics) argument, scrape and print the live OpenMetrics \
           exposition.")
-    Term.(const run $ obs_term $ socket $ request_arg)
+    Term.(const run $ obs_term $ socket $ request_arg $ retries_arg $ retry_ms_arg)
 
 (* --- main ------------------------------------------------------------------------ *)
 
@@ -789,5 +1136,7 @@ let () =
             profile_cmd;
             exp_cmd;
             serve_cmd;
+            fleet_cmd;
+            cache_cmd;
             client_cmd;
           ]))

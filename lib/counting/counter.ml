@@ -12,7 +12,43 @@ let name = function
   | Approx _ -> "approx(approxmc)"
   | Brute -> "brute"
 
-let cache_create ?capacity () = Memo.create ?capacity ~name:"exec.count_cache" ()
+(* Disk codec for [outcome option].  Timeouts are persisted too — the
+   budget is part of the key, so a recorded timeout is as durable a
+   fact as a count.  "t" = timeout; "c <decimal> <e|a> <%h time>"
+   otherwise.  Anything unparseable is treated as absent, never as a
+   wrong answer. *)
+let outcome_to_string = function
+  | None -> "t"
+  | Some { count; exact; time } ->
+      Printf.sprintf "c %s %s %h" (Bignat.to_string count)
+        (if exact then "e" else "a")
+        time
+
+let outcome_of_string s =
+  if s = "t" then Some None
+  else
+    match String.split_on_char ' ' s with
+    | [ "c"; digits; flag; time ] -> (
+        match (Bignat.of_string digits, flag, float_of_string_opt time) with
+        | Some count, ("e" | "a"), Some time ->
+            Some (Some { count; exact = flag = "e"; time })
+        | _ -> None)
+    | _ -> None
+
+let cache_create ?capacity ?disk () =
+  let backing =
+    Option.map
+      (fun d ->
+        {
+          Memo.load =
+            (fun key ->
+              Option.bind (Mcml_exec.Diskcache.find d ~key) outcome_of_string);
+          store =
+            (fun key v -> Mcml_exec.Diskcache.add d ~key (outcome_to_string v));
+        })
+      disk
+  in
+  Memo.create ?capacity ?backing ~name:"exec.count_cache" ()
 
 let cache_stats = Memo.stats
 

@@ -36,10 +36,15 @@ type cache = outcome option Mcml_exec.Memo.t
     caching the [None] saves re-burning the whole budget.  A cached
     outcome keeps the {e original} [time] field. *)
 
-val cache_create : ?capacity:int -> unit -> cache
+val cache_create : ?capacity:int -> ?disk:Mcml_exec.Diskcache.t -> unit -> cache
 (** Bounded (FIFO-evicted, default 4096 entries) cache; its hit/miss/
     eviction counters are exported as [exec.count_cache.*] through
-    [Mcml_obs]. *)
+    [Mcml_obs].  With [disk], the memo is backed by the persistent
+    {!Mcml_exec.Diskcache}: misses consult the disk (a disk hit counts
+    as a cache {e hit} and is promoted into memory) and new outcomes
+    are written through, so a restarted process answers previously
+    counted keys without recounting.  Timeouts round-trip too.  The
+    caller owns the disk handle (and closes it). *)
 
 val cache_stats : cache -> Mcml_exec.Memo.stats
 

@@ -1,9 +1,15 @@
 module Obs = Mcml_obs.Obs
 
+type 'a backing = {
+  load : string -> 'a option;
+  store : string -> 'a -> unit;
+}
+
 type 'a t = {
   name : string;
   capacity : int;
   hash : string -> string;
+  backing : 'a backing option;
   m : Mutex.t;
   (* digest -> bucket of (full key, value); the bucket resolves digest
      collisions by comparing full keys *)
@@ -13,15 +19,23 @@ type 'a t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable backing_hits : int;
 }
 
-type stats = { hits : int; misses : int; evictions : int; size : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  backing_hits : int;
+}
 
-let create ?(capacity = 4096) ?(hash = Digest.string) ~name () =
+let create ?(capacity = 4096) ?(hash = Digest.string) ?backing ~name () =
   {
     name;
     capacity = max 1 capacity;
     hash;
+    backing;
     m = Mutex.create ();
     tbl = Hashtbl.create 256;
     order = Queue.create ();
@@ -29,6 +43,7 @@ let create ?(capacity = 4096) ?(hash = Digest.string) ~name () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    backing_hits = 0;
   }
 
 let locked t f =
@@ -40,28 +55,6 @@ let locked t f =
   | exception e ->
       Mutex.unlock t.m;
       raise e
-
-let find t ~key =
-  let timed = Obs.enabled () in
-  let t0 = if timed then Obs.monotonic_s () else 0.0 in
-  let d = t.hash key in
-  let r =
-    locked t (fun () ->
-        let bucket = Option.value (Hashtbl.find_opt t.tbl d) ~default:[] in
-        match List.assoc_opt key bucket with
-        | Some v ->
-            t.hits <- t.hits + 1;
-            Obs.add (t.name ^ ".hits") 1;
-            Some v
-        | None ->
-            t.misses <- t.misses + 1;
-            Obs.add (t.name ^ ".misses") 1;
-            None)
-  in
-  (* lookup cost includes hashing the (potentially large) key *)
-  if timed then
-    Obs.observe (t.name ^ ".lookup_ms") ((Obs.monotonic_s () -. t0) *. 1000.0);
-  r
 
 let evict_oldest t =
   match Queue.take_opt t.order with
@@ -75,18 +68,68 @@ let evict_oldest t =
       t.evictions <- t.evictions + 1;
       Obs.add (t.name ^ ".evictions") 1
 
-let add t ~key v =
+(* Memory-tier insert (no write-through); [true] if [key] was new. *)
+let insert t ~key v =
   let d = t.hash key in
   locked t (fun () ->
       let bucket = Option.value (Hashtbl.find_opt t.tbl d) ~default:[] in
-      if not (List.mem_assoc key bucket) then begin
+      if List.mem_assoc key bucket then false
+      else begin
         Hashtbl.replace t.tbl d ((key, v) :: bucket);
         Queue.push (d, key) t.order;
         t.size <- t.size + 1;
         while t.size > t.capacity do
           evict_oldest t
-        done
+        done;
+        true
       end)
+
+let find t ~key =
+  let timed = Obs.enabled () in
+  let t0 = if timed then Obs.monotonic_s () else 0.0 in
+  let d = t.hash key in
+  let mem_hit =
+    locked t (fun () ->
+        let bucket = Option.value (Hashtbl.find_opt t.tbl d) ~default:[] in
+        List.assoc_opt key bucket)
+  in
+  let r =
+    match mem_hit with
+    | Some _ as v ->
+        locked t (fun () -> t.hits <- t.hits + 1);
+        Obs.add (t.name ^ ".hits") 1;
+        v
+    | None -> (
+        (* the persistent tier is consulted outside the lock: disk I/O
+           must not serialize unrelated lookups *)
+        match Option.bind t.backing (fun b -> b.load key) with
+        | Some v ->
+            (* promote, and count as a hit: the answer was cached, just
+               not in memory — the "misses" statistic means "had to be
+               recomputed" to every consumer (and to the restart-replay
+               acceptance check) *)
+            ignore (insert t ~key v);
+            locked t (fun () ->
+                t.hits <- t.hits + 1;
+                t.backing_hits <- t.backing_hits + 1);
+            Obs.add (t.name ^ ".hits") 1;
+            Obs.add (t.name ^ ".disk_hits") 1;
+            Some v
+        | None ->
+            locked t (fun () -> t.misses <- t.misses + 1);
+            Obs.add (t.name ^ ".misses") 1;
+            None)
+  in
+  (* lookup cost includes hashing the (potentially large) key *)
+  if timed then
+    Obs.observe (t.name ^ ".lookup_ms") ((Obs.monotonic_s () -. t0) *. 1000.0);
+  r
+
+let add t ~key v =
+  if insert t ~key v then
+    (* write-through outside the memo lock; the backing store is
+       expected to make its own no-op-if-present decision *)
+    Option.iter (fun b -> b.store key v) t.backing
 
 let find_or_add t ~key f =
   match find t ~key with
@@ -98,4 +141,10 @@ let find_or_add t ~key f =
 
 let stats t =
   locked t (fun () ->
-      { hits = t.hits; misses = t.misses; evictions = t.evictions; size = t.size })
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = t.size;
+        backing_hits = t.backing_hits;
+      })

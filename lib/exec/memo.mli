@@ -16,17 +16,47 @@
     workloads this wastes at most one duplicate count and never
     changes results.
 
+    {b Persistent tier.}  An optional {!backing} store sits behind the
+    memory tier: {!find} consults it on a memory miss (outside the
+    lock) and {e promotes} a backing hit into memory, counting it as a
+    hit — "miss" means {e had to be recomputed}, which is the contract
+    restart-replay checks rely on; {!add} writes through.  Eviction
+    never touches the backing store (it is the durable, append-only
+    tier — see {!Diskcache}).
+
     {b Telemetry.}  Hits, misses and evictions are always tracked in
     the cache itself ({!stats}) and mirrored to [Mcml_obs] counters
-    [<name>.hits] / [<name>.misses] / [<name>.evictions] when a sink
-    is installed; {!find} also feeds the [<name>.lookup_ms] latency
-    histogram (the cost includes hashing the full key). *)
+    [<name>.hits] / [<name>.misses] / [<name>.evictions] /
+    [<name>.disk_hits] (backing-tier hits) when a sink is installed;
+    {!find} also feeds the [<name>.lookup_ms] latency histogram (the
+    cost includes hashing the full key). *)
 
 type 'a t
 
-type stats = { hits : int; misses : int; evictions : int; size : int }
+type 'a backing = {
+  load : string -> 'a option;  (** [None] = absent (not "cached absent") *)
+  store : string -> 'a -> unit;
+      (** must tolerate re-stores of an existing key (no-op) *)
+}
+(** A persistent tier, already serialized for the caller's ['a] —
+    {!Mcml_counting.Counter.cache_create} wires this to
+    {!Diskcache}. *)
 
-val create : ?capacity:int -> ?hash:(string -> string) -> name:string -> unit -> 'a t
+type stats = {
+  hits : int;  (** memory- or backing-tier hits *)
+  misses : int;  (** absent from both tiers *)
+  evictions : int;
+  size : int;
+  backing_hits : int;  (** the subset of [hits] served by the backing tier *)
+}
+
+val create :
+  ?capacity:int ->
+  ?hash:(string -> string) ->
+  ?backing:'a backing ->
+  name:string ->
+  unit ->
+  'a t
 (** [capacity] defaults to 4096 entries.  [hash] maps a full key to
     its short address and defaults to [Digest.string] (MD5); it is
     injectable only so tests can force collisions. *)

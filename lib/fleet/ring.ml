@@ -1,0 +1,39 @@
+(* A point on the ring: (position, shard).  Positions come from MD5 so
+   they spread uniformly whatever the key distribution; 63 bits of the
+   digest keep positions non-negative native ints. *)
+
+let position s =
+  let d = Digest.string s in
+  let b i = Char.code d.[i] in
+  ((b 0 lsl 56) lor (b 1 lsl 48) lor (b 2 lsl 40) lor (b 3 lsl 32)
+  lor (b 4 lsl 24) lor (b 5 lsl 16) lor (b 6 lsl 8) lor b 7)
+  land max_int
+
+type t = { shards : int; points : (int * int) array }
+
+let create ?(vnodes = 64) ~shards () =
+  if shards < 1 then invalid_arg "Ring.create: shards must be >= 1";
+  let vnodes = max 1 vnodes in
+  let points = Array.make (shards * vnodes) (0, 0) in
+  for s = 0 to shards - 1 do
+    for v = 0 to vnodes - 1 do
+      points.((s * vnodes) + v) <- (position (Printf.sprintf "shard-%d/vnode-%d" s v), s)
+    done
+  done;
+  (* ties (astronomically unlikely) break deterministically by shard *)
+  Array.sort compare points;
+  { shards; points }
+
+let shards t = t.shards
+
+let shard t key =
+  let h = position key in
+  let points = t.points in
+  let n = Array.length points in
+  (* first point with position >= h, wrapping to the start *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  snd points.(if !lo = n then 0 else !lo)

@@ -1,0 +1,26 @@
+(** Consistent-hash ring over shard indices.
+
+    The fleet router partitions count requests across shards by their
+    content-addressed routing key; a consistent ring (rather than
+    [hash mod n]) means growing or shrinking the fleet moves only
+    [~1/n] of the key space, so a resized fleet keeps most of every
+    shard's disk cache hot.
+
+    Each shard owns [vnodes] pseudo-random points on a ring of 63-bit
+    MD5 positions; a key maps to the shard owning the first point at
+    or after the key's own position (wrapping).  Deterministic: the
+    same (key, shards, vnodes) always yields the same shard, across
+    processes and runs — the property the per-shard disk caches rely
+    on. *)
+
+type t
+
+val create : ?vnodes:int -> shards:int -> unit -> t
+(** [vnodes] (default 64) points per shard; more points smooth the
+    key-space balance at the cost of a larger (static) table.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val shards : t -> int
+
+val shard : t -> string -> int
+(** [shard t key] is the owning shard index in [\[0, shards)]. *)

@@ -1,0 +1,489 @@
+module Obs = Mcml_obs.Obs
+module Json = Mcml_obs.Json
+module Probe = Mcml_obs.Probe
+module Protocol = Mcml_serve.Protocol
+module Line_reader = Mcml_serve.Line_reader
+
+type dispatch = int -> Protocol.request -> Protocol.response
+
+type config = {
+  shards : int;
+  vnodes : int;
+  admission : int;
+  queue_cap : int;
+  probe_interval_s : float;
+}
+
+let default_config =
+  { shards = 2; vnodes = 64; admission = 256; queue_cap = 128; probe_interval_s = 1.0 }
+
+type t = {
+  cfg : config;
+  ring : Ring.t;
+  dispatch : dispatch;
+  shard_restarts : unit -> int array;
+  flight : Protocol.response Single_flight.t;
+  inflight : int Atomic.t;
+  drain_flag : bool Atomic.t;
+  started : float;
+  total : int Atomic.t;
+  ok : int Atomic.t;
+  errors : int Atomic.t;
+  routed : int Atomic.t array;  (** counting requests per shard *)
+}
+
+let probe_sources = [ "fleet.inflight"; "fleet.uptime_s"; "fleet.dedup_ratio" ]
+
+let register_probes t =
+  Probe.register "fleet.inflight" (fun () -> float_of_int (Atomic.get t.inflight));
+  Probe.register "fleet.uptime_s" (fun () -> Obs.monotonic_s () -. t.started);
+  Probe.register "fleet.dedup_ratio" (fun () ->
+      let leaders, followers = Single_flight.stats t.flight in
+      let total = leaders + followers in
+      if total = 0 then 0.0 else float_of_int followers /. float_of_int total)
+
+let create ?(restarts = fun () -> [||]) cfg ~dispatch =
+  let cfg =
+    { cfg with shards = max 1 cfg.shards; admission = max 1 cfg.admission }
+  in
+  let t =
+    {
+      cfg;
+      ring = Ring.create ~vnodes:cfg.vnodes ~shards:cfg.shards ();
+      dispatch;
+      shard_restarts = restarts;
+      flight = Single_flight.create ~name:"fleet.singleflight" ();
+      inflight = Atomic.make 0;
+      drain_flag = Atomic.make false;
+      started = Obs.monotonic_s ();
+      total = Atomic.make 0;
+      ok = Atomic.make 0;
+      errors = Atomic.make 0;
+      routed = Array.init cfg.shards (fun _ -> Atomic.make 0);
+    }
+  in
+  register_probes t;
+  t
+
+let drain t = Atomic.set t.drain_flag true
+let draining t = Atomic.get t.drain_flag
+let shutdown _t = List.iter Probe.unregister probe_sources
+
+let record t (resp : Protocol.response) =
+  Atomic.incr t.total;
+  (match resp.Protocol.body with
+  | Ok _ ->
+      Atomic.incr t.ok;
+      Obs.add "fleet.requests.ok" 1
+  | Error (code, _) ->
+      Atomic.incr t.errors;
+      Obs.add ("fleet.requests." ^ Protocol.code_name code) 1);
+  resp
+
+(* --- routing key ---------------------------------------------------------- *)
+
+(* The content identity of a counting request: its canonical JSON with
+   the caller-specific fields (id, deadline) removed.  Same parameters
+   => same key => same ring position => same shard (whose memo/disk
+   cache then recognizes the same Counter.cache_key), and same
+   single-flight — three layers keyed consistently by one string. *)
+let routing_key (req : Protocol.request) =
+  match req.Protocol.kind with
+  | Protocol.Health | Protocol.Stats | Protocol.Metrics _ -> None
+  | Protocol.Count _ | Protocol.Accmc _ | Protocol.Diffmc _ ->
+      Some
+        (Json.to_string
+           (Protocol.request_to_json
+              { req with Protocol.id = Json.Null; deadline_ms = None }))
+
+let shard_of_key t key = Ring.shard t.ring key
+
+(* --- fan-out / merge ------------------------------------------------------- *)
+
+(* Ask every shard concurrently; latency is the slowest shard, not the
+   sum, and a dead shard only stalls its own slot. *)
+let fan_out t (req : Protocol.request) =
+  let n = t.cfg.shards in
+  let results = Array.make n None in
+  let threads =
+    Array.init n (fun i ->
+        Thread.create
+          (fun () ->
+            results.(i) <-
+              Some (t.dispatch i { req with Protocol.id = Json.Int i }))
+          ())
+  in
+  Array.iter Thread.join threads;
+  Array.mapi
+    (fun i r ->
+      match r with
+      | Some resp -> resp
+      | None ->
+          Protocol.err ~id:(Json.Int i) Protocol.Internal "shard dispatch died")
+    results
+
+let int_member name payload =
+  match Json.member name payload with Some (Json.Int i) -> i | _ -> 0
+
+(* Sum one named sub-object (e.g. "requests", "cache") field-wise
+   across the shard payloads that have it. *)
+let sum_object sub fields payloads =
+  Json.Obj
+    (List.map
+       (fun field ->
+         let total =
+           List.fold_left
+             (fun acc payload ->
+               match Json.member sub payload with
+               | Some (Json.Obj _ as o) -> acc + int_member field o
+               | _ -> acc)
+             0 payloads
+         in
+         (field, Json.Int total))
+       fields)
+
+let shard_error_payload i code msg =
+  Json.Obj
+    [
+      ("shard", Json.Int i);
+      ("status", Json.Str "unreachable");
+      ("error", Json.Str (Protocol.code_name code ^ ": " ^ msg));
+    ]
+
+let merge_health t responses =
+  let payloads =
+    Array.to_list
+      (Array.mapi
+         (fun i (r : Protocol.response) ->
+           match r.Protocol.body with
+           | Ok p -> (true, p)
+           | Error (code, msg) -> (false, shard_error_payload i code msg))
+         responses)
+  in
+  let up = List.length (List.filter fst payloads) in
+  let restarts = Array.fold_left ( + ) 0 (t.shard_restarts ()) in
+  Ok
+    (Json.Obj
+       [
+         ( "status",
+           Json.Str
+             (if draining t then "draining"
+              else if up = t.cfg.shards then "ok"
+              else if up > 0 then "degraded"
+              else "down") );
+         ("shards_total", Json.Int t.cfg.shards);
+         ("shards_up", Json.Int up);
+         ("restarts", Json.Int restarts);
+         ("uptime_s", Json.Float (Obs.monotonic_s () -. t.started));
+         ("shards", Json.List (List.map snd payloads));
+       ])
+
+let request_fields =
+  [ "total"; "ok"; "bad_request"; "overloaded"; "timeout"; "draining"; "internal" ]
+
+let cache_fields = [ "hits"; "misses"; "evictions"; "size"; "disk_hits" ]
+
+let merge_stats t responses =
+  let payloads =
+    Array.to_list
+      (Array.mapi
+         (fun i (r : Protocol.response) ->
+           match r.Protocol.body with
+           | Ok p -> p
+           | Error (code, msg) -> shard_error_payload i code msg)
+         responses)
+  in
+  let leaders, followers = Single_flight.stats t.flight in
+  let router =
+    Json.Obj
+      [
+        ("total", Json.Int (Atomic.get t.total));
+        ("ok", Json.Int (Atomic.get t.ok));
+        ("errors", Json.Int (Atomic.get t.errors));
+        ("inflight", Json.Int (Atomic.get t.inflight));
+        ("singleflight_leaders", Json.Int leaders);
+        ("singleflight_dedup", Json.Int followers);
+        ( "routed",
+          Json.List
+            (Array.to_list (Array.map (fun a -> Json.Int (Atomic.get a)) t.routed))
+        );
+        ( "restarts",
+          Json.List
+            (Array.to_list
+               (Array.map (fun r -> Json.Int r) (t.shard_restarts ()))) );
+      ]
+  in
+  (* the fleet-wide aggregates come before the per-shard detail so
+     "everything above `shards`" reads as one coherent summary *)
+  Ok
+    (Json.Obj
+       [
+         ("requests", sum_object "requests" request_fields payloads);
+         ("cache", sum_object "cache" cache_fields payloads);
+         ("router", router);
+         ("shards", Json.List payloads);
+       ])
+
+let merge_metrics fmt responses =
+  match fmt with
+  | `Json ->
+      Ok
+        (Json.Obj
+           [
+             ( "shards",
+               Json.List
+                 (Array.to_list
+                    (Array.mapi
+                       (fun i (r : Protocol.response) ->
+                         match r.Protocol.body with
+                         | Ok p -> p
+                         | Error (code, msg) -> shard_error_payload i code msg)
+                       responses)) );
+           ])
+  | `Text ->
+      let buf = Buffer.create 4096 in
+      Array.iteri
+        (fun i (r : Protocol.response) ->
+          Buffer.add_string buf (Printf.sprintf "# mcml fleet: shard %d\n" i);
+          match r.Protocol.body with
+          | Ok p -> (
+              match Json.member "exposition" p with
+              | Some (Json.Str text) -> Buffer.add_string buf text
+              | _ -> Buffer.add_string buf "# (no exposition)\n")
+          | Error (code, msg) ->
+              Buffer.add_string buf
+                (Printf.sprintf "# shard %d unreachable: %s: %s\n" i
+                   (Protocol.code_name code) msg))
+        responses;
+      Ok
+        (Json.Obj
+           [
+             ("format", Json.Str "openmetrics");
+             ("exposition", Json.Str (Buffer.contents buf));
+           ])
+
+(* --- execution ------------------------------------------------------------- *)
+
+let execute_admin t (req : Protocol.request) =
+  let responses = fan_out t req in
+  let body =
+    match req.Protocol.kind with
+    | Protocol.Health -> merge_health t responses
+    | Protocol.Stats -> merge_stats t responses
+    | Protocol.Metrics fmt -> merge_metrics fmt responses
+    | _ -> assert false
+  in
+  { Protocol.rid = req.Protocol.id; body }
+
+let execute_count t key (req : Protocol.request) =
+  if Atomic.fetch_and_add t.inflight 1 >= t.cfg.admission then begin
+    Atomic.decr t.inflight;
+    Protocol.err ~id:req.Protocol.id Protocol.Overloaded
+      (Printf.sprintf "fleet admission limit reached (%d requests in flight)"
+         t.cfg.admission)
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr t.inflight)
+      (fun () ->
+        let shard = shard_of_key t key in
+        Atomic.incr t.routed.(shard);
+        let led = ref false in
+        let resp = ref (Protocol.err ~id:Json.Null Protocol.Internal "unreached") in
+        Obs.with_span "fleet.route"
+          ~attrs:(fun () ->
+            [
+              ("kind", Obs.Str (Protocol.kind_name req.Protocol.kind));
+              ("shard", Obs.Int shard);
+              ("dedup", Obs.Bool (not !led));
+            ])
+          (fun () ->
+            let r, l =
+              try
+                (* the flight is keyed by the routing key, so every
+                   concurrent identical request shares this one
+                   upstream call; the shared response is re-stamped
+                   with each caller's own id below *)
+                Single_flight.run t.flight ~key (fun () ->
+                    t.dispatch shard { req with Protocol.id = Json.Null })
+              with e ->
+                (Protocol.err ~id:Json.Null Protocol.Internal (Printexc.to_string e), true)
+            in
+            resp := r;
+            led := l);
+        { !resp with Protocol.rid = req.Protocol.id })
+
+let execute t (req : Protocol.request) =
+  record t
+    (if draining t then
+       Protocol.err ~id:req.Protocol.id Protocol.Draining "fleet is draining"
+     else
+       match routing_key req with
+       | None -> execute_admin t req
+       | Some key -> execute_count t key req)
+
+(* --- connection handling ---------------------------------------------------- *)
+
+(* Same reader/ordered-responder shape as Server.handle_connection, but
+   concurrency comes from one systhread per in-flight request (router
+   work is I/O-bound: it waits on shards, it doesn't count) and memory
+   stays bounded by queue_cap exactly as in the single server. *)
+
+type pending = {
+  pm : Mutex.t;
+  pcv : Condition.t;
+  mutable result : Protocol.response option;
+}
+
+type entry = Now of Protocol.response | Later of pending
+
+let handle_connection t ~input ~output =
+  let conn = Obs.start "fleet.conn" in
+  let served = ref 0 in
+  let q : entry Queue.t = Queue.create () in
+  let qm = Mutex.create () in
+  let q_not_empty = Condition.create () in
+  let q_not_full = Condition.create () in
+  let reading_done = ref false in
+  let write_failed = ref false in
+  let responder () =
+    let rec loop () =
+      Mutex.lock qm;
+      while Queue.is_empty q && not !reading_done do
+        Condition.wait q_not_empty qm
+      done;
+      if Queue.is_empty q then Mutex.unlock qm
+      else begin
+        let e = Queue.pop q in
+        Condition.signal q_not_full;
+        Mutex.unlock qm;
+        let resp =
+          match e with
+          | Now r -> r
+          | Later p ->
+              Mutex.lock p.pm;
+              while match p.result with None -> true | Some _ -> false do
+                Condition.wait p.pcv p.pm
+              done;
+              let r = Option.get p.result in
+              Mutex.unlock p.pm;
+              r
+        in
+        if not !write_failed then
+          (try
+             output_string output (Protocol.response_to_string resp);
+             output_char output '\n';
+             flush output
+           with Sys_error _ -> write_failed := true);
+        incr served;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let responder_thread = Thread.create responder () in
+  let enqueue e =
+    Mutex.lock qm;
+    while Queue.length q >= t.cfg.queue_cap && not (Atomic.get t.drain_flag) do
+      Condition.wait q_not_full qm
+    done;
+    Queue.push e q;
+    Condition.signal q_not_empty;
+    Mutex.unlock qm
+  in
+  let reader = Line_reader.create input in
+  let rec read_loop () =
+    match Line_reader.next reader ~stop:(fun () -> Atomic.get t.drain_flag) with
+    | None -> ()
+    | Some line when String.trim line = "" -> read_loop ()
+    | Some line ->
+        let e =
+          match Protocol.request_of_string line with
+          | Error (id, msg) ->
+              Now (record t (Protocol.err ~id Protocol.Bad_request msg))
+          | Ok req ->
+              let p = { pm = Mutex.create (); pcv = Condition.create (); result = None } in
+              let (_ : Thread.t) =
+                Thread.create
+                  (fun () ->
+                    let r =
+                      try execute t req
+                      with e ->
+                        record t
+                          (Protocol.err ~id:req.Protocol.id Protocol.Internal
+                             (Printexc.to_string e))
+                    in
+                    Mutex.lock p.pm;
+                    p.result <- Some r;
+                    Condition.signal p.pcv;
+                    Mutex.unlock p.pm)
+                  ()
+              in
+              Later p
+        in
+        enqueue e;
+        read_loop ()
+  in
+  read_loop ();
+  Mutex.lock qm;
+  reading_done := true;
+  Condition.broadcast q_not_empty;
+  Mutex.unlock qm;
+  Thread.join responder_thread;
+  (try flush output with Sys_error _ -> ());
+  Obs.finish ~attrs:[ ("responses", Obs.Int !served) ] conn
+
+let serve_stdio t = handle_connection t ~input:Unix.stdin ~output:stdout
+
+let serve_unix t ~path =
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* Shard respawns ([Proc]'s supervisors call [Unix.create_process] from
+     this process) must not inherit router sockets: a shard holding a dup
+     of a client connection would keep the client from ever seeing EOF. *)
+  Unix.set_close_on_exec lfd;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 64;
+  let conns = ref [] in
+  let cm = Mutex.create () in
+  let last_probe = ref neg_infinity in
+  let rec accept_loop () =
+    if not (Atomic.get t.drain_flag) then begin
+      (if t.cfg.probe_interval_s > 0.0 then
+         let now = Obs.monotonic_s () in
+         if now -. !last_probe >= t.cfg.probe_interval_s then begin
+           last_probe := now;
+           Probe.sample ()
+         end);
+      (match Unix.select [ lfd ] [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept lfd with
+          | exception Unix.Unix_error (_, _, _) -> ()
+          | cfd, _ ->
+              Unix.set_close_on_exec cfd;
+              let th =
+                Thread.create
+                  (fun () ->
+                    let oc = Unix.out_channel_of_descr cfd in
+                    (try handle_connection t ~input:cfd ~output:oc with _ -> ());
+                    try close_out oc with Sys_error _ -> ())
+                  ()
+              in
+              Mutex.lock cm;
+              conns := th :: !conns;
+              Mutex.unlock cm));
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  Unix.close lfd;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let live =
+    Mutex.lock cm;
+    let l = !conns in
+    Mutex.unlock cm;
+    l
+  in
+  List.iter Thread.join live

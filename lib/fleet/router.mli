@@ -1,0 +1,95 @@
+(** The fleet front-end: one JSONL endpoint over N counting shards.
+
+    Clients speak the unchanged {!Mcml_serve.Protocol} to the router;
+    the router partitions the {e counting} kinds ([count], [accmc],
+    [diffmc]) across shards and fans the {e admin} kinds ([health],
+    [stats], [metrics]) out to all of them, merging the answers.
+
+    {b Routing.}  A counting request's {!routing_key} — its canonical
+    JSON minus the caller-specific [id] and [deadline_ms] — is placed
+    on a consistent-hash {!Ring}.  The same parameters therefore always
+    reach the same shard, whose in-memory memo and on-disk cache are
+    keyed by the same content, so the fleet's aggregate cache is
+    partitioned, not replicated.
+
+    {b Single-flight.}  Before dispatching, every counting request
+    enters a {!Single_flight} table keyed by the same routing key: N
+    concurrent identical requests cost one upstream call, and each
+    caller gets the shared response re-stamped with its own [id].
+    (The leader's [deadline_ms] governs the shared call.)
+
+    {b Failure containment.}  [dispatch] is expected to absorb shard
+    crashes by retrying until the supervisor respawns the shard
+    ({!Proc.dispatch} does); the router turns a dispatch exception
+    into an [Internal] error response rather than dropping the
+    connection.  Fan-out runs shard-parallel, so one dead shard delays
+    — and marks ["unreachable"] — only its own slot of a merged
+    response.
+
+    {b Telemetry.}  Spans [fleet.conn] and [fleet.route] (attrs:
+    kind, shard, dedup); counters [fleet.requests.*],
+    [fleet.singleflight.leaders|dedup], [fleet.shard.restarts|call_retries];
+    probes [fleet.inflight], [fleet.uptime_s], [fleet.dedup_ratio]. *)
+
+type dispatch = int -> Mcml_serve.Protocol.request -> Mcml_serve.Protocol.response
+(** Send one request to shard [i], synchronously.  Must not raise for
+    ordinary failures — return an [Error] response instead.  Tests and
+    [bench --serve --fleet] inject in-process servers here;
+    [mcml fleet] plugs {!Proc.dispatch}. *)
+
+type config = {
+  shards : int;
+  vnodes : int;  (** ring points per shard (see {!Ring.create}) *)
+  admission : int;
+      (** max counting requests in flight router-wide; beyond it,
+          requests are rejected with [Overloaded] *)
+  queue_cap : int;
+      (** per-connection cap on queued (not yet written) responses *)
+  probe_interval_s : float;
+      (** periodic {!Mcml_obs.Probe.sample} cadence in {!serve_unix}
+          ([<= 0.] disables) *)
+}
+
+val default_config : config
+(** [shards = 2], [vnodes = 64], [admission = 256], [queue_cap = 128],
+    [probe_interval_s = 1.0]. *)
+
+type t
+
+val create : ?restarts:(unit -> int array) -> config -> dispatch:dispatch -> t
+(** [restarts] reports the per-shard respawn counts merged into
+    [health]/[stats] responses ({!Proc.restarts} for a process fleet;
+    defaults to none). *)
+
+val routing_key : Mcml_serve.Protocol.request -> string option
+(** The content identity a counting request is sharded and
+    single-flighted by; [None] for the fan-out (admin) kinds.
+    Exposed for tests. *)
+
+val execute : t -> Mcml_serve.Protocol.request -> Mcml_serve.Protocol.response
+(** Route one request synchronously: admission check, ring, flight,
+    dispatch (or fan-out/merge).  The building block of
+    {!handle_connection}; exposed for tests and the bench. *)
+
+val drain : t -> unit
+(** Stop admitting (idempotent, signal-safe): readers stop, queued
+    requests answer [Draining], in-flight dispatches finish, loops
+    return. *)
+
+val draining : t -> bool
+
+val handle_connection : t -> input:Unix.file_descr -> output:out_channel -> unit
+(** Serve one JSONL connection until EOF or {!drain}; responses come
+    back in request order while up to [queue_cap] requests run
+    concurrently.  Does not close either descriptor. *)
+
+val serve_stdio : t -> unit
+
+val serve_unix : t -> path:string -> unit
+(** Accept loop on a Unix socket, one thread per connection, probe
+    ticking, graceful exit on {!drain} — the fleet twin of
+    {!Mcml_serve.Server.serve_unix}. *)
+
+val shutdown : t -> unit
+(** Unregister the router's probes.  Call after the serve loop
+    returns (shard processes are owned by {!Proc} and stopped there). *)

@@ -1,0 +1,59 @@
+module Obs = Mcml_obs.Obs
+
+type 'a cell = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable outcome : ('a, exn) result option;
+}
+
+type 'a t = {
+  name : string;
+  m : Mutex.t;
+  tbl : (string, 'a cell) Hashtbl.t;
+  mutable leaders : int;
+  mutable followers : int;
+}
+
+let create ~name () =
+  { name; m = Mutex.create (); tbl = Hashtbl.create 64; leaders = 0; followers = 0 }
+
+let stats t =
+  Mutex.lock t.m;
+  let r = (t.leaders, t.followers) in
+  Mutex.unlock t.m;
+  r
+
+let run t ~key f =
+  Mutex.lock t.m;
+  match Hashtbl.find_opt t.tbl key with
+  | Some cell ->
+      (* follower: share the in-flight leader's outcome *)
+      t.followers <- t.followers + 1;
+      Mutex.unlock t.m;
+      Obs.add (t.name ^ ".dedup") 1;
+      Mutex.lock cell.m;
+      while match cell.outcome with None -> true | Some _ -> false do
+        Condition.wait cell.cv cell.m
+      done;
+      let outcome = Option.get cell.outcome in
+      Mutex.unlock cell.m;
+      (match outcome with Ok v -> (v, false) | Error e -> raise e)
+  | None ->
+      let cell = { m = Mutex.create (); cv = Condition.create (); outcome = None } in
+      Hashtbl.replace t.tbl key cell;
+      t.leaders <- t.leaders + 1;
+      Mutex.unlock t.m;
+      Obs.add (t.name ^ ".leaders") 1;
+      let outcome = try Ok (f ()) with e -> Error e in
+      (* unpublish before waking the followers: a request arriving after
+         this point starts a fresh flight instead of reading a stale
+         result (the flight table dedups *in-flight* work only — caching
+         completed results is the memo/disk tier's job) *)
+      Mutex.lock t.m;
+      Hashtbl.remove t.tbl key;
+      Mutex.unlock t.m;
+      Mutex.lock cell.m;
+      cell.outcome <- Some outcome;
+      Condition.broadcast cell.cv;
+      Mutex.unlock cell.m;
+      (match outcome with Ok v -> (v, true) | Error e -> raise e)

@@ -1,0 +1,34 @@
+(** Single-flight deduplication of identical in-flight work.
+
+    When several callers concurrently ask for the same key, exactly
+    one (the {e leader}) executes the thunk; the others ({e
+    followers}) block until it finishes and share its outcome —
+    including a raised exception, which is re-raised in every caller.
+    The table tracks {e in-flight} work only: the moment the leader
+    finishes, the key is unpublished, so a later caller starts a fresh
+    flight (result caching belongs to the memo/disk tier, which the
+    leader's execution populates).
+
+    This is what makes a thundering herd of identical cache-miss count
+    requests cost one upstream count: the fleet router runs every
+    count through a flight keyed by the request's routing key.
+
+    Thread-safe; callers may be any mix of systhreads and domains.
+
+    {b Telemetry.}  Counters [<name>.leaders] and [<name>.dedup]
+    (followers served without upstream work). *)
+
+type 'a t
+
+val create : name:string -> unit -> 'a t
+(** [name] prefixes the telemetry counters (the router uses
+    ["fleet.singleflight"]). *)
+
+val run : 'a t -> key:string -> (unit -> 'a) -> 'a * bool
+(** [run t ~key f] returns [(outcome, led)] where [led] says this
+    caller was the leader (ran [f] itself).  If the leader's [f]
+    raises, the exception propagates to the leader {e and} every
+    follower of that flight. *)
+
+val stats : 'a t -> int * int
+(** [(leaders, followers)] since creation. *)

@@ -171,6 +171,24 @@ let to_string (a : t) =
         String.concat "" (string_of_int hd :: List.map (Printf.sprintf "%09d") tl)
   end
 
+let of_string s =
+  let n = String.length s in
+  let is_digit c = c >= '0' && c <= '9' in
+  if n = 0 || not (String.for_all is_digit s) then None
+  else begin
+    (* fold 9-digit decimal chunks: acc = acc * 10^len + chunk *)
+    let pow10 = [| 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000; 1_000_000_000 |] in
+    let acc = ref zero in
+    let i = ref 0 in
+    while !i < n do
+      let len = min 9 (n - !i) in
+      let chunk = int_of_string (String.sub s !i len) in
+      acc := add (mul !acc (of_int pow10.(len))) (of_int chunk);
+      i := !i + len
+    done;
+    Some !acc
+  end
+
 let to_scientific (a : t) =
   let s = to_string a in
   let n = String.length s in

@@ -45,6 +45,11 @@ val to_float : t -> float
 val to_string : t -> string
 (** Exact decimal representation. *)
 
+val of_string : string -> t option
+(** Inverse of {!to_string}: parses a non-empty all-digit decimal
+    string ([None] otherwise).  Needed to round-trip counts through
+    the persistent disk cache. *)
+
 val to_scientific : t -> string
 (** Short scientific rendering, e.g. ["2.54e+120"], matching the style
     of the paper's Table 8. *)

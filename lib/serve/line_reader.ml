@@ -1,0 +1,38 @@
+type t = {
+  fd : Unix.file_descr;
+  pending : Buffer.t;
+  chunk : Bytes.t;
+  mutable eof : bool;
+}
+
+let create fd =
+  { fd; pending = Buffer.create 512; chunk = Bytes.create 8192; eof = false }
+
+let rec next r ~stop =
+  let s = Buffer.contents r.pending in
+  match String.index_opt s '\n' with
+  | Some i ->
+      Buffer.clear r.pending;
+      Buffer.add_substring r.pending s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+  | None ->
+      if r.eof then
+        if s = "" then None
+        else begin
+          (* final line without a trailing newline *)
+          Buffer.clear r.pending;
+          Some s
+        end
+      else if stop () then None
+      else begin
+        (match Unix.select [ r.fd ] [] [] 0.05 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | [], _, _ -> ()
+        | _ -> (
+            match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception Unix.Unix_error (_, _, _) -> r.eof <- true
+            | 0 -> r.eof <- true
+            | n -> Buffer.add_subbytes r.pending r.chunk 0 n));
+        next r ~stop
+      end

@@ -1,0 +1,16 @@
+(** Interruptible buffered line reader over a raw descriptor.
+
+    A plain [in_channel] would block in [read] with no way to notice a
+    drain request; this reader polls [stop] every 50ms while waiting
+    for input, which is what makes SIGTERM able to interrupt an idle
+    connection in both {!Server} and the fleet router. *)
+
+type t
+
+val create : Unix.file_descr -> t
+
+val next : t -> stop:(unit -> bool) -> string option
+(** Next line (without its newline), blocking in 50ms slices.  [None]
+    on EOF — or when [stop ()] turns true while waiting; buffered
+    whole lines are still returned first.  A final line without a
+    trailing newline is returned. *)

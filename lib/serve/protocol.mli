@@ -28,7 +28,14 @@
     Every field except ["kind"] (and ["prop"] for the three counting
     kinds) is optional and defaults to the CLI defaults.  Unknown
     fields are ignored (forward compatibility); a malformed value in a
-    known field rejects the request with [Bad_request]. *)
+    known field rejects the request with [Bad_request].
+
+    {b Shard attribution.}  [health] and [stats] payloads from a fleet
+    shard (a server created with [shard_id]) carry an {e optional}
+    ["shard": int] field; the fleet router's merged fan-out responses
+    keep per-shard entries attributable by it.  Clients that predate
+    the fleet ignore it like any other unknown field — no version
+    negotiation needed. *)
 
 open Mcml_obs
 

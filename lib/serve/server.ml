@@ -14,6 +14,8 @@ type config = {
   cache : bool;
   cache_capacity : int;
   probe_interval_s : float;
+  shard_id : int option;
+  cache_dir : string option;
 }
 
 let default_config =
@@ -24,6 +26,8 @@ let default_config =
     cache = true;
     cache_capacity = 4096;
     probe_interval_s = 1.0;
+    shard_id = None;
+    cache_dir = None;
   }
 
 (* Request totals, kept as atomics (not Obs counters) so the [stats]
@@ -42,6 +46,8 @@ type t = {
   cfg : config;
   pool : Pool.t;
   cache : Counter.cache option;
+  disk : Mcml_exec.Diskcache.t option;
+      (** persistent tier behind [cache]; owned (and closed) here *)
   inflight : int Atomic.t;  (** admitted counting requests not yet finished *)
   drain_flag : bool Atomic.t;
   started : float;
@@ -86,14 +92,20 @@ let register_probes t =
 
 let create cfg =
   let cfg = { cfg with jobs = max 1 cfg.jobs; admission = max 0 cfg.admission } in
+  let disk =
+    if cfg.cache then
+      Option.map (fun dir -> Mcml_exec.Diskcache.open_ dir) cfg.cache_dir
+    else None
+  in
   let t =
     {
       cfg;
       pool = Pool.create ~jobs:cfg.jobs ();
       cache =
         (if cfg.cache then
-           Some (Counter.cache_create ~capacity:cfg.cache_capacity ())
+           Some (Counter.cache_create ~capacity:cfg.cache_capacity ?disk ())
          else None);
+      disk;
       inflight = Atomic.make 0;
       drain_flag = Atomic.make false;
       started = Obs.monotonic_s ();
@@ -119,7 +131,8 @@ let draining t = Atomic.get t.drain_flag
 
 let shutdown t =
   List.iter Probe.unregister probe_sources;
-  Pool.shutdown t.pool
+  Pool.shutdown t.pool;
+  Option.iter Mcml_exec.Diskcache.close t.disk
 
 (* Every response the server produces passes through here exactly once:
    totals for [stats], mirrored to Obs counters for traces. *)
@@ -317,22 +330,34 @@ let cache_stats_json t =
           ("misses", Json.Int s.Mcml_exec.Memo.misses);
           ("evictions", Json.Int s.Mcml_exec.Memo.evictions);
           ("size", Json.Int s.Mcml_exec.Memo.size);
+          ("disk_hits", Json.Int s.Mcml_exec.Memo.backing_hits);
         ]
+
+(* The optional shard stamp on health/stats payloads: lets the fleet
+   router's fan-out merge stay attributable.  Absent (not null) when
+   the server is not a shard, so pre-fleet clients see byte-identical
+   responses. *)
+let shard_field t =
+  match t.cfg.shard_id with
+  | None -> []
+  | Some id -> [ ("shard", Json.Int id) ]
 
 let health_json t =
   Json.Obj
-    [
-      ("status", Json.Str (if draining t then "draining" else "ok"));
-      ("jobs", Json.Int (jobs t));
-      ("inflight", Json.Int (Atomic.get t.inflight));
-      ("queue_depth", Json.Int (Pool.queue_depth t.pool));
-      ("uptime_s", Json.Float (Obs.monotonic_s () -. t.started));
-    ]
+    (shard_field t
+    @ [
+        ("status", Json.Str (if draining t then "draining" else "ok"));
+        ("jobs", Json.Int (jobs t));
+        ("inflight", Json.Int (Atomic.get t.inflight));
+        ("queue_depth", Json.Int (Pool.queue_depth t.pool));
+        ("uptime_s", Json.Float (Obs.monotonic_s () -. t.started));
+      ])
 
 let stats_json t =
   let g c = Json.Int (Atomic.get c) in
   Json.Obj
-    [
+    (shard_field t
+    @ [
       ( "requests",
         Json.Obj
           [
@@ -347,7 +372,7 @@ let stats_json t =
       ("inflight", Json.Int (Atomic.get t.inflight));
       ("jobs", Json.Int (jobs t));
       ("cache", cache_stats_json t);
-    ]
+    ])
 
 (* A [metrics] scrape: sample the probes first so the GC/rusage and
    dynamic gauges in the snapshot are current, not last-tick stale. *)
@@ -417,50 +442,6 @@ let execute t (req : Protocol.request) =
   execute_in t ~deadline req
 
 (* --- connection handling ------------------------------------------------ *)
-
-(* Buffered line reader over a raw descriptor.  A plain [in_channel]
-   would block in [read] with no way to notice {!drain}; this one polls
-   [stop] every 50ms while waiting, which is what makes SIGTERM able to
-   interrupt an idle connection. *)
-module Line_reader = struct
-  type r = {
-    fd : Unix.file_descr;
-    pending : Buffer.t;
-    chunk : Bytes.t;
-    mutable eof : bool;
-  }
-
-  let create fd = { fd; pending = Buffer.create 512; chunk = Bytes.create 8192; eof = false }
-
-  let rec next r ~stop =
-    let s = Buffer.contents r.pending in
-    match String.index_opt s '\n' with
-    | Some i ->
-        Buffer.clear r.pending;
-        Buffer.add_substring r.pending s (i + 1) (String.length s - i - 1);
-        Some (String.sub s 0 i)
-    | None ->
-        if r.eof then
-          if s = "" then None
-          else begin
-            (* final line without a trailing newline *)
-            Buffer.clear r.pending;
-            Some s
-          end
-        else if stop () then None
-        else begin
-          (match Unix.select [ r.fd ] [] [] 0.05 with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          | [], _, _ -> ()
-          | _ -> (
-              match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
-              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-              | exception Unix.Unix_error (_, _, _) -> r.eof <- true
-              | 0 -> r.eof <- true
-              | n -> Buffer.add_subbytes r.pending r.chunk 0 n));
-          next r ~stop
-        end
-end
 
 (* A response slot in connection order: either already computed (admin
    kinds, rejections) or still running on the pool. *)

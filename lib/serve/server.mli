@@ -74,11 +74,23 @@ type config = {
       (** minimum seconds between periodic {!Mcml_obs.Probe.sample}
           ticks in {!serve_unix}'s accept loop ([<= 0.] disables the
           ticker; a [metrics] request still samples on demand) *)
+  shard_id : int option;
+      (** fleet identity: when set, [health] and [stats] payloads carry
+          a ["shard"] field so the router's fan-out merge stays
+          attributable; [None] leaves the payloads exactly as before *)
+  cache_dir : string option;
+      (** when set (and [cache] is on), the count cache is backed by a
+          persistent {!Mcml_exec.Diskcache} at this directory: opened
+          (with crash recovery) at {!create}, written through on every
+          new outcome, closed at {!shutdown}.  A restarted server
+          answers previously counted keys from disk without
+          recounting. *)
 }
 
 val default_config : config
 (** [jobs = 1], [admission = 64], [queue_cap = 128], [cache = true],
-    [cache_capacity = 4096], [probe_interval_s = 1.0]. *)
+    [cache_capacity = 4096], [probe_interval_s = 1.0],
+    [shard_id = None], [cache_dir = None]. *)
 
 type t
 

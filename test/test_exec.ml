@@ -134,6 +134,191 @@ let memo_add_first_wins () =
   Memo.add m ~key:"k" 2;
   check Alcotest.(option int) "first insert wins" (Some 1) (Memo.find m ~key:"k")
 
+(* --- disk cache --------------------------------------------------------- *)
+
+let fresh_dir () =
+  let d = Filename.temp_file "mcml_diskcache" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let log_file dir = Filename.concat dir "cache.log"
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+let diskcache_restart_roundtrip () =
+  let dir = fresh_dir () in
+  let dc = Diskcache.open_ dir in
+  Diskcache.add dc ~key:"k1" "v1";
+  Diskcache.add dc ~key:"k2" "v2";
+  Diskcache.add dc ~key:"k1" "ignored";
+  check Alcotest.(option string) "find k1" (Some "v1") (Diskcache.find dc ~key:"k1");
+  check Alcotest.int "first insert wins" 2 (Diskcache.stats dc).Diskcache.entries;
+  Diskcache.close dc;
+  (* a restarted handle serves everything from disk *)
+  let dc2 = Diskcache.open_ dir in
+  check Alcotest.(option string) "k1 survives restart" (Some "v1")
+    (Diskcache.find dc2 ~key:"k1");
+  check Alcotest.(option string) "k2 survives restart" (Some "v2")
+    (Diskcache.find dc2 ~key:"k2");
+  let s = Diskcache.stats dc2 in
+  check Alcotest.int "entries" 2 s.Diskcache.entries;
+  check Alcotest.int "clean log: nothing recovered" 0 s.Diskcache.recovered_bytes;
+  Diskcache.close dc2;
+  (match Diskcache.verify dir with
+  | Ok s -> check Alcotest.int "verify agrees" 2 s.Diskcache.entries
+  | Error msg -> Alcotest.failf "verify of a clean log failed: %s" msg)
+
+let diskcache_truncated_tail () =
+  let dir = fresh_dir () in
+  let dc = Diskcache.open_ dir in
+  Diskcache.add dc ~key:"a" "alpha";
+  Diskcache.add dc ~key:"b" "beta";
+  Diskcache.close dc;
+  (* crash mid-append: chop bytes off the last record *)
+  let path = log_file dir in
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (size - 3);
+  (match Diskcache.verify dir with
+  | Ok _ -> Alcotest.fail "verify accepted a torn tail"
+  | Error _ -> ());
+  let dc2 = Diskcache.open_ dir in
+  let s = Diskcache.stats dc2 in
+  check Alcotest.int "valid prefix served" 1 s.Diskcache.entries;
+  check Alcotest.(option string) "a intact" (Some "alpha")
+    (Diskcache.find dc2 ~key:"a");
+  check Alcotest.(option string) "torn record dropped" None
+    (Diskcache.find dc2 ~key:"b");
+  check Alcotest.bool "recovery accounted" true (s.Diskcache.recovered_bytes > 0);
+  (* the writable open truncated the tail: appends work and verify is
+     clean again *)
+  Diskcache.add dc2 ~key:"c" "gamma";
+  Diskcache.close dc2;
+  (match Diskcache.verify dir with
+  | Ok s -> check Alcotest.int "log clean after recovery + append" 2 s.Diskcache.entries
+  | Error msg -> Alcotest.failf "recovered log fails verify: %s" msg)
+
+let diskcache_flipped_crc_byte () =
+  let dir = fresh_dir () in
+  let dc = Diskcache.open_ dir in
+  Diskcache.add dc ~key:"a" "alpha";
+  let prefix = (Diskcache.stats dc).Diskcache.log_bytes in
+  Diskcache.add dc ~key:"b" "beta";
+  Diskcache.add dc ~key:"c" "gamma";
+  Diskcache.close dc;
+  (* bit rot inside the second record: it and everything after must be
+     dropped, everything before served *)
+  flip_byte (log_file dir) (prefix + 9);
+  (match Diskcache.verify dir with
+  | Ok _ -> Alcotest.fail "verify accepted a corrupt record"
+  | Error msg ->
+      check Alcotest.bool "error names an offset" true
+        (String.length msg > 0));
+  let dc2 = Diskcache.open_ dir in
+  check Alcotest.int "prefix before corruption served" 1
+    (Diskcache.stats dc2).Diskcache.entries;
+  check Alcotest.(option string) "a intact" (Some "alpha")
+    (Diskcache.find dc2 ~key:"a");
+  check Alcotest.(option string) "corrupt record dropped" None
+    (Diskcache.find dc2 ~key:"b");
+  Diskcache.close dc2
+
+let diskcache_readonly_and_lock () =
+  let dir = fresh_dir () in
+  let dc = Diskcache.open_ dir in
+  Diskcache.add dc ~key:"k" "v";
+  (* a second writer is refused while the first holds the directory *)
+  (match Diskcache.open_ dir with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "second writer accepted");
+  (* a read-only open takes no lock and refuses writes *)
+  let ro = Diskcache.open_ ~readonly:true dir in
+  check Alcotest.(option string) "readonly sees the writer's record" (Some "v")
+    (Diskcache.find ro ~key:"k");
+  (match Diskcache.add ro ~key:"x" "y" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "readonly add accepted");
+  Diskcache.close ro;
+  Diskcache.close dc
+
+let diskcache_concurrent_reader () =
+  (* a reader opening the directory mid-append must always observe a
+     valid prefix: entry counts only grow, every indexed key finds its
+     value, and no open ever fails *)
+  let dir = fresh_dir () in
+  let dc = Diskcache.open_ dir in
+  let writer_done = Atomic.make false in
+  let seen = Atomic.make 0 in
+  let reader =
+    Thread.create
+      (fun () ->
+        let last = ref 0 in
+        while not (Atomic.get writer_done) do
+          let ro = Diskcache.open_ ~readonly:true dir in
+          let n = (Diskcache.stats ro).Diskcache.entries in
+          if n < !last then
+            Alcotest.failf "entries went backwards: %d after %d" n !last;
+          last := n;
+          for i = 0 to n - 1 do
+            let key = Printf.sprintf "k%d" i in
+            match Diskcache.find ro ~key with
+            | Some v ->
+                if v <> String.make 64 'x' then
+                  Alcotest.failf "reader saw garbage for %s" key
+            | None -> Alcotest.failf "indexed key %s missing" key
+          done;
+          Diskcache.close ro;
+          Atomic.set seen (max (Atomic.get seen) n);
+          Thread.yield ()
+        done)
+      ()
+  in
+  for i = 0 to 49 do
+    Diskcache.add dc ~key:(Printf.sprintf "k%d" i) (String.make 64 'x')
+  done;
+  Atomic.set writer_done true;
+  Thread.join reader;
+  Diskcache.close dc;
+  let ro = Diskcache.open_ ~readonly:true dir in
+  check Alcotest.int "final reader sees every record" 50
+    (Diskcache.stats ro).Diskcache.entries;
+  Diskcache.close ro
+
+let diskcache_backs_memo () =
+  (* the restart-replay contract: a fresh memo over a populated disk
+     tier serves old keys as (backing) hits — zero misses *)
+  let dir = fresh_dir () in
+  let backing dc =
+    {
+      Memo.load = (fun key -> Diskcache.find dc ~key);
+      store = (fun key v -> Diskcache.add dc ~key v);
+    }
+  in
+  let dc = Diskcache.open_ dir in
+  let m = Memo.create ~backing:(backing dc) ~name:"test.backed" () in
+  Memo.add m ~key:"a" "1";
+  Memo.add m ~key:"b" "2";
+  Diskcache.close dc;
+  let dc2 = Diskcache.open_ dir in
+  let m2 = Memo.create ~backing:(backing dc2) ~name:"test.backed" () in
+  check Alcotest.(option string) "a replayed" (Some "1") (Memo.find m2 ~key:"a");
+  check Alcotest.(option string) "b replayed" (Some "2") (Memo.find m2 ~key:"b");
+  (* promoted: the second lookup is a memory hit, not a disk read *)
+  check Alcotest.(option string) "a promoted" (Some "1") (Memo.find m2 ~key:"a");
+  let s = Memo.stats m2 in
+  check Alcotest.int "zero misses on replay" 0 s.Memo.misses;
+  check Alcotest.int "hits" 3 s.Memo.hits;
+  check Alcotest.int "backing-tier hits" 2 s.Memo.backing_hits;
+  Diskcache.close dc2
+
 (* --- counter cache ------------------------------------------------------ *)
 
 let small_cnf () =
@@ -330,6 +515,15 @@ let () =
           Alcotest.test_case "FIFO eviction" `Quick memo_eviction;
           Alcotest.test_case "collision safety" `Quick memo_collision_safety;
           Alcotest.test_case "first insert wins" `Quick memo_add_first_wins;
+        ] );
+      ( "diskcache",
+        [
+          Alcotest.test_case "restart roundtrip" `Quick diskcache_restart_roundtrip;
+          Alcotest.test_case "truncated tail" `Quick diskcache_truncated_tail;
+          Alcotest.test_case "flipped CRC byte" `Quick diskcache_flipped_crc_byte;
+          Alcotest.test_case "readonly + writer lock" `Quick diskcache_readonly_and_lock;
+          Alcotest.test_case "concurrent reader" `Quick diskcache_concurrent_reader;
+          Alcotest.test_case "backs the memo tier" `Quick diskcache_backs_memo;
         ] );
       ( "count-cache",
         [
