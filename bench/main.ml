@@ -356,6 +356,7 @@ let serve_requests ?(jitter = 0.0) ~budget ~seed () =
                     let id = (round * 100) + (scope * 10) + i in
                     {
                       Mcml_serve.Protocol.id = Mcml_obs.Json.Int id;
+                      trace = None;
                       deadline_ms = None;
                       kind =
                         Mcml_serve.Protocol.Count

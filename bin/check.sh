@@ -365,6 +365,112 @@ rm -rf "$fdir" "$fout1" "$fout2" "$fout3" "$fhealth" "$fstats" "$direct"
 echo "   30/30 fleet answers identical to direct CLI across a shard kill;"
 echo "   restart replayed every key from disk with zero recounts"
 
+echo "== distributed-trace gate: one forest across the fleet =="
+# a 3-shard fleet tracing every process into --trace-dir; 20 counts
+# through the router, SIGUSR1 one shard (flight-recorder dump, shard
+# must survive), a lint-checked fleet-wide metrics scrape whose
+# shard-labeled ok-counters must sum to the unlabeled sample, then a
+# clean drain and a merged-forest validation: stats --from-trace-dir
+# must accept the directory and report cross-process parent edges
+# (shard serve.request spans hanging under router spans).
+tsock="/tmp/mcml_tfleet.$$.sock"
+tdir="$(mktemp -d /tmp/mcml_tfleet.XXXXXX)"
+"$MCML" fleet --shards 3 --socket "$tsock" \
+  --shard-dir "$tdir/shards" --trace-dir "$tdir/traces" 2>/dev/null &
+tfleet_pid=$!
+i=0
+while [ ! -S "$tsock" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$tsock" ] || { echo "FAIL: traced fleet socket never appeared" >&2; exit 1; }
+
+tout="$(mktemp /tmp/mcml_tfleet_out.XXXXXX.jsonl)"
+{ serve_reqs t1; serve_reqs t2; } | "$MCML" client --socket "$tsock" \
+  --retries 3 >"$tout" || {
+  echo "FAIL: traced fleet client exited nonzero" >&2
+  exit 1
+}
+[ "$(wc -l <"$tout")" -eq 20 ] || {
+  echo "FAIL: expected 20 traced fleet responses" >&2
+  exit 1
+}
+if grep -q '"ok":false' "$tout"; then
+  echo "FAIL: traced fleet returned an error response" >&2
+  grep '"ok":false' "$tout" >&2
+  exit 1
+fi
+
+# flight recorder: SIGUSR1 must dump the in-memory ring without
+# disturbing the shard
+usr1_pid="$(pgrep -f "$tdir/shards/shard-1.sock" || true)"
+[ -n "$usr1_pid" ] || { echo "FAIL: traced shard 1 never came up" >&2; exit 1; }
+kill -USR1 "$usr1_pid"
+i=0
+while ! ls "$tdir"/traces/flight-shard-*.events >/dev/null 2>&1 && [ $i -lt 50 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+fdump="$(ls "$tdir"/traces/flight-shard-*.events 2>/dev/null | head -1)"
+[ -n "$fdump" ] && [ -s "$fdump" ] || {
+  echo "FAIL: SIGUSR1 produced no flight-recorder dump" >&2
+  exit 1
+}
+kill -0 "$usr1_pid" || { echo "FAIL: shard died on SIGUSR1" >&2; exit 1; }
+
+# fleet-wide metrics: the scrape must pass the client's own lint
+# (--check) and the shard-labeled ok-counters must sum to the
+# unlabeled fleet-total sample
+tmetrics="$(mktemp /tmp/mcml_tfleet_metrics.XXXXXX.txt)"
+"$MCML" client --socket "$tsock" --retries 3 metrics --check >"$tmetrics" || {
+  echo "FAIL: fleet metrics scrape failed (or failed lint)" >&2
+  exit 1
+}
+grep -q 'shard="[0-9]' "$tmetrics" || {
+  echo "FAIL: fleet exposition has no shard-labeled samples" >&2
+  exit 1
+}
+grep -q 'mcml_fleet_shard_up{shard="2"} 1' "$tmetrics" || {
+  echo "FAIL: fleet exposition lacks live shard_up gauges" >&2
+  cat "$tmetrics" >&2
+  exit 1
+}
+awk '
+  /^mcml_serve_requests_ok_total\{shard="[0-9]+"\}/ { sum += $2 }
+  /^mcml_serve_requests_ok_total [0-9]/ { total = $2 }
+  END { exit (total > 0 && sum == total) ? 0 : 1 }
+' "$tmetrics" || {
+  echo "FAIL: shard-labeled ok-counters do not sum to the fleet total" >&2
+  cat "$tmetrics" >&2
+  exit 1
+}
+
+kill -TERM $tfleet_pid
+wait $tfleet_pid || { echo "FAIL: traced fleet exited nonzero after SIGTERM" >&2; exit 1; }
+
+# the merged forest: every process wrote a stream, the directory
+# validates as one forest, and shard spans hang under router spans
+# across the process boundary
+[ "$(ls "$tdir"/traces/router-*.jsonl 2>/dev/null | wc -l)" -eq 1 ] || {
+  echo "FAIL: router wrote no trace stream" >&2
+  exit 1
+}
+[ "$(ls "$tdir"/traces/shard-*.jsonl 2>/dev/null | wc -l)" -eq 3 ] || {
+  echo "FAIL: expected 3 shard trace streams" >&2
+  exit 1
+}
+tstats="$(mktemp /tmp/mcml_tfleet_stats.XXXXXX.txt)"
+"$MCML" stats --from-trace-dir "$tdir/traces" >"$tstats" || {
+  echo "FAIL: the merged fleet trace did not validate" >&2
+  exit 1
+}
+grep -q 'cross-process parent edges: [1-9]' "$tstats" || {
+  echo "FAIL: merged forest has no cross-process parent edges:" >&2
+  cat "$tstats" >&2
+  exit 1
+}
+rm -rf "$tdir" "$tout" "$tmetrics" "$tstats"
+echo "   20/20 traced answers; flight dump on SIGUSR1; lint-clean fleet"
+echo "   exposition with consistent shard sums; one merged forest with"
+echo "   cross-process parent edges"
+
 echo "== docs: dune build @doc =="
 # the container may lack odoc (it is not vendored and cannot be
 # installed here); the doc gate runs wherever it is available

@@ -106,6 +106,84 @@ let install_obs trace verbose =
 
 let obs_term = Term.(const install_obs $ trace_arg $ verbose_stats_arg)
 
+(* --- per-process tracing & flight recorder (serve / fleet) ---------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let trace_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write this process's JSONL trace to $(docv)/<role>-<pid>.jsonl \
+           (creating $(docv) if needed). 'mcml fleet' passes the flag to \
+           every shard it spawns, so one directory collects the whole \
+           fleet's trace for 'mcml stats --from-trace-dir'. Flight-recorder \
+           dumps (SIGUSR1, or a crash) land beside the traces as \
+           flight-<role>-<pid>.events.")
+
+(* Every fleet process traces into its own file — named by role and pid
+   so a respawned shard never clobbers its predecessor's trace — teed
+   onto whatever sink --trace/--verbose-stats installed. *)
+let install_process_trace ~role dir =
+  let open Mcml_obs in
+  mkdir_p dir;
+  let path =
+    Filename.concat dir (Printf.sprintf "%s-%d.jsonl" role (Unix.getpid ()))
+  in
+  let sink =
+    try Obs.jsonl path
+    with Sys_error msg ->
+      Printf.eprintf "mcml %s: cannot open trace file: %s\n" role msg;
+      exit 2
+  in
+  if Obs.enabled () then Obs.set_sink (Obs.tee (Obs.sink ()) sink)
+  else Obs.set_sink sink;
+  at_exit Obs.flush
+
+(* A bounded ring of the most recent events, dumped on demand.  The
+   SIGUSR1 handler only flips a flag: dumping takes the Obs lock, and a
+   signal can land on a thread already holding it — the watcher thread
+   does the actual I/O.  Returns the dump function so the serve loop
+   can also dump on a crash. *)
+let install_flight_recorder ~role ~dir =
+  let open Mcml_obs in
+  let recorder = Flight.create () in
+  Obs.set_sink (Obs.tee (Obs.sink ()) (Flight.sink recorder));
+  let dump reason =
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "flight-%s-%d.events" role (Unix.getpid ()))
+    in
+    match
+      mkdir_p dir;
+      Flight.dump recorder path
+    with
+    | n ->
+        Printf.eprintf "mcml %s: flight recorder dumped %d event(s) to %s (%s)\n%!"
+          role n path reason
+    | exception Sys_error msg ->
+        Printf.eprintf "mcml %s: flight recorder dump failed: %s\n%!" role msg
+  in
+  let requested = Atomic.make false in
+  Sys.set_signal Sys.sigusr1
+    (Sys.Signal_handle (fun _ -> Atomic.set requested true));
+  let (_ : Thread.t) =
+    Thread.create
+      (fun () ->
+        while true do
+          Thread.delay 0.1;
+          if Atomic.exchange requested false then dump "SIGUSR1"
+        done)
+      ()
+  in
+  dump
+
 (* --- list ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -310,6 +388,17 @@ let load_trace path =
       exit 1
   | Ok t -> t
 
+let load_trace_dir dir =
+  match Mcml_obs.Trace.load_dir dir with
+  | exception Sys_error msg ->
+      Printf.eprintf "mcml: cannot read trace dir: %s\n" msg;
+      exit 2
+  | Error errs ->
+      Printf.eprintf "mcml: malformed trace dir %s:\n" dir;
+      List.iter (fun e -> Printf.eprintf "  %s\n" e) errs;
+      exit 1
+  | Ok t -> t
+
 (* The profiler's ranking: per span name, the time spent in that span
    itself (children excluded), largest first. *)
 let print_self_times oc t ~top =
@@ -345,6 +434,19 @@ let stats_cmd =
              per-domain breakdown, latency and counter tables.  Exits 1 on \
              a malformed trace.")
   in
+  let from_trace_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Like --from-trace, but read and merge every *.jsonl file in \
+             $(docv) — the layout a fleet run with --trace-dir writes (one \
+             file per process).  Remote parent references are resolved \
+             across files; a dangling one is as fatal as a dangling local \
+             parent.  The replay adds a per-process table and the \
+             cross-process parent edge count.")
+  in
   let shape_arg =
     Arg.(
       value
@@ -366,18 +468,24 @@ let stats_cmd =
              time (the profiler's aggregation; 0 = all spans), instead of \
              the full replay.")
   in
-  let replay_trace path ~shape ~top =
-    let t = load_trace path in
+  let replay_trace t ~shape ~top =
     if shape then print_string (Mcml_obs.Trace.shape t)
     else
       match top with
       | Some n -> print_self_times stdout t ~top:n
       | None -> Mcml_obs.Trace.render stdout t
   in
-  let run () from_trace shape top prop scope symmetry seed budget backend =
-    match from_trace with
-    | Some path -> replay_trace path ~shape ~top
-    | None ->
+  let run () from_trace from_trace_dir shape top prop scope symmetry seed budget
+      backend =
+    match (from_trace, from_trace_dir) with
+    | Some _, Some _ ->
+        Printf.eprintf
+          "mcml stats: --from-trace and --from-trace-dir are mutually \
+           exclusive\n";
+        exit 2
+    | Some path, None -> replay_trace (load_trace path) ~shape ~top
+    | None, Some dir -> replay_trace (load_trace_dir dir) ~shape ~top
+    | None, None ->
     let prop =
       match prop with
       | Some p -> p
@@ -426,20 +534,33 @@ let stats_cmd =
          "Run an instrumented generate/train/count pipeline and print the \
           aggregated span tree, latency and counter tables (combine with \
           --trace for a JSONL trace) — or, with --from-trace FILE, validate \
-          and replay an existing trace instead.")
+          and replay an existing trace instead (--from-trace-dir merges a \
+          fleet's per-process traces into one cross-process forest).")
     Term.(
-      const run $ obs_term $ from_trace_arg $ shape_arg $ top_arg $ prop_opt_arg
-      $ scope_arg $ symmetry_arg $ seed_arg $ budget_arg $ backend_arg)
+      const run $ obs_term $ from_trace_arg $ from_trace_dir_arg $ shape_arg
+      $ top_arg $ prop_opt_arg $ scope_arg $ symmetry_arg $ seed_arg
+      $ budget_arg $ backend_arg)
 
 (* --- profile --------------------------------------------------------------------- *)
 
 let profile_cmd =
   let from_trace_arg =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "from-trace" ] ~docv:"FILE"
           ~doc:"JSONL trace written by --trace to profile.")
+  in
+  let from_trace_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Merge and profile a fleet's per-process traces (the directory \
+             --trace-dir wrote).  Every stack's root frame is qualified as \
+             pidN/name, so router and shard self-times never collide in \
+             the flamegraph.")
   in
   let top_arg =
     Arg.(
@@ -457,8 +578,17 @@ let profile_cmd =
             "Write the folded stacks to $(docv) instead of stdout (the \
              self-time table then goes to stdout instead of stderr).")
   in
-  let run () path top out =
-    let t = load_trace path in
+  let run () path dir top out =
+    let t =
+      match (path, dir) with
+      | Some p, None -> load_trace p
+      | None, Some d -> load_trace_dir d
+      | _ ->
+          Printf.eprintf
+            "mcml profile: exactly one of --from-trace or --from-trace-dir \
+             is required\n";
+          exit 2
+    in
     let folded = Mcml_obs.Trace.folded t in
     (* flamegraph.pl wants integer values; integer microseconds keep
        sub-millisecond spans from rounding away *)
@@ -488,8 +618,12 @@ let profile_cmd =
          "Replay a JSONL trace into flamegraph-compatible folded stacks \
           (one 'root;child;leaf MICROSECONDS' line per aggregated call \
           path, self time only) plus a top-N self-time table. Pipe the \
-          folded output into flamegraph.pl or paste it into speedscope.")
-    Term.(const run $ obs_term $ from_trace_arg $ top_arg $ out_arg)
+          folded output into flamegraph.pl or paste it into speedscope. \
+          With --from-trace-dir, profiles a merged multi-process fleet \
+          trace.")
+    Term.(
+      const run $ obs_term $ from_trace_arg $ from_trace_dir_arg $ top_arg
+      $ out_arg)
 
 (* --- exp ------------------------------------------------------------------------- *)
 
@@ -628,7 +762,8 @@ let serve_cmd =
             "Fleet shard identity: stamp health/stats responses with a \
              \"shard\" field. Set by 'mcml fleet' on the shards it spawns.")
   in
-  let run () socket jobs admission queue_cap no_cache cache_dir shard_id =
+  let run () socket jobs admission queue_cap no_cache cache_dir shard_id
+      trace_dir =
     if admission < 0 then begin
       Printf.eprintf "mcml serve: --admission must be >= 0\n";
       exit 2
@@ -638,11 +773,23 @@ let serve_cmd =
       exit 2
     end;
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    (* A server without --trace/--verbose-stats still answers [metrics]
-       scrapes: turn the registry on (stats_only records counters and
-       histograms but emits no events) unless a real sink is installed. *)
+    let role = match shard_id with Some _ -> "shard" | None -> "serve" in
+    (match trace_dir with
+    | Some dir -> install_process_trace ~role dir
+    | None -> ());
+    (* A server without --trace/--trace-dir/--verbose-stats still answers
+       [metrics] scrapes: turn the registry on (stats_only records
+       counters and histograms but emits no events) unless a real sink
+       is installed. *)
     if not (Mcml_obs.Obs.enabled ()) then
       Mcml_obs.Obs.set_sink (Mcml_obs.Obs.stats_only ());
+    let dump =
+      install_flight_recorder ~role
+        ~dir:
+          (match trace_dir with
+          | Some d -> d
+          | None -> Filename.get_temp_dir_name ())
+    in
     let srv =
       Mcml_serve.Server.create
         {
@@ -661,15 +808,21 @@ let serve_cmd =
     let on_signal _ = Mcml_serve.Server.drain srv in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-    (match socket with
-    | Some path ->
-        Printf.eprintf "mcml serve: listening on %s (jobs=%d, admission=%d)\n%!"
-          path jobs admission;
-        Mcml_serve.Server.serve_unix srv ~path;
-        Printf.eprintf "mcml serve: drained, exiting\n%!"
-    | None ->
-        Printf.eprintf "mcml serve: speaking JSONL on stdio (jobs=%d)\n%!" jobs;
-        Mcml_serve.Server.serve_stdio srv);
+    (try
+       match socket with
+       | Some path ->
+           Printf.eprintf
+             "mcml serve: listening on %s (jobs=%d, admission=%d)\n%!" path jobs
+             admission;
+           Mcml_serve.Server.serve_unix srv ~path;
+           Printf.eprintf "mcml serve: drained, exiting\n%!"
+       | None ->
+           Printf.eprintf "mcml serve: speaking JSONL on stdio (jobs=%d)\n%!"
+             jobs;
+           Mcml_serve.Server.serve_stdio srv
+     with e ->
+       dump "crash";
+       raise e);
     Mcml_serve.Server.shutdown srv
   in
   Cmd.v
@@ -682,7 +835,7 @@ let serve_cmd =
           graceful drain on SIGTERM/SIGINT.")
     Term.(
       const run $ obs_term $ socket_arg $ jobs $ admission $ queue_cap
-      $ no_cache $ cache_dir $ shard_id)
+      $ no_cache $ cache_dir $ shard_id $ trace_dir_arg)
 
 (* --- fleet ----------------------------------------------------------------------- *)
 
@@ -725,14 +878,24 @@ let fleet_cmd =
             "Directory for the shard sockets (default: a per-pid directory \
              under the system temp dir).")
   in
-  let run () socket shards jobs admission cache_dir shard_dir =
+  let run () socket shards jobs admission cache_dir shard_dir trace_dir =
     if shards < 1 then begin
       Printf.eprintf "mcml fleet: --shards must be >= 1\n";
       exit 2
     end;
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (match trace_dir with
+    | Some dir -> install_process_trace ~role:"router" dir
+    | None -> ());
     if not (Mcml_obs.Obs.enabled ()) then
       Mcml_obs.Obs.set_sink (Mcml_obs.Obs.stats_only ());
+    let dump =
+      install_flight_recorder ~role:"router"
+        ~dir:
+          (match trace_dir with
+          | Some d -> d
+          | None -> Filename.get_temp_dir_name ())
+    in
     let dir =
       match shard_dir with
       | Some d -> d
@@ -749,6 +912,7 @@ let fleet_cmd =
           jobs;
           admission;
           cache_dir;
+          trace_dir;
         }
     in
     let router =
@@ -760,20 +924,25 @@ let fleet_cmd =
     let on_signal _ = Mcml_fleet.Router.drain router in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-    (match socket with
-    | Some path ->
-        Printf.eprintf
-          "mcml fleet: %d shard(s) under %s, listening on %s%s\n%!" shards dir
-          path
-          (match cache_dir with
-          | Some d -> Printf.sprintf " (cache %s)" d
-          | None -> "");
-        Mcml_fleet.Router.serve_unix router ~path;
-        Printf.eprintf "mcml fleet: drained, stopping shards\n%!"
-    | None ->
-        Printf.eprintf "mcml fleet: %d shard(s) under %s, speaking JSONL on stdio\n%!"
-          shards dir;
-        Mcml_fleet.Router.serve_stdio router);
+    (try
+       match socket with
+       | Some path ->
+           Printf.eprintf
+             "mcml fleet: %d shard(s) under %s, listening on %s%s\n%!" shards
+             dir path
+             (match cache_dir with
+             | Some d -> Printf.sprintf " (cache %s)" d
+             | None -> "");
+           Mcml_fleet.Router.serve_unix router ~path;
+           Printf.eprintf "mcml fleet: drained, stopping shards\n%!"
+       | None ->
+           Printf.eprintf
+             "mcml fleet: %d shard(s) under %s, speaking JSONL on stdio\n%!"
+             shards dir;
+           Mcml_fleet.Router.serve_stdio router
+     with e ->
+       dump "crash";
+       raise e);
     Mcml_fleet.Router.shutdown router;
     Mcml_fleet.Proc.stop procs
   in
@@ -785,10 +954,12 @@ let fleet_cmd =
           consistent-hashed across shards and deduplicated in flight; \
           health/stats/metrics fan out and merge; a crashed shard is \
           respawned with bounded backoff while the router retries its \
-          requests. With --cache-dir, counts persist across restarts.")
+          requests. With --cache-dir, counts persist across restarts. With \
+          --trace-dir, every process traces into its own JSONL file for \
+          'mcml stats --from-trace-dir' to merge.")
     Term.(
       const run $ obs_term $ socket_arg $ shards $ jobs $ admission $ cache_dir
-      $ shard_dir)
+      $ shard_dir $ trace_dir_arg)
 
 (* --- cache ----------------------------------------------------------------------- *)
 
@@ -907,6 +1078,7 @@ let cache_cmd =
               let req =
                 {
                   Mcml_serve.Protocol.id = Mcml_obs.Json.Null;
+                  trace = None;
                   deadline_ms = None;
                   kind =
                     Mcml_serve.Protocol.Count
@@ -984,37 +1156,6 @@ let client_cmd =
              live OpenMetrics exposition and prints the raw text. Without \
              it, JSONL requests are read from stdin.")
   in
-  (* One-shot scrape: send a metrics request, unwrap the exposition
-     text from the JSON envelope, print it raw (greppable, and exactly
-     what a Prometheus file-based scraper wants on disk). *)
-  let scrape_metrics fd =
-    let oc = Unix.out_channel_of_descr fd in
-    output_string oc "{\"id\":0,\"kind\":\"metrics\"}\n";
-    flush oc;
-    (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
-    let ic = Unix.in_channel_of_descr fd in
-    match input_line ic with
-    | exception End_of_file ->
-        Printf.eprintf "mcml client: server closed without answering\n";
-        exit 1
-    | line -> (
-        match Mcml_serve.Protocol.response_of_string line with
-        | Error msg ->
-            Printf.eprintf "mcml client: bad response: %s\n" msg;
-            exit 1
-        | Ok { Mcml_serve.Protocol.body = Error (code, msg); _ } ->
-            Printf.eprintf "mcml client: %s: %s\n"
-              (Mcml_serve.Protocol.code_name code)
-              msg;
-            exit 1
-        | Ok { Mcml_serve.Protocol.body = Ok payload; _ } -> (
-            match Mcml_obs.Json.member "exposition" payload with
-            | Some (Mcml_obs.Json.Str text) -> print_string text
-            | _ ->
-                Printf.eprintf
-                  "mcml client: metrics response without exposition text\n";
-                exit 1))
-  in
   let retries_arg =
     Arg.(
       value
@@ -1063,19 +1204,118 @@ let client_cmd =
     in
     go 0 (max 1 retry_ms)
   in
-  let run () path request retries retry_ms =
+  (* One-shot scrape: send a metrics request, unwrap the exposition
+     text from the JSON envelope, return it raw (greppable, and exactly
+     what a Prometheus file-based scraper wants on disk).
+
+     Unlike the streaming path below, the *whole exchange* — connect,
+     write, read — retries under --retries: a restarting shard or
+     server can accept the connection and die before answering, and a
+     scrape that survives the connect only to fail on the first read
+     has learned nothing the next attempt can't fix.  Protocol-level
+     failures (a bad response, an error body) are fatal immediately:
+     retrying them would just repeat the answer. *)
+  let scrape_with_retry path ~retries ~retry_ms =
+    let rng = lazy (Random.State.make_self_init ()) in
+    let attempt_once () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | exception Unix.Unix_error (e, _, _) ->
+          Unix.close fd;
+          let msg =
+            Printf.sprintf "cannot connect to %s: %s" path
+              (Unix.error_message e)
+          in
+          (match e with
+          | Unix.ECONNREFUSED | Unix.ENOENT -> Error (`Retry (2, msg))
+          | _ -> Error (`Fatal (2, msg)))
+      | () ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              match
+                let oc = Unix.out_channel_of_descr fd in
+                output_string oc "{\"id\":0,\"kind\":\"metrics\"}\n";
+                flush oc;
+                (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+                 with Unix.Unix_error _ -> ());
+                input_line (Unix.in_channel_of_descr fd)
+              with
+              | exception End_of_file ->
+                  Error (`Retry (1, "server closed without answering"))
+              | exception Sys_error msg ->
+                  Error (`Retry (1, "exchange failed: " ^ msg))
+              | line -> (
+                  match Mcml_serve.Protocol.response_of_string line with
+                  | Error msg -> Error (`Fatal (1, "bad response: " ^ msg))
+                  | Ok { Mcml_serve.Protocol.body = Error (code, msg); _ } ->
+                      Error
+                        (`Fatal
+                           (1, Mcml_serve.Protocol.code_name code ^ ": " ^ msg))
+                  | Ok { Mcml_serve.Protocol.body = Ok payload; _ } -> (
+                      match Mcml_obs.Json.member "exposition" payload with
+                      | Some (Mcml_obs.Json.Str text) -> Ok text
+                      | _ ->
+                          Error
+                            (`Fatal
+                               (1, "metrics response without exposition text")))))
+    in
+    let rec go attempt delay_ms =
+      match attempt_once () with
+      | Ok text -> text
+      | Error (`Fatal (code, msg)) ->
+          Printf.eprintf "mcml client: %s\n" msg;
+          exit code
+      | Error (`Retry (code, msg)) ->
+          if attempt < retries then begin
+            let jitter =
+              Random.State.float (Lazy.force rng)
+                (float_of_int delay_ms *. 0.25)
+            in
+            Unix.sleepf ((float_of_int delay_ms +. jitter) /. 1000.0);
+            go (attempt + 1) (min (delay_ms * 2) 5000)
+          end
+          else begin
+            Printf.eprintf "mcml client: %s%s\n" msg
+              (if retries > 0 then
+                 Printf.sprintf " (after %d attempt(s))" (attempt + 1)
+               else "");
+            exit code
+          end
+    in
+    go 0 (max 1 retry_ms)
+  in
+  let check_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "check" ]
+          ~doc:
+            "With $(b,metrics): after printing the exposition, validate it \
+             against the OpenMetrics grammar (declared families, typed \
+             suffixes, final # EOF) and exit 1 if it fails — a one-flag \
+             scrape health gate for scripts and CI.")
+  in
+  let run () path request retries retry_ms check =
     (match request with
     | None | Some "metrics" -> ()
     | Some other ->
         Printf.eprintf "mcml client: unknown request %S (try: metrics)\n" other;
         exit 2);
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    let fd = connect_with_retry path ~retries ~retry_ms in
     if request = Some "metrics" then begin
-      scrape_metrics fd;
-      Unix.close fd;
+      let text = scrape_with_retry path ~retries ~retry_ms in
+      print_string text;
+      (if check then
+         match Mcml_obs.Metrics.lint text with
+         | Ok () -> ()
+         | Error msg ->
+             Printf.eprintf "mcml client: exposition failed lint: %s\n" msg;
+             exit 1);
       exit 0
     end;
+    let fd = connect_with_retry path ~retries ~retry_ms in
     (* a separate sender thread lets responses stream back while stdin
        is still being copied — no deadlock however long the input is *)
     let sender =
@@ -1114,8 +1354,11 @@ let client_cmd =
          "Send JSONL requests from stdin to a running 'mcml serve' socket and \
           print the responses (in request order) to stdout — or, with the \
           $(b,metrics) argument, scrape and print the live OpenMetrics \
-          exposition.")
-    Term.(const run $ obs_term $ socket $ request_arg $ retries_arg $ retry_ms_arg)
+          exposition (against a fleet socket: the merged, shard-labeled \
+          fleet exposition).")
+    Term.(
+      const run $ obs_term $ socket $ request_arg $ retries_arg $ retry_ms_arg
+      $ check_arg)
 
 (* --- main ------------------------------------------------------------------------ *)
 

@@ -9,6 +9,7 @@ type config = {
   jobs : int;
   admission : int;
   cache_dir : string option;
+  trace_dir : string option;
   call_deadline_s : float;
   backoff_min_s : float;
   backoff_max_s : float;
@@ -23,6 +24,7 @@ let default_config ~exe ~dir =
     jobs = 1;
     admission = 64;
     cache_dir = None;
+    trace_dir = None;
     call_deadline_s = 30.0;
     backoff_min_s = 0.1;
     backoff_max_s = 2.0;
@@ -66,6 +68,7 @@ let spawn cfg (s : shard) =
       | None -> []
       | Some d ->
           [ "--cache-dir"; Filename.concat d (Printf.sprintf "shard-%d" s.id) ])
+    @ (match cfg.trace_dir with None -> [] | Some d -> [ "--trace-dir"; d ])
   in
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
   Fun.protect

@@ -30,6 +30,10 @@ type config = {
   cache_dir : string option;
       (** root of the persistent cache; shard [i] writes
           [cache_dir/shard-<i>] *)
+  trace_dir : string option;
+      (** passed to every shard as [--trace-dir]: each child traces
+          into [trace_dir/shard-<pid>.jsonl], alongside the router's
+          own file, for {!Mcml_obs.Trace.load_dir} to merge *)
   call_deadline_s : float;  (** default {!call} retry window *)
   backoff_min_s : float;
   backoff_max_s : float;
@@ -38,7 +42,8 @@ type config = {
 
 val default_config : exe:string -> dir:string -> config
 (** [shards = 2], [jobs = 1], [admission = 64], [cache_dir = None],
-    [call_deadline_s = 30.], backoff 0.1s..2s, [stable_after_s = 5.]. *)
+    [trace_dir = None], [call_deadline_s = 30.], backoff 0.1s..2s,
+    [stable_after_s = 5.]. *)
 
 type t
 

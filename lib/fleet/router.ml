@@ -1,6 +1,7 @@
 module Obs = Mcml_obs.Obs
 module Json = Mcml_obs.Json
 module Probe = Mcml_obs.Probe
+module Metrics = Mcml_obs.Metrics
 module Protocol = Mcml_serve.Protocol
 module Line_reader = Mcml_serve.Line_reader
 
@@ -30,6 +31,10 @@ type t = {
   ok : int Atomic.t;
   errors : int Atomic.t;
   routed : int Atomic.t array;  (** counting requests per shard *)
+  root_ctx : Obs.context;
+      (** the no-span context, captured at [create]: connection spans
+          are started under it so they are always trace roots, however
+          threads interleave on the creating domain *)
 }
 
 let probe_sources = [ "fleet.inflight"; "fleet.uptime_s"; "fleet.dedup_ratio" ]
@@ -60,6 +65,7 @@ let create ?(restarts = fun () -> [||]) cfg ~dispatch =
       ok = Atomic.make 0;
       errors = Atomic.make 0;
       routed = Array.init cfg.shards (fun _ -> Atomic.make 0);
+      root_ctx = Obs.current_context ();
     }
   in
   register_probes t;
@@ -83,10 +89,12 @@ let record t (resp : Protocol.response) =
 (* --- routing key ---------------------------------------------------------- *)
 
 (* The content identity of a counting request: its canonical JSON with
-   the caller-specific fields (id, deadline) removed.  Same parameters
-   => same key => same ring position => same shard (whose memo/disk
-   cache then recognizes the same Counter.cache_key), and same
-   single-flight — three layers keyed consistently by one string. *)
+   the caller-specific fields (id, trace, deadline) removed.  Same
+   parameters => same key => same ring position => same shard (whose
+   memo/disk cache then recognizes the same Counter.cache_key), and
+   same single-flight — three layers keyed consistently by one
+   string.  Trace context is caller identity, never content: two
+   identical requests from different traces must still dedup. *)
 let routing_key (req : Protocol.request) =
   match req.Protocol.kind with
   | Protocol.Health | Protocol.Stats | Protocol.Metrics _ -> None
@@ -94,7 +102,7 @@ let routing_key (req : Protocol.request) =
       Some
         (Json.to_string
            (Protocol.request_to_json
-              { req with Protocol.id = Json.Null; deadline_ms = None }))
+              { req with Protocol.id = Json.Null; trace = None; deadline_ms = None }))
 
 let shard_of_key t key = Ring.shard t.ring key
 
@@ -224,48 +232,51 @@ let merge_stats t responses =
          ("shards", Json.List payloads);
        ])
 
+(* The fleet always asks its shards for the full-fidelity snapshot
+   (raw histogram buckets, schema mcml.metrics.snapshot.v1) whatever
+   format the caller wanted: text and json are then rendered from the
+   merged data, so histograms aggregate bucket-wise instead of the
+   old lint-breaking exposition concatenation. *)
 let merge_metrics fmt responses =
+  let shards =
+    Array.to_list
+      (Array.mapi
+         (fun i (r : Protocol.response) ->
+           match r.Protocol.body with
+           | Ok p -> (
+               match Metrics.snapshot_of_wire p with
+               | Ok snap -> (i, Ok snap)
+               | Error msg -> (i, Error msg))
+           | Error (code, msg) ->
+               (i, Error (Protocol.code_name code ^ ": " ^ msg)))
+         responses)
+  in
+  Probe.sample ();
+  let router = Metrics.snapshot () in
   match fmt with
-  | `Json ->
-      Ok
-        (Json.Obj
-           [
-             ( "shards",
-               Json.List
-                 (Array.to_list
-                    (Array.mapi
-                       (fun i (r : Protocol.response) ->
-                         match r.Protocol.body with
-                         | Ok p -> p
-                         | Error (code, msg) -> shard_error_payload i code msg)
-                       responses)) );
-           ])
+  | `Json -> Ok (Metrics.fleet_to_json ~router ~shards)
+  | `Snapshot ->
+      (* a fleet has no single registry to ship raw; answer with the
+         router's own, the only one this process can vouch for *)
+      Ok (Metrics.snapshot_to_wire router)
   | `Text ->
-      let buf = Buffer.create 4096 in
-      Array.iteri
-        (fun i (r : Protocol.response) ->
-          Buffer.add_string buf (Printf.sprintf "# mcml fleet: shard %d\n" i);
-          match r.Protocol.body with
-          | Ok p -> (
-              match Json.member "exposition" p with
-              | Some (Json.Str text) -> Buffer.add_string buf text
-              | _ -> Buffer.add_string buf "# (no exposition)\n")
-          | Error (code, msg) ->
-              Buffer.add_string buf
-                (Printf.sprintf "# shard %d unreachable: %s: %s\n" i
-                   (Protocol.code_name code) msg))
-        responses;
       Ok
         (Json.Obj
            [
              ("format", Json.Str "openmetrics");
-             ("exposition", Json.Str (Buffer.contents buf));
+             ("exposition", Json.Str (Metrics.fleet_to_openmetrics ~router ~shards));
            ])
 
 (* --- execution ------------------------------------------------------------- *)
 
 let execute_admin t (req : Protocol.request) =
-  let responses = fan_out t req in
+  let fan_req =
+    match req.Protocol.kind with
+    | Protocol.Metrics _ ->
+        { req with Protocol.kind = Protocol.Metrics `Snapshot }
+    | _ -> req
+  in
+  let responses = fan_out t fan_req in
   let body =
     match req.Protocol.kind with
     | Protocol.Health -> merge_health t responses
@@ -274,6 +285,29 @@ let execute_admin t (req : Protocol.request) =
     | _ -> assert false
   in
   { Protocol.rid = req.Protocol.id; body }
+
+(* --- trace propagation ------------------------------------------------------ *)
+
+let wire_of_propagation () =
+  Option.map
+    (fun (trace_id, parent_pid, parent_span) ->
+      { Protocol.trace_id; parent_pid; parent_span })
+    (Obs.propagation ())
+
+(* Establish the trace under which this request executes: adopt the
+   caller's wire context when the request carries one, otherwise open
+   a fresh trace id — so every routed request belongs to exactly one
+   trace and the shard dispatch below can stamp it onward. *)
+let with_request_trace (req : Protocol.request) f =
+  if not (Obs.enabled ()) then f ()
+  else
+    match req.Protocol.trace with
+    | Some w ->
+        Obs.with_context
+          (Obs.remote_context ~trace_id:w.Protocol.trace_id
+             ~pid:w.Protocol.parent_pid ~span:w.Protocol.parent_span)
+          f
+    | None -> Obs.with_new_trace f
 
 let execute_count t key (req : Protocol.request) =
   if Atomic.fetch_and_add t.inflight 1 >= t.cfg.admission then begin
@@ -290,27 +324,37 @@ let execute_count t key (req : Protocol.request) =
         Atomic.incr t.routed.(shard);
         let led = ref false in
         let resp = ref (Protocol.err ~id:Json.Null Protocol.Internal "unreached") in
-        Obs.with_span "fleet.route"
-          ~attrs:(fun () ->
-            [
-              ("kind", Obs.Str (Protocol.kind_name req.Protocol.kind));
-              ("shard", Obs.Int shard);
-              ("dedup", Obs.Bool (not !led));
-            ])
-          (fun () ->
-            let r, l =
-              try
-                (* the flight is keyed by the routing key, so every
-                   concurrent identical request shares this one
-                   upstream call; the shared response is re-stamped
-                   with each caller's own id below *)
-                Single_flight.run t.flight ~key (fun () ->
-                    t.dispatch shard { req with Protocol.id = Json.Null })
-              with e ->
-                (Protocol.err ~id:Json.Null Protocol.Internal (Printexc.to_string e), true)
-            in
-            resp := r;
-            led := l);
+        with_request_trace req (fun () ->
+            Obs.with_span "fleet.route"
+              ~attrs:(fun () ->
+                [
+                  ("kind", Obs.Str (Protocol.kind_name req.Protocol.kind));
+                  ("shard", Obs.Int shard);
+                  ("dedup", Obs.Bool (not !led));
+                ])
+              (fun () ->
+                let r, l =
+                  try
+                    (* the flight is keyed by the routing key, so every
+                       concurrent identical request shares this one
+                       upstream call; the shared response is re-stamped
+                       with each caller's own id below.  The dispatched
+                       request carries the leader's trace context, so
+                       the shard's serve.request span parents under
+                       this fleet.route span in a merged forest
+                       (followers share the leader's subtree). *)
+                    Single_flight.run t.flight ~key (fun () ->
+                        t.dispatch shard
+                          {
+                            req with
+                            Protocol.id = Json.Null;
+                            trace = wire_of_propagation ();
+                          })
+                  with e ->
+                    (Protocol.err ~id:Json.Null Protocol.Internal (Printexc.to_string e), true)
+                in
+                resp := r;
+                led := l));
         { !resp with Protocol.rid = req.Protocol.id })
 
 let execute t (req : Protocol.request) =
@@ -338,7 +382,14 @@ type pending = {
 type entry = Now of Protocol.response | Later of pending
 
 let handle_connection t ~input ~output =
-  let conn = Obs.start "fleet.conn" in
+  (* pin the connection span to an explicitly captured context: request
+     threads below run under [conn_ctx], so their fleet.route spans
+     parent under this span however systhreads interleave *)
+  let conn, conn_ctx =
+    Obs.with_context t.root_ctx (fun () ->
+        let sp = Obs.start "fleet.conn" in
+        (sp, Obs.current_context ()))
+  in
   let served = ref 0 in
   let q : entry Queue.t = Queue.create () in
   let qm = Mutex.create () in
@@ -407,11 +458,12 @@ let handle_connection t ~input ~output =
                 Thread.create
                   (fun () ->
                     let r =
-                      try execute t req
-                      with e ->
-                        record t
-                          (Protocol.err ~id:req.Protocol.id Protocol.Internal
-                             (Printexc.to_string e))
+                      Obs.with_context conn_ctx (fun () ->
+                          try execute t req
+                          with e ->
+                            record t
+                              (Protocol.err ~id:req.Protocol.id
+                                 Protocol.Internal (Printexc.to_string e)))
                     in
                     Mutex.lock p.pm;
                     p.result <- Some r;
@@ -431,7 +483,8 @@ let handle_connection t ~input ~output =
   Mutex.unlock qm;
   Thread.join responder_thread;
   (try flush output with Sys_error _ -> ());
-  Obs.finish ~attrs:[ ("responses", Obs.Int !served) ] conn
+  Obs.with_context conn_ctx (fun () ->
+      Obs.finish ~attrs:[ ("responses", Obs.Int !served) ] conn)
 
 let serve_stdio t = handle_connection t ~input:Unix.stdin ~output:stdout
 

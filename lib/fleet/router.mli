@@ -6,8 +6,8 @@
     [stats], [metrics]) out to all of them, merging the answers.
 
     {b Routing.}  A counting request's {!routing_key} — its canonical
-    JSON minus the caller-specific [id] and [deadline_ms] — is placed
-    on a consistent-hash {!Ring}.  The same parameters therefore always
+    JSON minus the caller-specific [id], [trace] and [deadline_ms] —
+    is placed on a consistent-hash {!Ring}.  The same parameters therefore always
     reach the same shard, whose in-memory memo and on-disk cache are
     keyed by the same content, so the fleet's aggregate cache is
     partitioned, not replicated.
@@ -29,7 +29,26 @@
     {b Telemetry.}  Spans [fleet.conn] and [fleet.route] (attrs:
     kind, shard, dedup); counters [fleet.requests.*],
     [fleet.singleflight.leaders|dedup], [fleet.shard.restarts|call_retries];
-    probes [fleet.inflight], [fleet.uptime_s], [fleet.dedup_ratio]. *)
+    probes [fleet.inflight], [fleet.uptime_s], [fleet.dedup_ratio].
+
+    {b Distributed tracing.}  Every counting request executes under a
+    trace: the caller's, when the request carried a wire ["trace"]
+    context, or a fresh 63-bit id otherwise
+    ({!Mcml_obs.Obs.with_new_trace}).  The leader's shard dispatch is
+    stamped with the [fleet.route] span's context
+    ({!Mcml_obs.Obs.propagation}), so in a {!Mcml_obs.Trace.merge}d
+    forest the shard's [serve.request] span hangs under the router's
+    [fleet.route] span across the process boundary.  Single-flight
+    followers share the leader's subtree — their own [fleet.route]
+    spans stay leaves, marked [dedup].
+
+    {b Merged metrics.}  A [metrics] request fans out to the shards as
+    [format = snapshot] (schema [mcml.metrics.snapshot.v1]) whatever
+    format the caller asked; text answers render one lint-clean
+    fleet-wide exposition ({!Mcml_obs.Metrics.fleet_to_openmetrics}:
+    counters [shard]-labeled plus an unlabeled sum, gauges per-shard
+    plus [mcml_fleet_shard_up], histograms merged bucket-wise), json
+    answers the [mcml.metrics.fleet.v1] document. *)
 
 type dispatch = int -> Mcml_serve.Protocol.request -> Mcml_serve.Protocol.response
 (** Send one request to shard [i], synchronously.  Must not raise for

@@ -1,0 +1,68 @@
+(* Flight recorder: a bounded in-memory ring of the most recent
+   telemetry events.  A JSONL sink is only as useful as the last flush
+   before a crash; the ring always holds the final [capacity] events,
+   so a SIGKILLed-adjacent shard (or an operator's SIGUSR1) can dump
+   the moments that mattered.
+
+   Locking: the ring has its own mutex, acquired while the Obs lock is
+   held (emit happens inside Obs's serialized sink call) — it is a leaf
+   below the Obs lock and [events]/[dump] take it alone, so no cycle is
+   possible.  The sink touches no Obs API, per Obs's sink contract. *)
+
+type t = {
+  cap : int;
+  ring : Obs.event option array;
+  m : Mutex.t;
+  mutable total : int;  (** events ever emitted; head = total mod cap *)
+}
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) () =
+  let cap = max 1 capacity in
+  { cap; ring = Array.make cap None; m = Mutex.create (); total = 0 }
+
+let capacity t = t.cap
+
+let sink t =
+  {
+    Obs.emit =
+      (fun ev ->
+        Mutex.lock t.m;
+        t.ring.(t.total mod t.cap) <- Some ev;
+        t.total <- t.total + 1;
+        Mutex.unlock t.m);
+    flush = (fun () -> ());
+  }
+
+let recorded t =
+  Mutex.lock t.m;
+  let n = t.total in
+  Mutex.unlock t.m;
+  n
+
+let dropped t = max 0 (recorded t - t.cap)
+
+let events t =
+  Mutex.lock t.m;
+  let n = t.total in
+  let first = max 0 (n - t.cap) in
+  let l =
+    List.init (n - first) (fun i -> Option.get t.ring.((first + i) mod t.cap))
+  in
+  Mutex.unlock t.m;
+  l
+
+let dump t path =
+  let evs = events t in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun ev ->
+          output_string oc (Json.to_string (Obs.event_to_json ev));
+          output_char oc '\n')
+        evs;
+      flush oc);
+  List.length evs

@@ -1,0 +1,48 @@
+(** Flight recorder: a bounded in-memory ring of the most recent
+    telemetry events, dumpable on demand.
+
+    A JSONL trace is only as complete as its last flush; when a fleet
+    process crashes (or an operator wants a live peek without
+    restarting with [--trace]), the ring still holds the final
+    [capacity] events.  [mcml serve] and [mcml fleet] install one
+    recorder per process, tee'd onto whatever sink is active, and dump
+    it to the trace directory on SIGUSR1 or on an uncaught exception.
+
+    A dump is {e not} a balanced trace — the window almost certainly
+    opens mid-span — so dumps use a distinct file extension
+    ([.events]) and {!Trace.load_dir} never merges them; they are raw
+    evidence for post-mortems, replayable line by line with
+    {!Obs.event_of_json}.
+
+    {b Thread safety.}  The ring has its own leaf mutex (below the Obs
+    lock in acquisition order): emission from any domain and a
+    concurrent {!dump} are both safe. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh recorder holding the last [capacity] (default 4096,
+    clamped to at least 1) events. *)
+
+val capacity : t -> int
+
+val sink : t -> Obs.sink
+(** A sink that records every event into the ring (its [flush] is a
+    no-op).  Tee it onto the active sink:
+    [Obs.set_sink (Obs.tee (Obs.sink ()) (Flight.sink r))]. *)
+
+val recorded : t -> int
+(** Total events ever emitted into the ring. *)
+
+val dropped : t -> int
+(** Events lost to wraparound so far ([recorded - capacity], floored
+    at 0). *)
+
+val events : t -> Obs.event list
+(** The retained window, oldest first. *)
+
+val dump : t -> string -> int
+(** [dump t path] writes the retained window to [path], one schema-v3
+    JSON line per event (same rendering as the {!Obs.jsonl} sink), and
+    returns the number of events written.  Truncates any existing
+    file; raises [Sys_error] if the path is unwritable. *)

@@ -56,6 +56,59 @@ val to_json : snapshot -> Json.t
     a [gauges] object keyed by the {e original} registry names, and a
     [histograms] object with count/sum/percentiles/max per name. *)
 
+(** {1 Fleet-wide merging}
+
+    A fleet router owns no counting work, so its metrics answer has to
+    aggregate its shards'.  Percentile summaries cannot be aggregated;
+    the snapshot {e wire codec} below ships each shard's raw occupied
+    histogram buckets (schema [mcml.metrics.snapshot.v1]), letting the
+    router rebuild ({!Obs.Histogram.of_raw}) and merge bucket-wise
+    ({!Obs.Histogram.merge}).  The merged exposition keeps per-process
+    resolution under a [shard] label:
+
+    {v
+    # TYPE mcml_serve_requests_ok counter
+    mcml_serve_requests_ok_total{shard="0"} 12
+    mcml_serve_requests_ok_total{shard="1"} 8
+    mcml_serve_requests_ok_total{shard="router"} 0
+    mcml_serve_requests_ok_total 20
+    # TYPE mcml_fleet_shard_up gauge
+    mcml_fleet_shard_up{shard="0"} 1
+    mcml_fleet_shard_up{shard="1"} 1
+    # TYPE mcml_serve_request histogram
+    mcml_serve_request_bucket{le="+Inf"} 20
+    …
+    # EOF
+    v} *)
+
+val snapshot_to_wire : snapshot -> Json.t
+(** Full-fidelity JSON serialization of a snapshot (schema
+    [mcml.metrics.snapshot.v1]): counters and gauges as numeric
+    objects, histograms as raw [(bucket index, occupancy)] pairs plus
+    count/sum/max — everything {!snapshot_of_wire} needs to
+    reconstruct mergeable {!Obs.Histogram.t} values. *)
+
+val snapshot_of_wire : Json.t -> (snapshot, string) result
+(** Inverse of {!snapshot_to_wire}.  [Error] on a wrong or missing
+    schema tag, malformed tables, or out-of-range bucket indices. *)
+
+val fleet_to_openmetrics :
+  router:snapshot -> shards:(int * (snapshot, string) result) list -> string
+(** One lint-clean exposition for a whole fleet: per counter family a
+    [shard]-labeled sample per live source (the router as
+    [shard="router"]) plus an unlabeled sample summing the {e numeric}
+    shards; gauges labeled per-source (never summed) plus a synthetic
+    [mcml_fleet_shard_up] gauge marking each shard 1/0; histograms
+    merged bucket-wise across all sources and exposed unlabeled.
+    [Error] shards contribute only their [fleet_shard_up 0] sample. *)
+
+val fleet_to_json :
+  router:snapshot -> shards:(int * (snapshot, string) result) list -> Json.t
+(** JSON rendering (schema [mcml.metrics.fleet.v1]): the router's
+    [mcml.metrics.v1] object plus one per shard (tagged with its
+    [shard] index; unreachable shards carry an [error] string
+    instead). *)
+
 val lint : string -> (unit, string) result
 (** Validate a text exposition: every line is a [# TYPE]/[# HELP]
     comment, a sample of a previously-declared family (with the suffix

@@ -15,6 +15,9 @@ type event =
       id : int;
       parent : int option;
       domain : int;
+      pid : int;
+      trace : int option;
+      remote : (int * int) option;
     }
   | Span_end of {
       ts : float;
@@ -22,11 +25,14 @@ type event =
       id : int;
       parent : int option;
       domain : int;
+      pid : int;
+      trace : int option;
+      remote : (int * int) option;
       dur_ms : float;
       attrs : (string * attr) list;
     }
-  | Counter of { ts : float; name : string; value : float }
-  | Histogram of { ts : float; name : string; stats : hist_stats }
+  | Counter of { ts : float; name : string; value : float; pid : int }
+  | Histogram of { ts : float; name : string; stats : hist_stats; pid : int }
 
 type sink = { emit : event -> unit; flush : unit -> unit }
 
@@ -41,6 +47,11 @@ let sink () = Atomic.get current
 let enabled () = Atomic.get current != null
 
 let now () = Unix.gettimeofday ()
+
+(* Stamped on every emitted event (schema v3).  Read once: processes in
+   this codebase never fork without exec'ing, so the value cannot go
+   stale. *)
+let self_pid = Unix.getpid ()
 
 (* Monotonic clock (CLOCK_MONOTONIC via bechamel's stubs), in seconds.
    Used for every duration and deadline in the substrate: wall-clock
@@ -101,7 +112,27 @@ module Histogram = struct
 
   let count t = t.n
   let sum t = t.vsum
+  let max_value t = t.vmax
   let bucket_count_at t i = t.buckets.(i)
+
+  (* Rebuild a histogram from its serialized form (sparse occupied
+     buckets plus the side-tracked count/sum/max) — the inverse of
+     walking [bucket_count_at] over the occupied indices.  Used by the
+     metrics snapshot wire codec so fleet-wide bucket-wise merging sees
+     full-fidelity shard histograms, not lossy percentile summaries. *)
+  let of_raw ~buckets ~count ~sum ~max =
+    if count < 0 then invalid_arg "Histogram.of_raw: negative count";
+    let t = create () in
+    List.iter
+      (fun (i, c) ->
+        if i < 0 || i >= bucket_count || c < 0 then
+          invalid_arg "Histogram.of_raw: bucket out of range";
+        t.buckets.(i) <- t.buckets.(i) + c)
+      buckets;
+    t.n <- count;
+    t.vsum <- sum;
+    t.vmax <- max;
+    t
 
   let copy t =
     { buckets = Array.copy t.buckets; n = t.n; vmax = t.vmax; vsum = t.vsum }
@@ -169,41 +200,48 @@ let attr_to_json = function
   | Bool b -> Json.Bool b
   | Str s -> Json.Str s
 
-let span_id_fields id parent domain =
+let span_id_fields id parent domain pid trace remote =
   ("id", Json.Int id)
   :: (match parent with Some p -> [ ("parent", Json.Int p) ] | None -> [])
-  @ [ ("domain", Json.Int domain) ]
+  @ [ ("domain", Json.Int domain); ("pid", Json.Int pid) ]
+  @ (match trace with Some t -> [ ("trace", Json.Int t) ] | None -> [])
+  @ (match remote with
+    | Some (rpid, rid) ->
+        [ ("remote", Json.Obj [ ("pid", Json.Int rpid); ("id", Json.Int rid) ]) ]
+    | None -> [])
 
 let event_to_json = function
-  | Span_start { ts; name; id; parent; domain } ->
+  | Span_start { ts; name; id; parent; domain; pid; trace; remote } ->
       Json.Obj
         ([
            ("ts", Json.Float ts);
            ("kind", Json.Str "span_start");
            ("name", Json.Str name);
          ]
-        @ span_id_fields id parent domain)
-  | Span_end { ts; name; id; parent; domain; dur_ms; attrs } ->
+        @ span_id_fields id parent domain pid trace remote)
+  | Span_end { ts; name; id; parent; domain; pid; trace; remote; dur_ms; attrs }
+    ->
       Json.Obj
         ([
            ("ts", Json.Float ts);
            ("kind", Json.Str "span_end");
            ("name", Json.Str name);
          ]
-        @ span_id_fields id parent domain
+        @ span_id_fields id parent domain pid trace remote
         @ [
             ("dur_ms", Json.Float dur_ms);
             ("attrs", Json.Obj (List.map (fun (k, v) -> (k, attr_to_json v)) attrs));
           ])
-  | Counter { ts; name; value } ->
+  | Counter { ts; name; value; pid } ->
       Json.Obj
         [
           ("ts", Json.Float ts);
           ("kind", Json.Str "counter");
           ("name", Json.Str name);
           ("value", Json.Float value);
+          ("pid", Json.Int pid);
         ]
-  | Histogram { ts; name; stats } ->
+  | Histogram { ts; name; stats; pid } ->
       Json.Obj
         [
           ("ts", Json.Float ts);
@@ -214,6 +252,7 @@ let event_to_json = function
           ("p90_ms", Json.Float stats.p90);
           ("p99_ms", Json.Float stats.p99);
           ("max_ms", Json.Float stats.max);
+          ("pid", Json.Int pid);
         ]
 
 let event_of_json j =
@@ -247,6 +286,28 @@ let event_of_json j =
     | Some (Json.Int p) -> Ok (Some p)
     | Some _ -> Error "field \"parent\" is not an integer"
   in
+  (* v2 files carry no [pid]: default 0, so old traces still load *)
+  let pid_field () =
+    match Json.member "pid" j with
+    | None -> Ok 0
+    | Some (Json.Int p) -> Ok p
+    | Some _ -> Error "field \"pid\" is not an integer"
+  in
+  let trace_field () =
+    match Json.member "trace" j with
+    | None -> Ok None
+    | Some (Json.Int t) -> Ok (Some t)
+    | Some _ -> Error "field \"trace\" is not an integer"
+  in
+  let remote_field () =
+    match Json.member "remote" j with
+    | None -> Ok None
+    | Some (Json.Obj _ as o) -> (
+        match (Json.member "pid" o, Json.member "id" o) with
+        | Some (Json.Int rpid), Some (Json.Int rid) -> Ok (Some (rpid, rid))
+        | _ -> Error "field \"remote\" must carry integer \"pid\" and \"id\"")
+    | Some _ -> Error "field \"remote\" is not an object"
+  in
   let attr_of_json = function
     | Json.Int i -> Ok (Int i)
     | Json.Float f -> Ok (Float f)
@@ -262,11 +323,17 @@ let event_of_json j =
       let* id = int_field "id" in
       let* parent = parent_field () in
       let* domain = int_field "domain" in
-      Ok (Span_start { ts; name; id; parent; domain })
+      let* pid = pid_field () in
+      let* trace = trace_field () in
+      let* remote = remote_field () in
+      Ok (Span_start { ts; name; id; parent; domain; pid; trace; remote })
   | "span_end" ->
       let* id = int_field "id" in
       let* parent = parent_field () in
       let* domain = int_field "domain" in
+      let* pid = pid_field () in
+      let* trace = trace_field () in
+      let* remote = remote_field () in
       let* dur_ms = float_field "dur_ms" in
       let* attrs =
         match Json.member "attrs" j with
@@ -281,17 +348,21 @@ let event_of_json j =
             |> Result.map List.rev
         | Some _ -> Error "field \"attrs\" is not an object"
       in
-      Ok (Span_end { ts; name; id; parent; domain; dur_ms; attrs })
+      Ok
+        (Span_end
+           { ts; name; id; parent; domain; pid; trace; remote; dur_ms; attrs })
   | "counter" ->
       let* value = float_field "value" in
-      Ok (Counter { ts; name; value })
+      let* pid = pid_field () in
+      Ok (Counter { ts; name; value; pid })
   | "histogram" ->
       let* count = int_field "count" in
       let* p50 = float_field "p50_ms" in
       let* p90 = float_field "p90_ms" in
       let* p99 = float_field "p99_ms" in
       let* max = float_field "max_ms" in
-      Ok (Histogram { ts; name; stats = { count; p50; p90; p99; max } })
+      let* pid = pid_field () in
+      Ok (Histogram { ts; name; stats = { count; p50; p90; p99; max }; pid })
   | k -> Error (Printf.sprintf "unknown event kind %S" k)
 
 (* --- counters and gauges ---------------------------------------------- *)
@@ -400,13 +471,24 @@ let reset_counters () =
 let next_span_id = Atomic.make 1
 
 (* The current span of each domain — the parent of the next [start] on
-   that domain.  Domain-local, so concurrent workers never see each
-   other's nesting. *)
-type context = int option
+   that domain — plus the active trace id and, at a process boundary,
+   the remote parent a context was rehydrated from.  [cx_remote] is
+   consumed by the first [start] under the context ([cx_span = None]):
+   that span records the cross-process parent edge, and its descendants
+   parent locally as usual. *)
+type context = {
+  cx_span : int option;
+  cx_trace : int option;
+  cx_remote : (int * int) option;
+}
 
-let dls_context : context Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let empty_context = { cx_span = None; cx_trace = None; cx_remote = None }
 
-let current_context () = if enabled () then Domain.DLS.get dls_context else None
+let dls_context : context Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> empty_context)
+
+let current_context () =
+  if enabled () then Domain.DLS.get dls_context else empty_context
 
 let with_context ctx f =
   let saved = Domain.DLS.get dls_context in
@@ -419,19 +501,73 @@ let with_context ctx f =
       Domain.DLS.set dls_context saved;
       raise e
 
+let remote_context ~trace_id ~pid ~span =
+  { cx_span = None; cx_trace = Some trace_id; cx_remote = Some (pid, span) }
+
+(* 63-bit nonzero trace ids: a splitmix64 finalizer over (time-of-first-
+   use, pid, counter), so ids from concurrently started processes don't
+   collide the way a bare counter would.  Not global [Random] — trace id
+   generation must not perturb any seeded experiment. *)
+let trace_id_counter = Atomic.make 0
+
+let trace_id_seed =
+  lazy
+    (Int64.logxor
+       (Int64.bits_of_float (Unix.gettimeofday ()))
+       (Int64.of_int (self_pid * 0x9E3779B9)))
+
+let splitmix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let fresh_trace_id () =
+  let n = Atomic.fetch_and_add trace_id_counter 1 in
+  let z =
+    splitmix64
+      (Int64.add (Lazy.force trace_id_seed) (Int64.of_int ((n * 2) + 1)))
+  in
+  let id = Int64.to_int (Int64.shift_right_logical z 1) in
+  if id = 0 then 1 else id
+
+let with_new_trace f =
+  if not (enabled ()) then f ()
+  else
+    let c = Domain.DLS.get dls_context in
+    if c.cx_trace <> None then f ()
+    else with_context { c with cx_trace = Some (fresh_trace_id ()) } f
+
+let propagation () =
+  if not (enabled ()) then None
+  else
+    let c = Domain.DLS.get dls_context in
+    match (c.cx_trace, c.cx_span) with
+    | Some tid, Some span -> Some (tid, self_pid, span)
+    | _ -> None
+
 (* [sp_t0] is wall-clock (for the event timestamp); [sp_m0] is
-   monotonic, so the reported duration is immune to clock steps. *)
+   monotonic, so the reported duration is immune to clock steps.
+   [sp_ctx] is the full context at [start], restored by [finish]. *)
 type span = {
   sp_name : string;
   sp_t0 : float;
   sp_m0 : float;
   sp_id : int;
-  sp_parent : int option;
+  sp_ctx : context;
+  sp_remote : (int * int) option;
   sp_live : bool;
 }
 
 let dummy_span =
-  { sp_name = ""; sp_t0 = 0.0; sp_m0 = 0.0; sp_id = 0; sp_parent = None; sp_live = false }
+  {
+    sp_name = "";
+    sp_t0 = 0.0;
+    sp_m0 = 0.0;
+    sp_id = 0;
+    sp_ctx = empty_context;
+    sp_remote = None;
+    sp_live = false;
+  }
 
 let start name =
   if not (enabled ()) then dummy_span
@@ -439,12 +575,33 @@ let start name =
     let t0 = now () in
     let m0 = monotonic_s () in
     let id = Atomic.fetch_and_add next_span_id 1 in
-    let parent = Domain.DLS.get dls_context in
-    Domain.DLS.set dls_context (Some id);
+    let ctx = Domain.DLS.get dls_context in
+    let parent = ctx.cx_span in
+    let remote = if parent = None then ctx.cx_remote else None in
+    Domain.DLS.set dls_context { ctx with cx_span = Some id };
     let domain = (Domain.self () :> int) in
     locked (fun () ->
-        (sink ()).emit (Span_start { ts = t0; name; id; parent; domain }));
-    { sp_name = name; sp_t0 = t0; sp_m0 = m0; sp_id = id; sp_parent = parent; sp_live = true }
+        (sink ()).emit
+          (Span_start
+             {
+               ts = t0;
+               name;
+               id;
+               parent;
+               domain;
+               pid = self_pid;
+               trace = ctx.cx_trace;
+               remote;
+             }));
+    {
+      sp_name = name;
+      sp_t0 = t0;
+      sp_m0 = m0;
+      sp_id = id;
+      sp_ctx = ctx;
+      sp_remote = remote;
+      sp_live = true;
+    }
   end
 
 let finish ?(attrs = []) sp =
@@ -453,7 +610,7 @@ let finish ?(attrs = []) sp =
     (* clock granularity can round a sub-microsecond span to zero;
        report a floor instead so rates stay finite *)
     let dur_ms = Float.max ((monotonic_s () -. sp.sp_m0) *. 1000.0) 1e-6 in
-    Domain.DLS.set dls_context sp.sp_parent;
+    Domain.DLS.set dls_context sp.sp_ctx;
     let domain = (Domain.self () :> int) in
     locked (fun () ->
         observe_unlocked sp.sp_name dur_ms;
@@ -463,8 +620,11 @@ let finish ?(attrs = []) sp =
                ts = t1;
                name = sp.sp_name;
                id = sp.sp_id;
-               parent = sp.sp_parent;
+               parent = sp.sp_ctx.cx_span;
                domain;
+               pid = self_pid;
+               trace = sp.sp_ctx.cx_trace;
+               remote = sp.sp_remote;
                dur_ms;
                attrs;
              }))
@@ -496,7 +656,7 @@ let flush () =
           (fun (name, value) ->
             if Hashtbl.find_opt flushed_values name <> Some value then begin
               Hashtbl.replace flushed_values name value;
-              s.emit (Counter { ts; name; value })
+              s.emit (Counter { ts; name; value; pid = self_pid })
             end)
           snapshot;
         let hists =
@@ -510,7 +670,7 @@ let flush () =
               when Hashtbl.find_opt flushed_hist_counts name <> Some stats.count
               ->
                 Hashtbl.replace flushed_hist_counts name stats.count;
-                s.emit (Histogram { ts; name; stats })
+                s.emit (Histogram { ts; name; stats; pid = self_pid })
             | _ -> ())
           hists;
         s.flush ())

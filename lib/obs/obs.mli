@@ -18,27 +18,39 @@
       histogram tables live (used by [bench --json]);
     - {!tee} — duplicates events to two sinks.
 
-    {b Span identity (schema v2).}  Every span carries a fresh
+    {b Span identity (schema v3).}  Every span carries a fresh
     process-unique [id], the [id] of its parent span (the span that
-    was current on the starting domain, [None] for a root), and the
-    integer id of the domain it started on.  The current-span context
-    is domain-local ({!Domain.DLS}), so spans emitted concurrently by
-    pool workers never corrupt each other's nesting, and
-    {!current_context}/{!with_context} let a task queue (see
+    was current on the starting domain, [None] for a root), the
+    integer id of the domain it started on, and — new in v3 — the
+    emitting process's [pid], the 63-bit id of the distributed trace
+    it belongs to, and, for a span whose parent lives in another
+    process, a [remote] parent reference [(pid, span id)].  The
+    current-span context is domain-local ({!Domain.DLS}), so spans
+    emitted concurrently by pool workers never corrupt each other's
+    nesting; {!current_context}/{!with_context} let a task queue (see
     [Mcml_exec.Pool.submit]) carry the submitter's context across
-    domains — the trace forest stays well-formed at any [--jobs N].
+    domains, and {!propagation}/{!remote_context} carry it across
+    {e processes} — a fleet router stamps its in-flight span onto the
+    wire and the shard rehydrates it, so the merged forest (see
+    {!Trace.merge}) stays well-formed across the whole fleet.
 
     The JSONL event schema, one object per line ([parent] is omitted
-    for root spans):
+    for root spans, [trace] when no trace id is active, [remote] for
+    local spans; v2 files — no [pid]/[trace]/[remote] — still parse,
+    with [pid] defaulting to [0]):
     {v
     {"ts":<unix s>,"kind":"span_start","name":"solver.solve",
-     "id":17,"parent":16,"domain":0}
+     "id":17,"parent":16,"domain":0,"pid":4242,"trace":901237...}
+    {"ts":…,"kind":"span_start","name":"serve.request",
+     "id":3,"domain":0,"pid":4243,"trace":901237...,
+     "remote":{"pid":4242,"id":17}}
     {"ts":…,"kind":"span_end","name":"solver.solve",
-     "id":17,"parent":16,"domain":0,"dur_ms":0.42,
+     "id":17,"parent":16,"domain":0,"pid":4242,"trace":…,"dur_ms":0.42,
      "attrs":{"conflicts":17,"result":"sat"}}
-    {"ts":…,"kind":"counter","name":"solver.conflicts","value":123.0}
+    {"ts":…,"kind":"counter","name":"solver.conflicts","value":123.0,
+     "pid":4242}
     {"ts":…,"kind":"histogram","name":"solver.solve_ms","count":3000,
-     "p50_ms":0.05,"p90_ms":0.11,"p99_ms":0.41,"max_ms":2.7}
+     "p50_ms":0.05,"p90_ms":0.11,"p99_ms":0.41,"max_ms":2.7,"pid":4242}
     v}
     Counter and histogram events are emitted once per live name at
     {!flush} time with the then-current accumulated state.
@@ -77,6 +89,9 @@ type event =
       id : int;
       parent : int option;
       domain : int;
+      pid : int;
+      trace : int option;
+      remote : (int * int) option;
     }
   | Span_end of {
       ts : float;
@@ -84,11 +99,19 @@ type event =
       id : int;
       parent : int option;
       domain : int;
+      pid : int;
+      trace : int option;
+      remote : (int * int) option;
       dur_ms : float;
       attrs : (string * attr) list;
     }
-  | Counter of { ts : float; name : string; value : float }
-  | Histogram of { ts : float; name : string; stats : hist_stats }
+  | Counter of { ts : float; name : string; value : float; pid : int }
+  | Histogram of { ts : float; name : string; stats : hist_stats; pid : int }
+      (** [pid] is the emitting process ([0] when parsed from a v2
+          file); [trace] the distributed trace id active when the span
+          opened; [remote] the cross-process parent reference
+          [(pid, span id)] for a span adopted from another process —
+          mutually exclusive with a local [parent]. *)
 
 type sink = { emit : event -> unit; flush : unit -> unit }
 
@@ -170,6 +193,11 @@ type context
     "no span open").  A small immutable value, safe to send across
     domains. *)
 
+val empty_context : context
+(** No open span, no trace.  Install it ({!with_context}) to start a
+    fresh root — e.g. a test or bench driving a server's [execute]
+    directly, outside any connection loop. *)
+
 val current_context : unit -> context
 (** The calling domain's current span context.  Cheap; returns the
     empty context when the layer is disabled. *)
@@ -178,6 +206,35 @@ val with_context : context -> (unit -> 'a) -> 'a
 (** [with_context ctx f] runs [f] with [ctx] installed as the calling
     domain's span context, restoring the previous context afterwards
     (also on exception). *)
+
+(** {2 Cross-process propagation}
+
+    A fleet router and its shards are separate processes with
+    independent span-id counters, so parenting across the boundary
+    needs an explicit wire handshake: the sender calls {!propagation}
+    inside its in-flight span and ships the triple; the receiver
+    rebuilds a context with {!remote_context} and runs the request
+    under it.  The first span opened under that context records the
+    [(pid, span id)] pair as its [remote] parent — {!Trace.merge}
+    resolves the edge when the two processes' files are merged. *)
+
+val remote_context : trace_id:int -> pid:int -> span:int -> context
+(** A context rehydrated from wire data: no local current span, trace
+    id [trace_id], remote parent [(pid, span)].  The next {!start}
+    under it emits a span with a [remote] parent reference. *)
+
+val with_new_trace : (unit -> 'a) -> 'a
+(** [with_new_trace f] runs [f] with a fresh 63-bit trace id installed
+    — unless one is already active, in which case [f] runs unchanged
+    (trace ids are inherited, never overwritten).  Free when the layer
+    is disabled. *)
+
+val propagation : unit -> (int * int * int) option
+(** [(trace id, own pid, current span id)] identifying the calling
+    domain's in-flight span for cross-process propagation — [Some]
+    only when a span is open {e and} a trace id is active (see
+    {!with_new_trace}); [None] otherwise, and always [None] when the
+    layer is disabled, so callers can stamp unconditionally. *)
 
 (** {1 Counters and gauges}
 
@@ -270,9 +327,22 @@ module Histogram : sig
       side, like the max) — what OpenMetrics exposition reports as the
       [_sum] sample. *)
 
+  val max_value : t -> float
+  (** Exact maximum observed value ([neg_infinity] when empty). *)
+
   val bucket_count_at : t -> int -> int
   (** Observations in bucket [i] (raises on an out-of-range index) —
       what exposition renders as cumulative [_bucket] samples. *)
+
+  val of_raw :
+    buckets:(int * int) list -> count:int -> sum:float -> max:float -> t
+  (** Rebuild a histogram from serialized raw state: sparse
+      [(bucket index, occupancy)] pairs plus the side-tracked
+      count/sum/max.  The inverse of reading {!bucket_count_at} over
+      occupied indices — used by the metrics snapshot wire codec so a
+      router can {!merge} shard histograms bucket-wise.  Raises
+      [Invalid_argument] on a negative count or an out-of-range
+      bucket. *)
 
   val merge : t -> t -> t
   (** [merge a b] is a fresh histogram equivalent to observing
@@ -323,10 +393,11 @@ val flush : unit -> unit
 
 val attr_to_json : attr -> Json.t
 val event_to_json : event -> Json.t
-(** The JSONL (schema v2) renderings the {!jsonl} sink writes. *)
+(** The JSONL (schema v3) renderings the {!jsonl} sink writes. *)
 
 val event_of_json : Json.t -> (event, string) result
-(** Parse one schema-v2 event object back (the inverse of
-    {!event_to_json}).  [Error] names the offending field — an unknown
-    ["kind"] is an error, which is what lets trace validation reject
-    schema drift. *)
+(** Parse one event object back (the inverse of {!event_to_json}).
+    Accepts both schema v3 and v2 lines — a missing [pid] defaults to
+    [0], missing [trace]/[remote] to [None].  [Error] names the
+    offending field — an unknown ["kind"] is an error, which is what
+    lets trace validation reject schema drift. *)

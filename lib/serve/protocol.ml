@@ -16,9 +16,16 @@ type kind =
   | Diffmc of query
   | Health
   | Stats
-  | Metrics of [ `Text | `Json ]
+  | Metrics of [ `Text | `Json | `Snapshot ]
 
-type request = { id : Json.t; deadline_ms : float option; kind : kind }
+type wire_trace = { trace_id : int; parent_pid : int; parent_span : int }
+
+type request = {
+  id : Json.t;
+  trace : wire_trace option;
+  deadline_ms : float option;
+  kind : kind;
+}
 
 type error_code = Bad_request | Overloaded | Timeout | Draining | Internal
 
@@ -162,20 +169,56 @@ let request_of_string line =
               match get_string_opt doc "format" with
               | None | Some "text" -> Metrics `Text
               | Some "json" -> Metrics `Json
+              | Some "snapshot" -> Metrics `Snapshot
               | Some other ->
                   raise
                     (Bad
-                       (Printf.sprintf "unknown format %S (text | json)" other)))
+                       (Printf.sprintf
+                          "unknown format %S (text | json | snapshot)" other)))
           | Some other -> raise (Bad (Printf.sprintf "unknown kind %S" other))
         in
-        Ok { id; deadline_ms; kind }
+        let trace =
+          match Json.member "trace" doc with
+          | None | Some Json.Null -> None
+          | Some (Json.Obj _ as o) ->
+              let geti f =
+                match Json.member f o with
+                | Some (Json.Int i) -> i
+                | _ ->
+                    raise
+                      (Bad
+                         (Printf.sprintf "\"trace\" must carry integer %S" f))
+              in
+              Some
+                {
+                  trace_id = geti "id";
+                  parent_pid = geti "pid";
+                  parent_span = geti "span";
+                }
+          | Some _ -> raise (Bad "\"trace\" must be an object")
+        in
+        Ok { id; trace; deadline_ms; kind }
       with Bad msg -> Error (id, msg))
   | Ok _ -> Error (Json.Null, "request must be a JSON object")
 
-let request_to_json { id; deadline_ms; kind } =
+let request_to_json { id; trace; deadline_ms; kind } =
   let base =
     (match id with Json.Null -> [] | id -> [ ("id", id) ])
     @ [ ("kind", Json.Str (kind_name kind)) ]
+  in
+  let trace_fields =
+    match trace with
+    | None -> []
+    | Some w ->
+        [
+          ( "trace",
+            Json.Obj
+              [
+                ("id", Json.Int w.trace_id);
+                ("pid", Json.Int w.parent_pid);
+                ("span", Json.Int w.parent_span);
+              ] );
+        ]
   in
   let deadline =
     match deadline_ms with
@@ -198,9 +241,16 @@ let request_to_json { id; deadline_ms; kind } =
     | Count q | Accmc q | Diffmc q -> query q
     | Health | Stats -> []
     | Metrics fmt ->
-        [ ("format", Json.Str (match fmt with `Text -> "text" | `Json -> "json")) ]
+        [
+          ( "format",
+            Json.Str
+              (match fmt with
+              | `Text -> "text"
+              | `Json -> "json"
+              | `Snapshot -> "snapshot") );
+        ]
   in
-  Json.Obj (base @ params @ deadline)
+  Json.Obj (base @ params @ trace_fields @ deadline)
 
 (* --- responses --------------------------------------------------------- *)
 

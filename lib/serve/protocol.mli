@@ -35,7 +35,17 @@
     ["shard": int] field; the fleet router's merged fan-out responses
     keep per-shard entries attributable by it.  Clients that predate
     the fleet ignore it like any other unknown field — no version
-    negotiation needed. *)
+    negotiation needed.
+
+    {b Trace propagation.}  A request may carry an optional ["trace"]
+    object — [{"id": <63-bit trace id>, "pid": <sender pid>,
+    "span": <sender's in-flight span id>}] — identifying the span on
+    whose behalf the request is made.  The fleet router stamps it from
+    its [fleet.route] span ({!Mcml_obs.Obs.propagation}) and the
+    server adopts it ({!Mcml_obs.Obs.remote_context}), so in a merged
+    trace ({!Mcml_obs.Trace.merge}) the shard's [serve.request] span
+    parents under the router's span across the process boundary.
+    Requests without the field behave exactly as before. *)
 
 open Mcml_obs
 
@@ -55,14 +65,26 @@ type kind =
   | Diffmc of query  (** train two DTs, then DiffMC between them *)
   | Health  (** liveness: status, jobs, in-flight, uptime *)
   | Stats  (** request totals and count-cache statistics *)
-  | Metrics of [ `Text | `Json ]
+  | Metrics of [ `Text | `Json | `Snapshot ]
       (** live registry scrape: the server samples the runtime probes
           and returns an {!Mcml_obs.Metrics} snapshot — as OpenMetrics
-          text (the default; wire field ["format":"text"]) or as the
-          JSON rendering (["format":"json"]) *)
+          text (the default; wire field ["format":"text"]), as the
+          JSON rendering (["format":"json"]), or as the full-fidelity
+          wire snapshot (["format":"snapshot"], schema
+          [mcml.metrics.snapshot.v1]) that a fleet router requests
+          from its shards to merge histograms bucket-wise *)
+
+type wire_trace = { trace_id : int; parent_pid : int; parent_span : int }
+(** Wire trace context: the sender's active trace id and the
+    [(pid, span id)] of its in-flight span — everything the receiver
+    needs to parent its work under the sender's span in a merged
+    forest. *)
 
 type request = {
   id : Json.t;  (** echoed verbatim in the response; [Null] if absent *)
+  trace : wire_trace option;
+      (** cross-process trace context (wire field ["trace"]); adopted
+          by the server, never echoed back *)
   deadline_ms : float option;
       (** per-request deadline relative to admission; mapped onto the
           counters' budget discipline ({!Server.execute}) *)

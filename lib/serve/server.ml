@@ -381,6 +381,7 @@ let metrics_json fmt =
   let snap = Metrics.snapshot () in
   match fmt with
   | `Json -> Ok (Metrics.to_json snap)
+  | `Snapshot -> Ok (Metrics.snapshot_to_wire snap)
   | `Text ->
       Ok
         (Json.Obj
@@ -391,8 +392,20 @@ let metrics_json fmt =
 
 (* Execute one request under a [serve.request] span; [ctx] (when given)
    pins the span's parent explicitly — the connection span — so request
-   spans parent correctly however systhreads interleave on one domain. *)
+   spans parent correctly however systhreads interleave on one domain.
+   A request carrying wire trace context overrides either: the caller's
+   in-flight span (a fleet router) is the real parent, so the request
+   span is adopted into that trace and the merged forest shows the
+   cross-process edge instead of a local conn-span one. *)
 let execute_in t ?ctx ~deadline (req : Protocol.request) =
+  let ctx =
+    match req.Protocol.trace with
+    | Some w when Obs.enabled () ->
+        Some
+          (Obs.remote_context ~trace_id:w.Protocol.trace_id
+             ~pid:w.Protocol.parent_pid ~span:w.Protocol.parent_span)
+    | _ -> ctx
+  in
   let body = ref (Error (Protocol.Internal, "unreached")) in
   let run () =
     Obs.with_span "serve.request"

@@ -153,10 +153,11 @@ let single_flight_inflight_only () =
 (* Routing keys and the router                                             *)
 (* ---------------------------------------------------------------------- *)
 
-let count_req ?(id = Json.Null) ?deadline_ms ?(scope = 3) ?(budget = 30.0)
-    name =
+let count_req ?(id = Json.Null) ?trace ?deadline_ms ?(scope = 3)
+    ?(budget = 30.0) name =
   {
     Protocol.id;
+    trace;
     deadline_ms;
     kind =
       Protocol.Count
@@ -171,7 +172,8 @@ let count_req ?(id = Json.Null) ?deadline_ms ?(scope = 3) ?(budget = 30.0)
         };
   }
 
-let admin_req kind = { Protocol.id = Json.Null; deadline_ms = None; kind }
+let admin_req kind =
+  { Protocol.id = Json.Null; trace = None; deadline_ms = None; kind }
 
 let routing_key_properties () =
   let key req =
@@ -186,6 +188,12 @@ let routing_key_properties () =
   check Alcotest.string "deadline does not shard"
     base
     (key (count_req ~deadline_ms:250.0 "Reflexive"));
+  check Alcotest.string "trace context does not shard"
+    base
+    (key
+       (count_req
+          ~trace:{ Protocol.trace_id = 99; parent_pid = 1; parent_span = 2 }
+          "Reflexive"));
   check Alcotest.bool "different property, different key" true
     (base <> key (count_req "Transitive"));
   check Alcotest.bool "different scope, different key" true
@@ -334,6 +342,92 @@ let fleet_merges_shard_fields () =
               Alcotest.failf "merged stats lacks router section: %s"
                 (Json.to_string payload)))
 
+let has_substr hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let fleet_trace_parenting () =
+  (* the tentpole acceptance shape, in process: shard [serve.request]
+     spans hang under the router's [fleet.route] spans via the wire-
+     propagated trace context *)
+  let module Trace = Mcml_obs.Trace in
+  let events = ref [] in
+  let sink = { Obs.emit = (fun e -> events := e :: !events); flush = ignore } in
+  Obs.set_sink sink;
+  let forest =
+    Fun.protect
+      ~finally:(fun () -> Obs.set_sink Obs.null)
+      (fun () ->
+        with_real_fleet ~shards:2 (fun t ->
+            List.iter
+              (fun name ->
+                (* each request starts from a clean context, as a fresh
+                   connection thread would *)
+                match
+                  (Obs.with_context Obs.empty_context (fun () ->
+                       Router.execute t (count_req name)))
+                    .Protocol.body
+                with
+                | Ok _ -> ()
+                | Error (_, msg) -> Alcotest.failf "%s failed: %s" name msg)
+              [ "Reflexive"; "Transitive"; "PartialOrder" ]);
+        match Trace.of_events (List.rev !events) with
+        | Ok forest -> forest
+        | Error msgs ->
+            Alcotest.failf "trace merge failed: %s" (String.concat "; " msgs))
+  in
+  let serve_spans = ref 0 in
+  let rec walk parent_name (sp : Trace.span) =
+    if sp.Trace.name = "serve.request" then begin
+      incr serve_spans;
+      check
+        Alcotest.(option string)
+        "serve.request parented under fleet.route" (Some "fleet.route")
+        parent_name;
+      check Alcotest.bool "remote parent reference present" true
+        (sp.Trace.remote_parent <> None)
+    end;
+    List.iter (walk (Some sp.Trace.name)) sp.Trace.children
+  in
+  List.iter (walk None) forest.Trace.roots;
+  check Alcotest.bool "saw shard spans" true (!serve_spans >= 3);
+  check Alcotest.int "every serve.request joined via a remote edge"
+    !serve_spans forest.Trace.remote_edges
+
+let fleet_merged_metrics () =
+  let module Metrics = Mcml_obs.Metrics in
+  Obs.set_sink (Obs.stats_only ());
+  Obs.reset_counters ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink Obs.null;
+      Obs.reset_counters ())
+  @@ fun () ->
+  with_real_fleet ~shards:2 (fun t ->
+      ignore (Router.execute t (count_req "Reflexive"));
+      match
+        (Router.execute t (admin_req (Protocol.Metrics `Text))).Protocol.body
+      with
+      | Error (_, msg) -> Alcotest.failf "metrics failed: %s" msg
+      | Ok payload ->
+          let text =
+            match Json.member "exposition" payload with
+            | Some (Json.Str s) -> s
+            | _ ->
+                Alcotest.failf "metrics payload lacks exposition: %s"
+                  (Json.to_string payload)
+          in
+          (match Metrics.lint text with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "fleet exposition failed lint: %s" msg);
+          check Alcotest.bool "shard-labeled samples present" true
+            (has_substr text "shard=\"0\"");
+          check Alcotest.bool "router samples present" true
+            (has_substr text "shard=\"router\"");
+          check Alcotest.bool "shard liveness gauge present" true
+            (has_substr text "mcml_fleet_shard_up"))
+
 let () =
   Alcotest.run "mcml_fleet"
     [
@@ -359,5 +453,9 @@ let () =
           Alcotest.test_case "stable shard per key" `Quick router_same_key_same_shard;
           Alcotest.test_case "dedup counts once" `Slow fleet_dedup_counts_once;
           Alcotest.test_case "merged shard fields" `Slow fleet_merges_shard_fields;
+          Alcotest.test_case "cross-process span parenting" `Slow
+            fleet_trace_parenting;
+          Alcotest.test_case "merged metrics exposition" `Slow
+            fleet_merged_metrics;
         ] );
     ]

@@ -571,8 +571,40 @@ let probe_dynamic_sources () =
 let event_json_roundtrip () =
   let evs =
     [
-      Obs.Span_start { ts = 1.5; name = "a"; id = 3; parent = None; domain = 0 };
-      Obs.Span_start { ts = 1.6; name = "b"; id = 4; parent = Some 3; domain = 2 };
+      Obs.Span_start
+        {
+          ts = 1.5;
+          name = "a";
+          id = 3;
+          parent = None;
+          domain = 0;
+          pid = 101;
+          trace = Some 987654321;
+          remote = None;
+        };
+      Obs.Span_start
+        {
+          ts = 1.6;
+          name = "b";
+          id = 4;
+          parent = Some 3;
+          domain = 2;
+          pid = 101;
+          trace = None;
+          remote = None;
+        };
+      (* a shard span adopted from a router in another process *)
+      Obs.Span_start
+        {
+          ts = 1.65;
+          name = "adopted";
+          id = 5;
+          parent = None;
+          domain = 0;
+          pid = 102;
+          trace = Some 987654321;
+          remote = Some (101, 3);
+        };
       Obs.Span_end
         {
           ts = 1.7;
@@ -580,14 +612,18 @@ let event_json_roundtrip () =
           id = 4;
           parent = Some 3;
           domain = 2;
+          pid = 101;
+          trace = None;
+          remote = None;
           dur_ms = 0.25;
           attrs = [ ("n", Obs.Int 7); ("ok", Obs.Bool true); ("s", Obs.Str "x") ];
         };
-      Obs.Counter { ts = 1.8; name = "c"; value = 42.0 };
+      Obs.Counter { ts = 1.8; name = "c"; value = 42.0; pid = 101 };
       Obs.Histogram
         {
           ts = 1.9;
           name = "h";
+          pid = 101;
           stats = { Obs.count = 10; p50 = 0.1; p90 = 0.2; p99 = 0.3; max = 0.4 };
         };
     ]
@@ -614,7 +650,365 @@ let event_json_roundtrip () =
       {|{"ts":1.0,"kind":"span_start","name":"x"}|};
       {|{"kind":"counter","name":"x","value":1.0}|};
       {|{"ts":1.0,"kind":"span_end","name":"x","id":1,"domain":0}|};
+      (* a remote reference must carry both integer pid and id *)
+      {|{"ts":1.0,"kind":"span_start","name":"x","id":1,"domain":0,"remote":{"pid":3}}|};
+      {|{"ts":1.0,"kind":"span_start","name":"x","id":1,"domain":0,"remote":7}|};
     ]
+
+let event_json_v2_compat () =
+  (* schema-v2 lines (no pid, no trace, no remote) still parse; the
+     missing pid defaults to 0 *)
+  List.iter
+    (fun s ->
+      let j =
+        match Json.of_string s with Ok j -> j | Error e -> Alcotest.failf "bad fixture: %s" e
+      in
+      match Obs.event_of_json j with
+      | Error msg -> Alcotest.failf "v2 line %s rejected: %s" s msg
+      | Ok (Obs.Span_start { pid; trace; remote; _ }) ->
+          check Alcotest.int "pid defaults to 0" 0 pid;
+          check Alcotest.bool "no trace" true (trace = None);
+          check Alcotest.bool "no remote" true (remote = None)
+      | Ok (Obs.Span_end { pid; _ })
+      | Ok (Obs.Counter { pid; _ })
+      | Ok (Obs.Histogram { pid; _ }) ->
+          check Alcotest.int "pid defaults to 0" 0 pid)
+    [
+      {|{"ts":1.0,"kind":"span_start","name":"x","id":1,"domain":0}|};
+      {|{"ts":1.1,"kind":"span_end","name":"x","id":1,"domain":0,"dur_ms":0.5}|};
+      {|{"ts":1.2,"kind":"counter","name":"c","value":3}|};
+      {|{"ts":1.3,"kind":"histogram","name":"h","count":1,"p50_ms":1,"p90_ms":1,"p99_ms":1,"max_ms":1}|};
+    ]
+
+(* --- distributed tracing: propagation, merge, flight recorder ------------------- *)
+
+let trace_propagation () =
+  with_clean_obs @@ fun () ->
+  let sink, events = recording () in
+  Obs.set_sink sink;
+  check Alcotest.bool "no propagation outside a span" true (Obs.propagation () = None);
+  Obs.with_new_trace (fun () ->
+      check Alcotest.bool "no propagation without a span" true
+        (Obs.propagation () = None);
+      let sp = Obs.start "work" in
+      (match Obs.propagation () with
+      | None -> Alcotest.fail "no propagation inside a traced span"
+      | Some (tid, pid, span) ->
+          check Alcotest.bool "trace id is a positive 63-bit int" true (tid > 0);
+          check Alcotest.int "own pid" (Unix.getpid ()) pid;
+          check Alcotest.bool "span id matches the start event" true
+            (List.exists
+               (function
+                 | Obs.Span_start { name = "work"; id; _ } -> id = span
+                 | _ -> false)
+               !events);
+          (* nested trace installs nothing new *)
+          Obs.with_new_trace (fun () ->
+              check Alcotest.bool "inner with_new_trace keeps the trace" true
+                (match Obs.propagation () with
+                | Some (tid', _, _) -> tid' = tid
+                | None -> false)));
+      Obs.finish sp);
+  (* two traces get distinct ids *)
+  let tid_of () =
+    Obs.with_new_trace (fun () ->
+        let sp = Obs.start "t" in
+        let r = Obs.propagation () in
+        Obs.finish sp;
+        match r with Some (tid, _, _) -> tid | None -> Alcotest.fail "no tid")
+  in
+  check Alcotest.bool "fresh ids are distinct" true (tid_of () <> tid_of ())
+
+let trace_remote_adoption () =
+  with_clean_obs @@ fun () ->
+  let sink, events = recording () in
+  Obs.set_sink sink;
+  Obs.with_context
+    (Obs.remote_context ~trace_id:55 ~pid:4242 ~span:17)
+    (fun () ->
+      let outer = Obs.start "adopted" in
+      let inner = Obs.start "child" in
+      Obs.finish inner;
+      Obs.finish outer);
+  let starts =
+    List.filter_map
+      (function
+        | Obs.Span_start { name; trace; remote; parent; _ } ->
+            Some (name, trace, remote, parent)
+        | _ -> None)
+      (List.rev !events)
+  in
+  match starts with
+  | [ ("adopted", t0, r0, p0); ("child", t1, r1, _) ] ->
+      check Alcotest.bool "adopted span carries the wire trace" true (t0 = Some 55);
+      check Alcotest.bool "adopted span carries the remote parent" true
+        (r0 = Some (4242, 17));
+      check Alcotest.bool "adopted span has no local parent" true (p0 = None);
+      check Alcotest.bool "child inherits the trace" true (t1 = Some 55);
+      check Alcotest.bool "remote consumed by the first span only" true (r1 = None)
+  | _ -> Alcotest.fail "expected exactly two span starts"
+
+(* Terse event constructors for hand-built streams. *)
+let ss ?(ts = 0.0) ?parent ?trace ?remote ~pid ~id name =
+  Obs.Span_start { ts; name; id; parent; domain = 0; pid; trace; remote }
+
+let se ?(ts = 1.0) ?parent ?trace ?remote ?(dur = 1.0) ~pid ~id name =
+  Obs.Span_end
+    { ts; name; id; parent; domain = 0; pid; trace; remote; dur_ms = dur; attrs = [] }
+
+let trace_merge_cross_process () =
+  (* a router (pid 1) and a shard (pid 2); the shard's serve.request
+     references the router's fleet.route span remotely.  Span id 1 is
+     deliberately reused across pids: ids are per-process. *)
+  let router =
+    [
+      ss ~pid:1 ~id:1 ~trace:77 "fleet.conn";
+      ss ~pid:1 ~id:2 ~parent:1 ~trace:77 "fleet.route";
+      se ~pid:1 ~id:2 ~parent:1 ~trace:77 "fleet.route";
+      se ~pid:1 ~id:1 ~trace:77 "fleet.conn";
+    ]
+  in
+  let shard =
+    [
+      ss ~pid:2 ~id:1 ~trace:77 ~remote:(1, 2) "serve.request";
+      se ~pid:2 ~id:1 ~trace:77 ~remote:(1, 2) "serve.request";
+    ]
+  in
+  match Trace.merge [ ("router", router); ("shard", shard) ] with
+  | Error errs -> Alcotest.failf "merge failed: %s" (String.concat "; " errs)
+  | Ok t ->
+      check Alcotest.int "3 spans" 3 t.Trace.num_spans;
+      check Alcotest.int "one root (the conn)" 1 (List.length t.Trace.roots);
+      check Alcotest.int "one remote edge" 1 t.Trace.remote_edges;
+      check Alcotest.int "one cross-pid edge" 1 t.Trace.cross_pid_edges;
+      check Alcotest.int "two processes" 2 (List.length t.Trace.pids);
+      let conn = List.hd t.Trace.roots in
+      check Alcotest.string "root is the conn" "fleet.conn" conn.Trace.name;
+      (match conn.Trace.children with
+      | [ route ] -> (
+          check Alcotest.string "route under conn" "fleet.route" route.Trace.name;
+          match route.Trace.children with
+          | [ req ] ->
+              check Alcotest.string "shard request under the route"
+                "serve.request" req.Trace.name;
+              check Alcotest.int "request kept its pid" 2 req.Trace.pid;
+              check Alcotest.bool "edge recorded on the span" true
+                (req.Trace.remote_parent = Some (1, 2));
+              check Alcotest.bool "trace id survives" true (req.Trace.trace = Some 77)
+          | kids ->
+              Alcotest.failf "route has %d children, want the one request"
+                (List.length kids))
+      | kids -> Alcotest.failf "conn has %d children, want 1" (List.length kids));
+      (* the same streams through of_events (one sink): remote still resolves *)
+      (match Trace.of_events (router @ shard) with
+      | Ok t1 -> check Alcotest.int "single-stream merge agrees" 3 t1.Trace.num_spans
+      | Error errs ->
+          Alcotest.failf "single-stream remote resolution failed: %s"
+            (String.concat "; " errs))
+
+let trace_merge_dangling_remote () =
+  let shard =
+    [
+      ss ~pid:2 ~id:1 ~remote:(1, 99) "serve.request";
+      se ~pid:2 ~id:1 ~remote:(1, 99) "serve.request";
+    ]
+  in
+  (match Trace.merge [ ("shard", shard) ] with
+  | Ok _ -> Alcotest.fail "dangling remote parent must be fatal"
+  | Error errs ->
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool "error names the remote parent" true
+        (List.exists (fun e -> contains e "remote") errs));
+  (* a span carrying both a local and a remote parent is as fatal *)
+  let bad =
+    [
+      ss ~pid:1 ~id:1 "root";
+      ss ~pid:1 ~id:2 ~parent:1 ~remote:(1, 1) "both";
+      se ~pid:1 ~id:2 ~parent:1 "both";
+      se ~pid:1 ~id:1 "root";
+    ]
+  in
+  match Trace.merge [ ("s", bad) ] with
+  | Ok _ -> Alcotest.fail "dual parentage must be fatal"
+  | Error _ -> ()
+
+let trace_v2_stream_still_loads () =
+  (* a pre-v3 trace file: no pid/trace/remote fields anywhere *)
+  let path = Filename.temp_file "mcml_obs_v2" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let oc = open_out path in
+  output_string oc
+    {|{"ts":1.0,"kind":"span_start","name":"outer","id":1,"domain":0}
+{"ts":1.1,"kind":"span_start","name":"inner","id":2,"parent":1,"domain":0}
+{"ts":1.2,"kind":"span_end","name":"inner","id":2,"parent":1,"domain":0,"dur_ms":0.1}
+{"ts":1.3,"kind":"span_end","name":"outer","id":1,"domain":0,"dur_ms":0.3}
+{"ts":1.4,"kind":"counter","name":"c","value":2}
+|};
+  close_out oc;
+  match Trace.load path with
+  | Error errs -> Alcotest.failf "v2 trace rejected: %s" (String.concat "; " errs)
+  | Ok t ->
+      check Alcotest.int "2 spans" 2 t.Trace.num_spans;
+      check Alcotest.int "no remote edges" 0 t.Trace.remote_edges;
+      check Alcotest.bool "single pid 0" true
+        (match t.Trace.pids with [ (0, 2, _) ] -> true | _ -> false)
+
+let flight_ring () =
+  with_clean_obs @@ fun () ->
+  let r = Flight.create ~capacity:4 () in
+  check Alcotest.int "capacity clamped from below" 1 (Flight.capacity (Flight.create ~capacity:0 ()));
+  Obs.set_sink (Flight.sink r);
+  for i = 1 to 6 do
+    Obs.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  (* 6 spans = 12 events through a 4-slot ring *)
+  check Alcotest.int "recorded counts everything" 12 (Flight.recorded r);
+  check Alcotest.int "dropped = recorded - capacity" 8 (Flight.dropped r);
+  let evs = Flight.events r in
+  check Alcotest.int "window holds capacity" 4 (List.length evs);
+  (* oldest-first: the last retained events are the final two spans *)
+  let names =
+    List.filter_map
+      (function
+        | Obs.Span_start { name; _ } | Obs.Span_end { name; _ } -> Some name
+        | _ -> None)
+      evs
+  in
+  check Alcotest.(list string) "most recent window, oldest first"
+    [ "s5"; "s5"; "s6"; "s6" ] names;
+  let path = Filename.temp_file "mcml_flight" ".events" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  check Alcotest.int "dump writes the window" 4 (Flight.dump r path);
+  let lines = read_lines path in
+  check Alcotest.int "one line per event" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error e -> Alcotest.failf "dump line %S unparseable: %s" line e
+      | Ok j ->
+          check Alcotest.bool "dump line is a schema event" true
+            (Result.is_ok (Obs.event_of_json j)))
+    lines
+
+(* --- fleet metrics merging ------------------------------------------------------- *)
+
+let snapshot_wire_roundtrip () =
+  with_clean_obs @@ fun () ->
+  Obs.set_sink (Obs.stats_only ());
+  Obs.add "serve.requests.ok" 42;
+  Obs.gauge "pool.depth" 3.0;
+  for i = 1 to 100 do
+    Obs.observe "serve.request" (float_of_int i)
+  done;
+  let snap = Metrics.snapshot () in
+  match Metrics.snapshot_of_wire (Metrics.snapshot_to_wire snap) with
+  | Error msg -> Alcotest.failf "wire round-trip failed: %s" msg
+  | Ok back ->
+      check
+        Alcotest.(list (pair string (float 1e-9)))
+        "counters survive" snap.Metrics.counters back.Metrics.counters;
+      check
+        Alcotest.(list (pair string (float 1e-9)))
+        "gauges survive" snap.Metrics.gauges back.Metrics.gauges;
+      let h = List.assoc "serve.request" snap.Metrics.histograms in
+      let h' = List.assoc "serve.request" back.Metrics.histograms in
+      let module H = Obs.Histogram in
+      check Alcotest.int "histogram count survives" (H.count h) (H.count h');
+      check (Alcotest.float 1e-9) "histogram sum survives" (H.sum h) (H.sum h');
+      check (Alcotest.float 1e-9) "max survives exactly" (H.max_value h)
+        (H.max_value h');
+      (* raw buckets, not summaries: percentiles agree exactly *)
+      List.iter
+        (fun p ->
+          check (Alcotest.float 1e-9)
+            (Printf.sprintf "p%.2f survives" p)
+            (H.percentile h p) (H.percentile h' p))
+        [ 0.5; 0.9; 0.99; 1.0 ];
+      (* garbage is rejected, not half-parsed *)
+      check Alcotest.bool "wrong schema rejected" true
+        (Result.is_error (Metrics.snapshot_of_wire (Json.Obj [ ("schema", Json.Str "nope") ])))
+
+let take_snapshot build =
+  with_clean_obs @@ fun () ->
+  Obs.set_sink (Obs.stats_only ());
+  build ();
+  Metrics.snapshot ()
+
+let fleet_exposition () =
+  let shard0 =
+    take_snapshot (fun () ->
+        Obs.add "serve.requests.ok" 12;
+        Obs.gauge "pool.depth" 2.0;
+        Obs.observe "serve.request" 1.0)
+  in
+  let shard1 =
+    take_snapshot (fun () ->
+        Obs.add "serve.requests.ok" 8;
+        Obs.observe "serve.request" 2.0)
+  in
+  let router =
+    take_snapshot (fun () -> Obs.add "fleet.requests.ok" 20)
+  in
+  let text =
+    Metrics.fleet_to_openmetrics ~router
+      ~shards:[ (0, Ok shard0); (1, Ok shard1); (2, Error "internal: boom") ]
+  in
+  (match Metrics.lint text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fleet exposition failed lint: %s" e);
+  let lines = String.split_on_char '\n' text in
+  let has l =
+    check Alcotest.bool (Printf.sprintf "line %S present" l) true (List.mem l lines)
+  in
+  (* per-shard samples plus the unlabeled sum over numeric shards *)
+  has {|mcml_serve_requests_ok_total{shard="0"} 12|};
+  has {|mcml_serve_requests_ok_total{shard="1"} 8|};
+  has "mcml_serve_requests_ok_total 20";
+  has {|mcml_fleet_requests_ok_total{shard="router"} 20|};
+  (* gauges stay per-shard, never summed *)
+  has {|mcml_pool_depth{shard="0"} 2|};
+  check Alcotest.bool "no unlabeled gauge sum" false
+    (List.mem "mcml_pool_depth 2" lines);
+  (* the dead shard is visible, the live ones are marked up *)
+  has {|mcml_fleet_shard_up{shard="0"} 1|};
+  has {|mcml_fleet_shard_up{shard="1"} 1|};
+  has {|mcml_fleet_shard_up{shard="2"} 0|};
+  (* histograms merge bucket-wise across sources *)
+  has "mcml_serve_request_count 2";
+  has "mcml_serve_request_sum 3";
+  (* exactly one TYPE declaration per family (the old concatenation
+     emitted one per shard, which lint rejects) *)
+  let type_lines =
+    List.filter (String.starts_with ~prefix:"# TYPE mcml_serve_requests_ok ") lines
+  in
+  check Alcotest.int "one TYPE per family" 1 (List.length type_lines)
+
+let fleet_json () =
+  let shard0 = take_snapshot (fun () -> Obs.add "serve.requests.ok" 5) in
+  let router = take_snapshot (fun () -> Obs.add "fleet.requests.ok" 5) in
+  let j =
+    Metrics.fleet_to_json ~router
+      ~shards:[ (0, Ok shard0); (1, Error "internal: boom") ]
+  in
+  check Alcotest.bool "fleet schema tag" true
+    (Json.member "schema" j = Some (Json.Str "mcml.metrics.fleet.v1"));
+  check Alcotest.bool "router section present" true
+    (match Json.member "router" j with
+    | Some r -> Json.member "schema" r = Some (Json.Str "mcml.metrics.v1")
+    | None -> false);
+  match Json.member "shards" j with
+  | Some (Json.List [ s0; s1 ]) ->
+      check Alcotest.bool "shard 0 tagged" true
+        (Json.member "shard" s0 = Some (Json.Int 0));
+      check Alcotest.bool "shard 1 carries its error" true
+        (match Json.member "error" s1 with Some (Json.Str _) -> true | _ -> false)
+  | _ -> Alcotest.fail "shards must be a 2-element list"
 
 (* --- JSON printer/parser -------------------------------------------------------- *)
 
@@ -670,6 +1064,18 @@ let () =
           Alcotest.test_case "exposition round-trip" `Quick metrics_exposition_roundtrip;
           Alcotest.test_case "json rendering" `Quick metrics_json_rendering;
           Alcotest.test_case "lint rejections" `Quick metrics_lint_rejects;
+          Alcotest.test_case "snapshot wire round-trip" `Quick snapshot_wire_roundtrip;
+          Alcotest.test_case "fleet exposition" `Quick fleet_exposition;
+          Alcotest.test_case "fleet json" `Quick fleet_json;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "propagation" `Quick trace_propagation;
+          Alcotest.test_case "remote adoption" `Quick trace_remote_adoption;
+          Alcotest.test_case "cross-process merge" `Quick trace_merge_cross_process;
+          Alcotest.test_case "dangling remote parent" `Quick trace_merge_dangling_remote;
+          Alcotest.test_case "v2 trace still loads" `Quick trace_v2_stream_still_loads;
+          Alcotest.test_case "flight recorder ring" `Quick flight_ring;
         ] );
       ( "probes",
         [
@@ -684,6 +1090,7 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick json_roundtrip;
           Alcotest.test_case "event round-trip" `Quick event_json_roundtrip;
+          Alcotest.test_case "v2 event compat" `Quick event_json_v2_compat;
           Alcotest.test_case "errors" `Quick json_rejects_garbage;
         ] );
     ]

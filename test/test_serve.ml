@@ -45,7 +45,9 @@ let proto_roundtrip_all_kinds () =
   let q = mk_query ~scope:4 ~symmetry:true "PartialOrder" in
   List.iter
     (fun kind ->
-      let req = { Protocol.id = Json.Int 7; deadline_ms = Some 1500.0; kind } in
+      let req =
+        { Protocol.id = Json.Int 7; trace = None; deadline_ms = Some 1500.0; kind }
+      in
       let req' = roundtrip req in
       check Alcotest.string "kind"
         (Protocol.kind_name req.Protocol.kind)
@@ -72,6 +74,7 @@ let proto_roundtrip_all_kinds () =
       Protocol.Stats;
       Protocol.Metrics `Text;
       Protocol.Metrics `Json;
+      Protocol.Metrics `Snapshot;
     ]
 
 let proto_response_roundtrip () =
@@ -118,6 +121,48 @@ let proto_malformed () =
       Alcotest.failf "rejection lost the id: %s" (Json.to_string other)
   | Ok _ -> Alcotest.fail "accepted unknown kind"
 
+let proto_trace_roundtrip () =
+  let has_substr hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (* the wire trace context survives a round-trip... *)
+  let req =
+    {
+      Protocol.id = Json.Int 1;
+      trace =
+        Some { Protocol.trace_id = 987654321; parent_pid = 41; parent_span = 7 };
+      deadline_ms = None;
+      kind = Protocol.Health;
+    }
+  in
+  let line = Json.to_string (Protocol.request_to_json req) in
+  (match Protocol.request_of_string line with
+  | Ok { Protocol.trace = Some w; _ } ->
+      check Alcotest.int "trace id" 987654321 w.Protocol.trace_id;
+      check Alcotest.int "parent pid" 41 w.Protocol.parent_pid;
+      check Alcotest.int "parent span" 7 w.Protocol.parent_span
+  | Ok { Protocol.trace = None; _ } -> Alcotest.failf "trace dropped: %s" line
+  | Error (_, msg) -> Alcotest.failf "round-trip rejected %s: %s" line msg);
+  (* ...an absent or null trace stays absent (and off the wire)... *)
+  (match Protocol.request_of_string "{\"kind\":\"health\",\"trace\":null}" with
+  | Ok { Protocol.trace = None; _ } -> ()
+  | Ok _ -> Alcotest.fail "null trace should parse as None"
+  | Error (_, msg) -> Alcotest.failf "null trace rejected: %s" msg);
+  (match
+     Protocol.request_to_json { req with Protocol.trace = None } |> Json.to_string
+   with
+  | s when not (has_substr s "trace") -> ()
+  | s -> Alcotest.failf "trace = None must not serialize: %s" s);
+  (* ...and a malformed one is rejected, not ignored *)
+  List.iter expect_bad
+    [
+      "{\"kind\":\"health\",\"trace\":7}";
+      "{\"kind\":\"health\",\"trace\":{\"id\":1,\"pid\":2}}";
+      "{\"kind\":\"health\",\"trace\":{\"id\":\"x\",\"pid\":2,\"span\":3}}";
+    ]
+
 (* ---------------------------------------------------------------------- *)
 (* Execution                                                               *)
 (* ---------------------------------------------------------------------- *)
@@ -143,6 +188,7 @@ let execute_count_matches_direct () =
       let req =
         {
           Protocol.id = Json.Int 1;
+          trace = None;
           deadline_ms = None;
           kind = Protocol.Count (mk_query ~scope:3 ~budget:30.0 "Reflexive");
         }
@@ -165,7 +211,8 @@ let execute_count_matches_direct () =
 let execute_health_stats () =
   with_server (fun srv ->
       let exec kind =
-        Server.execute srv { Protocol.id = Json.Null; deadline_ms = None; kind }
+        Server.execute srv
+          { Protocol.id = Json.Null; trace = None; deadline_ms = None; kind }
       in
       (match (exec Protocol.Health).Protocol.body with
       | Ok payload -> (
@@ -328,6 +375,7 @@ let slo_counters_accumulate () =
         Server.execute srv
           {
             Protocol.id = Json.Null;
+            trace = None;
             deadline_ms;
             kind = Protocol.Count (mk_query ~scope ~budget:30.0 prop);
           }
@@ -419,6 +467,8 @@ let () =
             proto_roundtrip_all_kinds;
           Alcotest.test_case "response round-trip" `Quick proto_response_roundtrip;
           Alcotest.test_case "malformed requests rejected" `Quick proto_malformed;
+          Alcotest.test_case "trace context round-trip" `Quick
+            proto_trace_roundtrip;
         ] );
       ( "execute",
         [
