@@ -774,6 +774,13 @@ let substrate_tests () =
         ignore (Mcml_sat.Solver.solve (Mcml_sat.Solver.of_cnf phi_cnf))));
     Test.make ~name:"count.exact(phi)" (Staged.stage (fun () ->
         ignore (Mcml_counting.Exact.count phi_cnf)));
+    (* the counter's worst family: a negated property under symmetry
+       breaking — the instance class the d-DNNF engine is gated on *)
+    Test.make ~name:"count.exact(neg phi sym)" (Staged.stage (fun () ->
+        ignore
+          (Mcml_counting.Exact.count
+             (Mcml_alloy.Analyzer.cnf ~negate:true ~symmetry:true analyzer
+                ~pred:prop.Props.pred))));
     Test.make ~name:"count.approx(phi)" (Staged.stage (fun () ->
         ignore
           (Mcml_counting.Approx.count

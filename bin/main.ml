@@ -52,7 +52,7 @@ let budget_arg =
 let backend_arg =
   let parse s =
     match String.lowercase_ascii s with
-    | "exact" | "projmc" -> Ok Mcml_counting.Counter.Exact
+    | "exact" | "projmc" | "ddnnf" -> Ok Mcml_counting.Counter.Exact
     | "approx" | "approxmc" -> Ok (Mcml_counting.Counter.Approx Mcml_counting.Approx.default)
     | "brute" -> Ok Mcml_counting.Counter.Brute
     | _ -> Error (`Msg "backend must be exact | approx | brute")
@@ -61,7 +61,7 @@ let backend_arg =
   Arg.(
     value
     & opt (conv (parse, print)) Mcml_counting.Counter.Exact
-    & info [ "backend" ] ~docv:"B" ~doc:"Model counter: exact (ProjMC-style), approx (ApproxMC-style), brute.")
+    & info [ "backend" ] ~docv:"B" ~doc:"Model counter: exact (decision-DNNF compilation), approx (ApproxMC-style), brute.")
 
 let default_scope prop ~symmetry =
   Experiments.scope_for Experiments.fast prop ~symmetry

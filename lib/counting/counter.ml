@@ -8,7 +8,7 @@ type outcome = { count : Bignat.t; exact : bool; time : float }
 type cache = outcome option Memo.t
 
 let name = function
-  | Exact -> "exact(projmc)"
+  | Exact -> "exact(ddnnf)"
   | Approx _ -> "approx(approxmc)"
   | Brute -> "brute"
 

@@ -14,7 +14,9 @@
 open Mcml_logic
 
 type backend =
-  | Exact  (** the ProjMC stand-in: exact projected counting *)
+  | Exact
+      (** exact projected counting by decision-DNNF compilation
+          ({!Exact}), filling the paper's ProjMC role *)
   | Approx of Approx.config  (** the ApproxMC stand-in *)
   | Brute  (** exhaustive reference counter (tests, tiny instances) *)
 
@@ -25,7 +27,7 @@ type outcome = {
 }
 
 val name : backend -> string
-(** Human-readable backend name, e.g. ["exact(projmc)"] — for display;
+(** Human-readable backend name, e.g. ["exact(ddnnf)"] — for display;
     not parseable back (the serve protocol uses its own wire names). *)
 
 type cache = outcome option Mcml_exec.Memo.t

@@ -3,32 +3,117 @@ open Mcml_sat
 
 exception Timeout
 
-(* Exact projected counting with an imperative core: one global
+(* Exact projected counting as knowledge compilation: the search IS the
+   bottom-up construction of a decision-DNNF trace.  One global
    assignment array and trail (assignments are undone on backtrack, the
-   clause database is never copied), counter-based unit propagation,
-   connected-component decomposition over the active clauses, and a
-   component cache keyed on (clause id, mask of falsified literals) —
-   which identifies a residual subformula exactly but costs only a few
-   bytes per clause to compute.
+   clause database is never copied), queue-based counter unit
+   propagation, connected-component decomposition over the active
+   clauses with smallest components counted first, a component cache
+   keyed on packed integer signatures, and VSADS-style branching
+   (conflict activity + component occurrence count).
 
-   Invariant of [count_comp]: given a set of active (unsatisfied)
-   clause indices closed under variable sharing, it returns the number
-   of assignments of exactly the projection variables OCCURRING
-   UNASSIGNED in those clauses that extend to a model of them. *)
+   Invariant of [count_component]: given an array of active
+   (unsatisfied) clause indices closed under unassigned-variable
+   sharing, with unit propagation already at fixpoint, it returns the
+   number of assignments of exactly the projection variables OCCURRING
+   UNASSIGNED in those clauses that extend to a model of them — plus
+   the trace node that derives it. *)
+
+(* The trace representation, shared with the public [Dnnf] module
+   below ([compile] needs the engine, so the engine comes between). *)
+module D = struct
+  type node =
+    | True
+    | False
+    | Decision of { var : int; hi : int; lo : int }
+    | Decomp of int array
+    | Free of { vars : int; child : int }
+
+  type t = { nodes : node array; root : int }
+
+  let root t = t.root
+  let size t = Array.length t.nodes
+  let node t i = t.nodes.(i)
+
+  let model_count t =
+    let memo = Array.make (Array.length t.nodes) None in
+    let rec go i =
+      match memo.(i) with
+      | Some c -> c
+      | None ->
+          let c =
+            match t.nodes.(i) with
+            | True -> Bignat.one
+            | False -> Bignat.zero
+            | Decision { hi; lo; _ } -> Bignat.add (go hi) (go lo)
+            | Decomp kids ->
+                Array.fold_left (fun acc k -> Bignat.mul acc (go k)) Bignat.one kids
+            | Free { vars; child } -> Bignat.shift_left (go child) vars
+          in
+          memo.(i) <- Some c;
+          c
+    in
+    go t.root
+end
+
+(* Component signatures: an int array, one word [(ci << 31) | mask of
+   falsified literal positions] per clause of up to 31 literals.
+   Longer clauses get a record [-(ci+2); pos; pos; ...; -1] — headers
+   are <= -2 and the terminator is -1, so the encoding stays a prefix
+   code against the non-negative short words.  Within one counting run
+   the clause database is fixed, so the signature determines the
+   residual subformula exactly (satisfied clauses are excluded before
+   keying). *)
+module Sig_key = struct
+  type t = int array
+
+  let equal (a : t) (b : t) =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
+    go 0
+
+  let hash (a : t) =
+    let h = ref (Array.length a) in
+    Array.iter
+      (fun x ->
+        let z = (!h lxor x) * 0x9E3779B97F4A7C1 in
+        h := z lxor (z lsr 29))
+      a;
+    !h
+end
+
+module Cache = Hashtbl.Make (Sig_key)
 
 type state = {
   clauses : Lit.t array array;
-  occurs : int array array; (* var -> clause indices containing var *)
+  len : int array; (* clause -> literal count *)
+  pos_occ : int array array; (* var -> clauses with the positive literal *)
+  neg_occ : int array array; (* var -> clauses with the negative literal *)
   is_proj : bool array;
   assign : int array; (* var -> -1 / 0 / 1 *)
   trail : int Vec.t; (* assigned vars, in order *)
   n_false : int array; (* clause -> # falsified literals *)
-  sat_by : int array; (* clause -> satigning var count: # true literals *)
-  cache : (string, Bignat.t) Hashtbl.t;
+  sat_by : int array; (* clause -> # satisfied literals *)
+  activity : float array; (* VSADS: bumped on conflict clauses *)
+  mutable act_inc : float;
+  cache : (Bignat.t * int) Cache.t; (* signature -> (count, node id) *)
+  use_cache : bool;
+  nodes : D.node Vec.t option; (* Some: retain the trace *)
+  mutable node_count : int; (* counted in both modes *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable max_depth : int;
   mutable ticks : int;
-  mutable cells : int; (* count_comp invocations: cells explored *)
-  mutable cache_hits : int;
   deadline : float option;
+  (* allocation-free scratch, invalidated by bumping [stamp] *)
+  var_stamp : int array;
+  var_slot : int array;
+  pv_stamp : int array;
+  pv_occ : int array;
+  mutable stamp : int;
+  queue : Lit.t Queue.t; (* propagation queue, reused across calls *)
 }
 
 let check_time st =
@@ -45,8 +130,6 @@ let value_lit st (l : Lit.t) =
   let a = st.assign.(Lit.var l) in
   if a = -1 then -1 else if Lit.sign l then a else 1 - a
 
-let clause_satisfied st ci = st.sat_by.(ci) > 0
-
 exception Conflict
 
 (* Assign l := true, updating clause counters.  Record on trail. *)
@@ -54,354 +137,484 @@ let assign_lit st (l : Lit.t) =
   let v = Lit.var l in
   st.assign.(v) <- (if Lit.sign l then 1 else 0);
   Vec.push st.trail v;
-  Array.iter
-    (fun ci ->
-      Array.iter
-        (fun cl ->
-          if Lit.var cl = v then
-            if Lit.sign cl = Lit.sign l then st.sat_by.(ci) <- st.sat_by.(ci) + 1
-            else st.n_false.(ci) <- st.n_false.(ci) + 1)
-        st.clauses.(ci))
-    st.occurs.(v)
+  let same = if Lit.sign l then st.pos_occ.(v) else st.neg_occ.(v) in
+  let opp = if Lit.sign l then st.neg_occ.(v) else st.pos_occ.(v) in
+  Array.iter (fun ci -> st.sat_by.(ci) <- st.sat_by.(ci) + 1) same;
+  Array.iter (fun ci -> st.n_false.(ci) <- st.n_false.(ci) + 1) opp
 
 let undo_to st mark =
   while Vec.size st.trail > mark do
     let v = Vec.pop st.trail in
     let was_true = st.assign.(v) = 1 in
     st.assign.(v) <- -1;
-    Array.iter
-      (fun ci ->
-        Array.iter
-          (fun cl ->
-            if Lit.var cl = v then
-              if Lit.sign cl = was_true then st.sat_by.(ci) <- st.sat_by.(ci) - 1
-              else st.n_false.(ci) <- st.n_false.(ci) - 1)
-          st.clauses.(ci))
-      st.occurs.(v)
+    let same = if was_true then st.pos_occ.(v) else st.neg_occ.(v) in
+    let opp = if was_true then st.neg_occ.(v) else st.pos_occ.(v) in
+    Array.iter (fun ci -> st.sat_by.(ci) <- st.sat_by.(ci) - 1) same;
+    Array.iter (fun ci -> st.n_false.(ci) <- st.n_false.(ci) - 1) opp
   done
 
-(* Unit propagation over a set of clause indices.  Raises [Conflict];
-   caller must [undo_to].  Returns the list of variables assigned. *)
-let propagate st (active : int list) =
-  let start_mark = Vec.size st.trail in
-  let progress = ref true in
-  while !progress do
-    progress := false;
-    List.iter
-      (fun ci ->
-        if not (clause_satisfied st ci) then begin
-          let c = st.clauses.(ci) in
-          let len = Array.length c in
-          if st.n_false.(ci) = len then raise Conflict
-          else if st.n_false.(ci) = len - 1 then begin
-            (* unit: find the unassigned literal *)
-            let rec find k =
-              if k >= len then raise Conflict (* stale counters; defensive *)
-              else if value_lit st c.(k) = -1 then c.(k)
-              else find (k + 1)
-            in
-            assign_lit st (find 0);
-            progress := true
-          end
-        end)
-      active
-  done;
-  let assigned = ref [] in
-  for i = start_mark to Vec.size st.trail - 1 do
-    assigned := Vec.get st.trail i :: !assigned
-  done;
-  !assigned
+let bump_clause st ci =
+  let inc = st.act_inc in
+  Array.iter
+    (fun l ->
+      let v = Lit.var l in
+      st.activity.(v) <- st.activity.(v) +. inc)
+    st.clauses.(ci);
+  (* grow the increment instead of decaying every score: same ordering,
+     one float op per conflict *)
+  st.act_inc <- st.act_inc *. 1.05;
+  if st.act_inc > 1e100 then begin
+    let n = Array.length st.activity in
+    for v = 0 to n - 1 do
+      st.activity.(v) <- st.activity.(v) *. 1e-100
+    done;
+    st.act_inc <- st.act_inc *. 1e-100
+  end
 
-(* Distinct unassigned projection variables occurring in the active
-   (unsatisfied) clauses of [comp]. *)
-let proj_vars_of st comp =
-  let seen = Hashtbl.create 32 in
-  List.iter
-    (fun ci ->
-      if not (clause_satisfied st ci) then
+(* Propagate [seeds] to fixpoint.  Raises [Conflict]; the caller must
+   [undo_to] its mark (the queue is reset on the next call).  At
+   fixpoint every active clause has >= 2 unassigned literals. *)
+let propagate st (seeds : Lit.t list) =
+  Queue.clear st.queue;
+  List.iter (fun l -> Queue.push l st.queue) seeds;
+  while not (Queue.is_empty st.queue) do
+    check_time st;
+    let l = Queue.pop st.queue in
+    match value_lit st l with
+    | 1 -> ()
+    | 0 -> raise Conflict (* two clauses implied opposite units *)
+    | _ ->
+        assign_lit st l;
+        let v = Lit.var l in
+        let opp = if Lit.sign l then st.neg_occ.(v) else st.pos_occ.(v) in
+        Array.iter
+          (fun ci ->
+            if st.sat_by.(ci) = 0 then begin
+              let nf = st.n_false.(ci) and ln = st.len.(ci) in
+              if nf = ln then begin
+                bump_clause st ci;
+                raise Conflict
+              end
+              else if nf = ln - 1 then begin
+                let c = st.clauses.(ci) in
+                let rec find k = if value_lit st c.(k) = -1 then c.(k) else find (k + 1) in
+                Queue.push (find 0) st.queue
+              end
+            end)
+          opp
+  done
+
+(* The still-active (unsatisfied) clauses of [comp], ascending. *)
+let active_of st (comp : int array) : int array =
+  let k = ref 0 in
+  Array.iter (fun ci -> if st.sat_by.(ci) = 0 then incr k) comp;
+  if !k = Array.length comp then comp
+  else begin
+    let out = Array.make !k 0 in
+    let j = ref 0 in
+    Array.iter
+      (fun ci ->
+        if st.sat_by.(ci) = 0 then begin
+          out.(!j) <- ci;
+          incr j
+        end)
+      comp;
+    out
+  end
+
+(* Connected components (by shared unassigned variables) of [active]
+   (all unsatisfied), smallest-first so cheap cache hits and cheap
+   refutations land before expensive subtrees.  Clause ids stay
+   ascending within each component, keeping signatures canonical. *)
+let split_components st (active : int array) : int array list =
+  let n = Array.length active in
+  if n <= 1 then if n = 0 then [] else [ active ]
+  else begin
+    let parent = Array.init n (fun i -> i) in
+    let rec find i =
+      if parent.(i) = i then i
+      else begin
+        parent.(i) <- find parent.(i);
+        parent.(i)
+      end
+    in
+    let union i j =
+      let ri = find i and rj = find j in
+      if ri <> rj then parent.(ri) <- rj
+    in
+    st.stamp <- st.stamp + 1;
+    let stamp = st.stamp in
+    Array.iteri
+      (fun i ci ->
         Array.iter
           (fun l ->
             let v = Lit.var l in
-            if st.is_proj.(v) && st.assign.(v) = -1 then Hashtbl.replace seen v ())
+            if st.assign.(v) = -1 then
+              if st.var_stamp.(v) = stamp then union i st.var_slot.(v)
+              else begin
+                st.var_stamp.(v) <- stamp;
+                st.var_slot.(v) <- i
+              end)
           st.clauses.(ci))
+      active;
+    let count_of = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let r = find i in
+      count_of.(r) <- count_of.(r) + 1
+    done;
+    let arrays = Array.make n [||] in
+    for i = 0 to n - 1 do
+      if count_of.(i) > 0 then arrays.(i) <- Array.make count_of.(i) 0
+    done;
+    let fill = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let r = find i in
+      arrays.(r).(fill.(r)) <- active.(i);
+      fill.(r) <- fill.(r) + 1
+    done;
+    let comps = ref [] in
+    for i = n - 1 downto 0 do
+      if count_of.(i) > 0 then comps := arrays.(i) :: !comps
+    done;
+    List.sort
+      (fun a b ->
+        let c = compare (Array.length a) (Array.length b) in
+        if c <> 0 then c else compare a.(0) b.(0))
+      !comps
+  end
+
+let signature st (comp : int array) : int array =
+  let words = ref 0 in
+  Array.iter
+    (fun ci -> if st.len.(ci) <= 31 then incr words else words := !words + 2 + st.n_false.(ci))
     comp;
-  seen
-
-(* Connected components (by shared unassigned variables) of the active
-   clauses in [comp]. *)
-let split_components st (comp : int list) : int list list =
-  let active = List.filter (fun ci -> not (clause_satisfied st ci)) comp in
-  match active with
-  | [] | [ _ ] -> [ active ]
-  | _ ->
-      let arr = Array.of_list active in
-      let n = Array.length arr in
-      let parent = Array.init n (fun i -> i) in
-      let rec find i =
-        if parent.(i) = i then i
-        else begin
-          parent.(i) <- find parent.(i);
-          parent.(i)
-        end
-      in
-      let union i j =
-        let ri = find i and rj = find j in
-        if ri <> rj then parent.(ri) <- rj
-      in
-      let owner = Hashtbl.create 64 in
-      Array.iteri
-        (fun i ci ->
-          Array.iter
-            (fun l ->
-              let v = Lit.var l in
-              if st.assign.(v) = -1 then
-                match Hashtbl.find_opt owner v with
-                | None -> Hashtbl.add owner v i
-                | Some j -> union i j)
-            st.clauses.(ci))
-        arr;
-      let buckets = Hashtbl.create 8 in
-      Array.iteri
-        (fun i ci ->
-          let r = find i in
-          match Hashtbl.find_opt buckets r with
-          | Some cell -> cell := ci :: !cell
-          | None -> Hashtbl.add buckets r (ref [ ci ]))
-        arr;
-      Hashtbl.fold (fun _ cell acc -> !cell :: acc) buckets []
-
-(* Cache key of a component: sorted (clause id, falsified-literal mask)
-   pairs.  Within one counting run the clause database is fixed, so the
-   pair determines the residual clause exactly (satisfied clauses are
-   excluded before calling). *)
-let key_of st comp =
-  let ids = List.sort Int.compare comp in
-  let buf = Buffer.create (8 * List.length ids) in
-  List.iter
+  let out = Array.make !words 0 in
+  let j = ref 0 in
+  Array.iter
     (fun ci ->
-      Buffer.add_string buf (string_of_int ci);
-      Buffer.add_char buf ':';
       let c = st.clauses.(ci) in
-      if Array.length c <= 60 then begin
+      if st.len.(ci) <= 31 then begin
         let mask = ref 0 in
         Array.iteri (fun k l -> if value_lit st l = 0 then mask := !mask lor (1 lsl k)) c;
-        Buffer.add_string buf (string_of_int !mask)
+        out.(!j) <- (ci lsl 31) lor !mask;
+        incr j
       end
-      else
-        (* long clauses: list falsified positions explicitly *)
+      else begin
+        out.(!j) <- -(ci + 2);
+        incr j;
         Array.iteri
           (fun k l ->
             if value_lit st l = 0 then begin
-              Buffer.add_string buf (string_of_int k);
-              Buffer.add_char buf ','
+              out.(!j) <- k;
+              incr j
             end)
           c;
-      Buffer.add_char buf ';')
-    ids;
-  Buffer.contents buf
+        out.(!j) <- -1;
+        incr j
+      end)
+    comp;
+  out
 
-(* SAT check on a projection-free component via simple DPLL on the
-   shared state. *)
-let rec residual_sat st comp =
-  check_time st;
-  let mark = Vec.size st.trail in
-  match propagate st comp with
-  | exception Conflict ->
-      undo_to st mark;
-      false
-  | _ ->
-      let active = List.filter (fun ci -> not (clause_satisfied st ci)) comp in
-      let result =
-        match active with
-        | [] -> true
-        | ci :: _ ->
-            let c = st.clauses.(ci) in
-            let l =
-              let rec find k = if value_lit st c.(k) = -1 then c.(k) else find (k + 1) in
-              find 0
-            in
-            let try_branch lit =
-              let m = Vec.size st.trail in
-              assign_lit st lit;
-              let ok = match residual_sat st active with b -> b | exception Conflict -> false in
-              undo_to st m;
-              ok
-            in
-            try_branch l || try_branch (Lit.neg l)
-      in
-      undo_to st mark;
-      result
+(* Trace node construction.  [emit] counts nodes in both modes, so
+   [count] and [Dnnf.compile] report identical [dnnf_nodes]; only the
+   tracing mode retains them.  Node 0 is the shared False leaf, node 1
+   the shared True leaf. *)
+let node_false = 0
+let node_true = 1
 
-let rec count_comp st (comp : int list) : Bignat.t =
-  check_time st;
-  st.cells <- st.cells + 1;
-  let mark = Vec.size st.trail in
-  match propagate st comp with
-  | exception Conflict ->
-      undo_to st mark;
-      Bignat.zero
-  | assigned ->
-      (* [comp] was fully active at entry, so the projection variables
-         the count ranges over are those occurring in [comp]'s clauses
-         and unassigned at entry — i.e. unassigned now, or assigned by
-         this very propagation (those were forced: factor 1).  The ones
-         still unassigned but no longer occurring in an active clause
-         were freed by clause satisfaction: factor 2 each. *)
-      let entry = Hashtbl.create 32 in
-      List.iter
-        (fun ci ->
-          Array.iter
-            (fun l ->
-              let v = Lit.var l in
-              if st.is_proj.(v) && (st.assign.(v) = -1 || List.mem v assigned) then
-                Hashtbl.replace entry v ())
-            st.clauses.(ci))
-        comp;
-      let after = proj_vars_of st comp in
-      let freed = ref 0 in
-      Hashtbl.iter
-        (fun v () ->
-          if st.assign.(v) = -1 && not (Hashtbl.mem after v) then incr freed)
-        entry;
-      let comps = split_components st comp in
-      let result =
-        List.fold_left
-          (fun acc sub ->
-            if Bignat.is_zero acc then acc
-            else if sub = [] then acc
-            else Bignat.mul acc (count_cached st sub))
-          Bignat.one comps
-      in
-      undo_to st mark;
-      Bignat.shift_left result !freed
+let emit st node =
+  st.node_count <- st.node_count + 1;
+  match st.nodes with
+  | None -> -1
+  | Some vec ->
+      Vec.push vec node;
+      Vec.size vec - 1
 
-and count_cached st comp =
-  let key = key_of st comp in
-  match Hashtbl.find_opt st.cache key with
-  | Some c ->
-      st.cache_hits <- st.cache_hits + 1;
-      c
-  | None ->
-      let proj = proj_vars_of st comp in
-      let result =
-        if Hashtbl.length proj = 0 then
-          if residual_sat st comp then Bignat.one else Bignat.zero
-        else begin
-          (* branch on the most frequent unassigned projection variable *)
-          let occ = Hashtbl.create 32 in
-          List.iter
-            (fun ci ->
-              if not (clause_satisfied st ci) then
-                Array.iter
-                  (fun l ->
-                    let v = Lit.var l in
-                    if st.is_proj.(v) && st.assign.(v) = -1 then
-                      Hashtbl.replace occ v
-                        (1 + Option.value ~default:0 (Hashtbl.find_opt occ v)))
-                  st.clauses.(ci))
-            comp;
-          let v, _ =
-            Hashtbl.fold
-              (fun v n (bv, bn) -> if n > bn || (n = bn && v < bv) then (v, n) else (bv, bn))
-              occ (0, -1)
-          in
-          let branch sign =
-            let mark = Vec.size st.trail in
-            assign_lit st (Lit.make v sign);
-            (* the branch may free other projection vars of [comp] whose
-               clauses all became satisfied; count_comp handles vars
-               still occurring, so credit the vanished ones here *)
-            let active = List.filter (fun ci -> not (clause_satisfied st ci)) comp in
-            let still = proj_vars_of st comp in
-            let freed = ref 0 in
-            Hashtbl.iter
-              (fun u _ -> if u <> v && not (Hashtbl.mem still u) then incr freed)
-              occ;
-            let sub = if active = [] then Bignat.one else count_comp st active in
-            undo_to st mark;
-            Bignat.shift_left sub !freed
-          in
-          Bignat.add (branch true) (branch false)
-        end
-      in
-      Hashtbl.add st.cache key result;
-      result
+let mk_free st k child = if k = 0 then child else emit st (D.Free { vars = k; child })
 
-let count ?budget (cnf : Cnf.t) : Bignat.t =
-  let deadline =
-    match budget with
-    | None -> None
-    | Some b -> Some (Mcml_obs.Obs.monotonic_s () +. b)
-  in
-  (* normalize clauses: drop tautologies and duplicates (Cnf.make did) *)
-  let clauses = cnf.Cnf.clauses in
-  let nclauses = Array.length clauses in
-  let nvars = cnf.Cnf.nvars in
-  let occurs_build = Array.make (nvars + 1) [] in
-  Array.iteri
-    (fun ci c ->
-      let seen = Hashtbl.create 8 in
+let mk_decomp st = function
+  | [] -> node_true
+  | [ c ] -> c
+  | cs -> emit st (D.Decomp (Array.of_list cs))
+
+(* Distinct unassigned projection variables occurring in [comp] (all
+   active), and the VSADS branch choice: maximal activity + occurrence
+   score, ties to the smallest variable. *)
+let analyze_comp st (comp : int array) : int array * int =
+  st.stamp <- st.stamp + 1;
+  let stamp = st.stamp in
+  let acc = ref [] in
+  let n = ref 0 in
+  Array.iter
+    (fun ci ->
       Array.iter
         (fun l ->
           let v = Lit.var l in
-          if not (Hashtbl.mem seen v) then begin
-            Hashtbl.add seen v ();
-            occurs_build.(v) <- ci :: occurs_build.(v)
-          end)
-        c)
-    clauses;
+          if st.is_proj.(v) && st.assign.(v) = -1 then
+            if st.pv_stamp.(v) = stamp then st.pv_occ.(v) <- st.pv_occ.(v) + 1
+            else begin
+              st.pv_stamp.(v) <- stamp;
+              st.pv_occ.(v) <- 1;
+              acc := v :: !acc;
+              incr n
+            end)
+        st.clauses.(ci))
+    comp;
+  let pvars = Array.make !n 0 in
+  let i = ref 0 in
+  List.iter
+    (fun v ->
+      pvars.(!i) <- v;
+      incr i)
+    !acc;
+  let best = ref 0 and best_score = ref neg_infinity in
+  Array.iter
+    (fun v ->
+      let s = st.activity.(v) +. float_of_int st.pv_occ.(v) in
+      if s > !best_score || (s = !best_score && v < !best) then begin
+        best := v;
+        best_score := s
+      end)
+    pvars;
+  (pvars, !best)
+
+(* SAT check on a projection-free component: plain DPLL on the shared
+   state (the component's entry is cached by [count_component], so a
+   True/False leaf is never recomputed). *)
+let rec residual_sat st (comp : int array) : bool =
+  check_time st;
+  if Array.length comp = 0 then true
+  else begin
+    let c = st.clauses.(comp.(0)) in
+    let l =
+      let rec find k = if value_lit st c.(k) = -1 then c.(k) else find (k + 1) in
+      find 0
+    in
+    let try_phase lit =
+      let mark = Vec.size st.trail in
+      match propagate st [ lit ] with
+      | exception Conflict ->
+          undo_to st mark;
+          false
+      | () ->
+          let r = residual_sat st (active_of st comp) in
+          undo_to st mark;
+          r
+    in
+    try_phase l || try_phase (Lit.neg l)
+  end
+
+let rec count_component st depth (comp : int array) : Bignat.t * int =
+  check_time st;
+  let key = if st.use_cache then signature st comp else [||] in
+  match if st.use_cache then Cache.find_opt st.cache key else None with
+  | Some hit ->
+      st.hits <- st.hits + 1;
+      hit
+  | None ->
+      if st.use_cache then st.misses <- st.misses + 1;
+      let pvars, best = analyze_comp st comp in
+      let result =
+        if Array.length pvars = 0 then
+          if residual_sat st comp then (Bignat.one, node_true)
+          else (Bignat.zero, node_false)
+        else begin
+          if depth > st.max_depth then st.max_depth <- depth;
+          let chi, nhi = branch st depth comp pvars best true in
+          let clo, nlo = branch st depth comp pvars best false in
+          (Bignat.add chi clo, emit st (D.Decision { var = best; hi = nhi; lo = nlo }))
+        end
+      in
+      if st.use_cache then Cache.replace st.cache key result;
+      result
+
+and branch st depth (comp : int array) (pvars : int array) v phase : Bignat.t * int =
+  let mark = Vec.size st.trail in
+  match propagate st [ Lit.make v phase ] with
+  | exception Conflict ->
+      undo_to st mark;
+      (Bignat.zero, node_false)
+  | () ->
+      let active = active_of st comp in
+      (* Projection vars of [comp] (other than [v]) still unassigned
+         but no longer occurring in an active clause were freed by
+         clause satisfaction: ×2 each.  The ones propagation assigned
+         were forced: factor 1, accounted by their absence here. *)
+      st.stamp <- st.stamp + 1;
+      let stamp = st.stamp in
+      Array.iter
+        (fun ci ->
+          Array.iter
+            (fun l ->
+              let u = Lit.var l in
+              if st.is_proj.(u) && st.assign.(u) = -1 then st.pv_stamp.(u) <- stamp)
+            st.clauses.(ci))
+        active;
+      let freed = ref 0 in
+      Array.iter
+        (fun u -> if st.assign.(u) = -1 && st.pv_stamp.(u) <> stamp then incr freed)
+        pvars;
+      let comps = split_components st active in
+      let total = ref Bignat.one in
+      let children = ref [] in
+      List.iter
+        (fun sub ->
+          let c, nd = count_component st (depth + 1) sub in
+          total := Bignat.mul !total c;
+          children := nd :: !children)
+        comps;
+      undo_to st mark;
+      (Bignat.shift_left !total !freed, mk_free st !freed (mk_decomp st (List.rev !children)))
+
+let make_state ~tracing ~use_cache ~deadline (cnf : Cnf.t) : state =
+  let clauses = cnf.Cnf.clauses in
+  let nclauses = Array.length clauses in
+  let nvars = cnf.Cnf.nvars in
+  let pos_build = Array.make (nvars + 1) [] in
+  let neg_build = Array.make (nvars + 1) [] in
+  for ci = nclauses - 1 downto 0 do
+    Array.iter
+      (fun l ->
+        let v = Lit.var l in
+        if Lit.sign l then pos_build.(v) <- ci :: pos_build.(v)
+        else neg_build.(v) <- ci :: neg_build.(v))
+      clauses.(ci)
+  done;
   let is_proj = Array.make (nvars + 1) false in
   Array.iter (fun v -> is_proj.(v) <- true) (Cnf.projection_vars cnf);
-  let st =
-    {
-      clauses;
-      occurs = Array.map Array.of_list occurs_build;
-      is_proj;
-      assign = Array.make (nvars + 1) (-1);
-      trail = Vec.create ~dummy:0 ();
-      n_false = Array.make nclauses 0;
-      sat_by = Array.make nclauses 0;
-      cache = Hashtbl.create 4096;
-      ticks = 0;
-      cells = 0;
-      cache_hits = 0;
-      deadline;
-    }
+  let nodes = if tracing then Some (Vec.create ~dummy:D.True ()) else None in
+  (match nodes with
+  | Some vec ->
+      Vec.push vec D.False;
+      Vec.push vec D.True
+  | None -> ());
+  {
+    clauses;
+    len = Array.map Array.length clauses;
+    pos_occ = Array.map Array.of_list pos_build;
+    neg_occ = Array.map Array.of_list neg_build;
+    is_proj;
+    assign = Array.make (nvars + 1) (-1);
+    trail = Vec.create ~dummy:0 ();
+    n_false = Array.make nclauses 0;
+    sat_by = Array.make nclauses 0;
+    activity = Array.make (nvars + 1) 0.0;
+    act_inc = 1.0;
+    cache = Cache.create 4096;
+    use_cache;
+    nodes;
+    node_count = 2;
+    hits = 0;
+    misses = 0;
+    max_depth = 0;
+    ticks = 0;
+    deadline;
+    var_stamp = Array.make (nvars + 1) 0;
+    var_slot = Array.make (nvars + 1) 0;
+    pv_stamp = Array.make (nvars + 1) 0;
+    pv_occ = Array.make (nvars + 1) 0;
+    stamp = 0;
+    queue = Queue.create ();
+  }
+
+let count_root st nclauses : Bignat.t * int =
+  let has_empty = ref false in
+  for ci = 0 to nclauses - 1 do
+    if st.len.(ci) = 0 then has_empty := true
+  done;
+  if !has_empty then (Bignat.zero, node_false)
+  else begin
+    let seeds = ref [] in
+    for ci = nclauses - 1 downto 0 do
+      if st.len.(ci) = 1 then seeds := st.clauses.(ci).(0) :: !seeds
+    done;
+    match propagate st !seeds with
+    | exception Conflict -> (Bignat.zero, node_false)
+    | () ->
+        let active = active_of st (Array.init nclauses (fun i -> i)) in
+        (* One root [Free] node folds every ×2 source together: vars
+           occurring only in clauses root propagation satisfied, and
+           vars never occurring at all.  Vars forced at the root are
+           assigned, hence excluded (factor 1). *)
+        st.stamp <- st.stamp + 1;
+        let stamp = st.stamp in
+        Array.iter
+          (fun ci ->
+            Array.iter
+              (fun l ->
+                let v = Lit.var l in
+                if st.is_proj.(v) && st.assign.(v) = -1 then st.pv_stamp.(v) <- stamp)
+              st.clauses.(ci))
+          active;
+        let free = ref 0 in
+        for v = 1 to Array.length st.is_proj - 1 do
+          if st.is_proj.(v) && st.assign.(v) = -1 && st.pv_stamp.(v) <> stamp then incr free
+        done;
+        let comps = split_components st active in
+        let total = ref Bignat.one in
+        let children = ref [] in
+        List.iter
+          (fun sub ->
+            let c, nd = count_component st 1 sub in
+            total := Bignat.mul !total c;
+            children := nd :: !children)
+          comps;
+        (Bignat.shift_left !total !free, mk_free st !free (mk_decomp st (List.rev !children)))
+  end
+
+(* Shared driver: inprocess (optional), build state, compile.  The
+   state lands in [st_out] before the search starts, so callers can
+   report telemetry even when the search raises [Timeout]. *)
+let run_engine ~tracing ~budget ~inprocess ~cache ~st_out (cnf0 : Cnf.t) : Bignat.t * int =
+  let deadline = Option.map (fun b -> Mcml_obs.Obs.monotonic_s () +. b) budget in
+  let cnf =
+    if inprocess && Array.length cnf0.Cnf.clauses > 0 then
+      (Inprocess.simplify cnf0).Inprocess.cnf
+    else cnf0
   in
-  (* projection variables not occurring anywhere are free *)
-  let never = ref 0 in
-  Array.iter
-    (fun v -> if v >= 1 && is_proj.(v) && Array.length st.occurs.(v) = 0 then incr never)
-    (Cnf.projection_vars cnf);
-  let all = List.init nclauses (fun i -> i) in
-  let run () =
-    (* an empty clause makes the formula unsatisfiable immediately *)
-    if Array.exists (fun c -> Array.length c = 0) clauses then Bignat.zero
-    else
-      let core = if all = [] then Bignat.one else count_comp st all in
-      Bignat.shift_left core !never
-  in
+  (match deadline with
+  | Some d when Mcml_obs.Obs.monotonic_s () > d -> raise Timeout
+  | _ -> ());
+  let st = make_state ~tracing ~use_cache:cache ~deadline cnf in
+  st_out := Some st;
+  count_root st (Array.length cnf.Cnf.clauses)
+
+let count ?budget ?(inprocess = true) ?(cache = true) (cnf : Cnf.t) : Bignat.t =
+  let st_out = ref None in
+  let run () = fst (run_engine ~tracing:false ~budget ~inprocess ~cache ~st_out cnf) in
   if not (Mcml_obs.Obs.enabled ()) then run ()
   else begin
     let open Mcml_obs in
     let sp = Obs.start "count.exact" in
     let t0 = Obs.monotonic_s () in
     let attrs outcome =
+      let nodes, hits, misses, depth, entries =
+        match !st_out with
+        | Some st -> (st.node_count, st.hits, st.misses, st.max_depth, Cache.length st.cache)
+        | None -> (0, 0, 0, 0, 0)
+      in
       [
         ("outcome", Obs.Str outcome);
-        ("cells", Obs.Int st.cells);
-        ("cache_hits", Obs.Int st.cache_hits);
-        ("cache_entries", Obs.Int (Hashtbl.length st.cache));
+        ("dnnf_nodes", Obs.Int nodes);
+        ("comp_cache_hits", Obs.Int hits);
+        ("comp_cache_misses", Obs.Int misses);
+        ("cache_entries", Obs.Int entries);
+        ("max_branch_depth", Obs.Int depth);
         ("proj_vars", Obs.Int (Array.length (Cnf.projection_vars cnf)));
-        ("clauses", Obs.Int nclauses);
+        ("clauses", Obs.Int (Array.length cnf.Cnf.clauses));
         ("budget_s", match budget with Some b -> Obs.Float b | None -> Obs.Str "none");
         ("consumed_s", Obs.Float (Obs.monotonic_s () -. t0));
       ]
     in
     let account () =
       Obs.add "count.exact.calls" 1;
-      Obs.add "count.exact.cells" st.cells;
-      Obs.add "count.exact.cache_hits" st.cache_hits
+      match !st_out with
+      | Some st ->
+          Obs.add "count.exact.dnnf_nodes" st.node_count;
+          Obs.add "count.exact.comp_cache_hits" st.hits;
+          Obs.add "count.exact.comp_cache_misses" st.misses;
+          Obs.observe "count.exact.branch_depth" (float_of_int st.max_depth)
+      | None -> ()
     in
     match run () with
     | r ->
@@ -415,5 +628,21 @@ let count ?budget (cnf : Cnf.t) : Bignat.t =
         raise Timeout
   end
 
-let count_opt ?budget cnf =
-  match count ?budget cnf with c -> Some c | exception Timeout -> None
+let count_opt ?budget ?inprocess ?cache cnf =
+  match count ?budget ?inprocess ?cache cnf with
+  | c -> Some c
+  | exception Timeout -> None
+
+module Dnnf = struct
+  include D
+
+  let compile ?budget ?(inprocess = true) cnf : t =
+    let st_out = ref None in
+    let _, root = run_engine ~tracing:true ~budget ~inprocess ~cache:true ~st_out cnf in
+    let nodes =
+      match !st_out with
+      | Some { nodes = Some vec; _ } -> Array.init (Vec.size vec) (Vec.get vec)
+      | _ -> [| False; True |]
+    in
+    { nodes; root }
+end

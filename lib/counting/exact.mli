@@ -1,41 +1,110 @@
-(** Exact projected model counting (the ProjMC stand-in).
+(** Exact projected model counting by knowledge compilation.
 
     Counts the models of a CNF projected onto its projection set: the
     number of assignments of the projection variables that extend to at
-    least one model of the full formula.  The algorithm follows the
-    recursive scheme of Lagniez–Marquis-style projected counters:
+    least one model of the full formula.  The engine follows the
+    sharpSAT / Ganak line of exact counters — the search is the
+    bottom-up construction of a {e decision-DNNF} trace:
 
     {ul
-    {- exhaustive unit propagation, aborting a branch on conflict;}
-    {- projection variables that no longer occur contribute a
-       [2{^k}] factor;}
-    {- the residual clause set is split into variable-disjoint
-       connected components whose counts multiply;}
-    {- per-component results are memoized in a cache keyed on the
-       component's canonical clause representation;}
-    {- components free of projection variables only need a
-       satisfiability decision (a disjunctive base case);}
-    {- otherwise the counter branches on a projection variable chosen
-       by occurrence count.}}
+    {- {b Decision nodes} come from branching on a projection variable,
+       chosen VSADS-style: conflict-driven activity blended with the
+       variable's occurrence count in the current component, so
+       branching steers both toward contradiction (pruning) and toward
+       disconnection (decomposition).}
+    {- {b Decomposition (AND) nodes} come from splitting the residual
+       clause set into variable-disjoint connected components, whose
+       counts multiply.  Components are processed smallest-first so
+       cheap cache hits (and cheap refutations) land before expensive
+       subtrees are explored.}
+    {- {b Cached leaves}: each component is keyed by a packed integer
+       signature — one word [(clause id << 31) | falsified-literal
+       mask] per short clause — that identifies the residual
+       subformula exactly.  A cache hit reuses the component's count
+       (and, when tracing, its node), turning the trace into a DAG.}
+    {- Components without projection variables only need a SAT
+       decision (a [true]/[false] leaf); projection variables that
+       stop occurring contribute a [2{^k}] factor ({!Dnnf.Free}
+       nodes).}}
+
+    Before compilation the CNF is (optionally but by default) rewritten
+    by {!Mcml_sat.Inprocess.simplify} — subsumption, self-subsuming
+    resolution, and bounded elimination of non-projected variables —
+    which preserves the projected count exactly (see the soundness
+    argument in DESIGN.md §11).
 
     The counter is exact and deterministic; [budget] bounds the wall
-    clock for callers that need the paper's timeout discipline.
-    Deadlines use the monotonic clock, so a system clock step cannot
-    spuriously expire (or extend) a budget.
+    clock for callers that need the paper's timeout discipline.  The
+    deadline is checked inside unit propagation and at every decision
+    node, so a single huge component cannot blow past a served
+    [deadline_ms].  Deadlines use the monotonic clock, so a system
+    clock step cannot spuriously expire (or extend) a budget.
 
-    {b Thread safety.}  Every [count] call allocates its own solver
-    state and component cache; concurrent calls from different domains
-    do not interact. *)
+    While telemetry is enabled, each call emits a [count.exact] span
+    and feeds [count.exact.calls], [count.exact.dnnf_nodes],
+    [count.exact.comp_cache_hits] / [comp_cache_misses],
+    [count.exact.timeouts], and the [count.exact.branch_depth]
+    histogram (maximum decision depth per call).
+
+    {b Thread safety.}  Every call allocates its own solver state and
+    component cache; concurrent calls from different domains do not
+    interact. *)
 
 open Mcml_logic
 
 exception Timeout
 
-val count : ?budget:float -> Cnf.t -> Bignat.t
+val count : ?budget:float -> ?inprocess:bool -> ?cache:bool -> Cnf.t -> Bignat.t
 (** [count cnf] is the projected model count.
 
     @param budget wall-clock limit in seconds (default: none).
+    @param inprocess run {!Mcml_sat.Inprocess.simplify} first
+           (default [true]).  The result is identical either way; the
+           knob exists for tests and diagnostics.
+    @param cache enable the component cache (default [true]).  The
+           result is identical either way; disabling only changes how
+           much work is repeated.
     @raise Timeout when the budget is exhausted. *)
 
-val count_opt : ?budget:float -> Cnf.t -> Bignat.t option
+val count_opt :
+  ?budget:float -> ?inprocess:bool -> ?cache:bool -> Cnf.t -> Bignat.t option
 (** Like {!count}, but [None] on timeout. *)
+
+(** The decision-DNNF trace of a compilation run, exposed for tests,
+    docs, and tooling.  The hot counting path ({!count}) only keeps
+    node {e counts}; {!Dnnf.compile} additionally retains the nodes. *)
+module Dnnf : sig
+  type node =
+    | True  (** the empty conjunction: one model (of no variables) *)
+    | False  (** an unsatisfiable residual: zero models *)
+    | Decision of { var : int; hi : int; lo : int }
+        (** branch on projection variable [var]: count(hi) + count(lo),
+            where [hi] is the [var = true] child *)
+    | Decomp of int array
+        (** variable-disjoint conjunction: counts multiply *)
+    | Free of { vars : int; child : int }
+        (** [vars] projection variables vanished unconstrained:
+            count(child) × [2{^vars}] *)
+
+  type t
+  (** A trace: a DAG of nodes (ids index into the node table; node [0]
+      is the shared [False] leaf, node [1] the shared [True] leaf),
+      plus a distinguished root. *)
+
+  val compile : ?budget:float -> ?inprocess:bool -> Cnf.t -> t
+  (** Compile a CNF, retaining the full trace.
+      @raise Timeout when the budget is exhausted. *)
+
+  val root : t -> int
+  (** Root node id. *)
+
+  val size : t -> int
+  (** Number of nodes in the trace (leaves included). *)
+
+  val node : t -> int -> node
+  (** [node t i] is node [i]; [0 <= i < size t]. *)
+
+  val model_count : t -> Bignat.t
+  (** Evaluate the trace bottom-up.  Agrees with {!count} on the same
+      CNF by construction (asserted in the test suite). *)
+end

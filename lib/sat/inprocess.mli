@@ -1,0 +1,72 @@
+(** CNF inprocessing for the model counters: subsumption,
+    self-subsuming resolution, and bounded variable elimination.
+
+    The pass rewrites a CNF into an equisatisfiable — and, crucially,
+    {e projected-count-preserving} — smaller CNF before it reaches a
+    counting engine.  Three families of rewrites run to a fixpoint
+    (bounded by [rounds]):
+
+    {ul
+    {- {b Root unit propagation.}  Unit clauses are propagated and
+       their satisfied/strengthened consequences applied.  A forced
+       {e projection} variable is re-emitted as a unit clause in the
+       output, so downstream free-variable accounting still sees it as
+       constrained (factor 1, not 2); forced auxiliaries vanish.}
+    {- {b Subsumption and self-subsumption.}  A clause [C ⊆ D] deletes
+       [D]; a clause [C] with [C \ {l} ⊆ D] and [¬l ∈ D] removes [¬l]
+       from [D] (self-subsuming resolution).  Both preserve the model
+       set over {e all} variables, so they are sound for any
+       projection set — including [projection = None].}
+    {- {b Bounded variable elimination} (the SatELite rule).  A
+       {e non-projected} variable [v] is eliminated by replacing its
+       clauses with all non-tautological resolvents on [v], when that
+       does not grow the clause database (by more than [max_growth]).
+       Replacing [F] by [∃v.F] preserves the count projected onto any
+       set not containing [v], which is exactly the soundness
+       condition; variables in the projection set are never
+       eliminated.  When [projection = None] every variable is in the
+       projection set, so elimination is skipped entirely.}}
+
+    The output CNF uses the same variable numbering and the same
+    projection set as the input.  Projected variables that no longer
+    occur in any clause are genuinely unconstrained (the rewrites
+    preserve the model set, or the projected count, exactly), so the
+    counter's usual ×2-per-free-variable rule remains correct.
+
+    While telemetry is enabled, each call emits a [sat.inprocess] span
+    and feeds the [sat.inprocess.*] counters (subsumed, strengthened,
+    eliminated, resolvents, units).
+
+    {b Thread safety.}  [simplify] allocates all of its state per
+    call; concurrent calls do not interact. *)
+
+open Mcml_logic
+
+type stats = {
+  units : int;  (** root-level forced literals applied *)
+  subsumed : int;  (** clauses deleted by subsumption *)
+  strengthened : int;  (** literals removed by self-subsumption *)
+  eliminated : int;  (** variables eliminated by bounded elimination *)
+  resolvents : int;  (** clauses added back by elimination *)
+  rounds : int;  (** simplification rounds actually run *)
+}
+
+type result = { cnf : Cnf.t; stats : stats }
+
+val simplify :
+  ?max_growth:int ->
+  ?max_resolvent_len:int ->
+  ?max_pairs:int ->
+  ?rounds:int ->
+  Cnf.t ->
+  result
+(** [simplify cnf] is the simplified CNF plus what the pass did.
+
+    @param max_growth how many clauses elimination may add net of the
+           clauses it removes (default 0: never grow the database).
+    @param max_resolvent_len resolvents longer than this block the
+           elimination (default 16).
+    @param max_pairs skip variables whose positive × negative
+           occurrence product exceeds this (default 3000); bounds the
+           worst-case resolvent work per variable.
+    @param rounds fixpoint iteration limit (default 3). *)

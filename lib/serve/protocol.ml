@@ -61,13 +61,13 @@ let default_seed = 20200615
 
 let backend_of_name s =
   match String.lowercase_ascii s with
-  | "exact" | "projmc" -> Some Mcml_counting.Counter.Exact
+  | "exact" | "projmc" | "ddnnf" -> Some Mcml_counting.Counter.Exact
   | "approx" | "approxmc" ->
       Some (Mcml_counting.Counter.Approx Mcml_counting.Approx.default)
   | "brute" -> Some Mcml_counting.Counter.Brute
   | _ -> None
 
-(* wire name, not [Counter.name]: the latter renders "exact(projmc)"
+(* wire name, not [Counter.name]: the latter renders "exact(ddnnf)"
    etc. for humans, which [backend_of_name] must not be asked to parse *)
 let backend_name = function
   | Mcml_counting.Counter.Exact -> "exact"

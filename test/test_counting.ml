@@ -102,6 +102,79 @@ let exact_timeout () =
   in
   check Alcotest.bool "times out" true (Exact.count_opt ~budget:0.05 cnf = None)
 
+(* --- decision-DNNF engine ------------------------------------------------------ *)
+
+(* All 16 properties at a brute-checkable scope: the compiled engine —
+   with and without its component cache, with and without inprocessing
+   — must agree bit-for-bit with exhaustive enumeration, in both the
+   plain and the negated+symmetry-broken configurations. *)
+let ddnnf_all_properties () =
+  let analyzer = Mcml_props.Props.analyzer ~scope:3 in
+  List.iter
+    (fun p ->
+      let pred = p.Mcml_props.Props.pred in
+      List.iter
+        (fun (negate, symmetry) ->
+          let cnf = Mcml_alloy.Analyzer.cnf ~negate ~symmetry analyzer ~pred in
+          let reference = Bignat.to_string (Brute.count cnf) in
+          let label mode = Printf.sprintf "%s negate=%b sym=%b %s" pred negate symmetry mode in
+          check Alcotest.string (label "default") reference
+            (Bignat.to_string (Exact.count cnf));
+          check Alcotest.string (label "cache off") reference
+            (Bignat.to_string (Exact.count ~cache:false cnf));
+          check Alcotest.string (label "inprocess off") reference
+            (Bignat.to_string (Exact.count ~inprocess:false cnf)))
+        [ (false, false); (true, true) ])
+    Mcml_props.Props.all
+
+let ddnnf_cache_invariance =
+  qtest ~count:200 "component cache does not change counts" projected_cnf_gen (fun cnf ->
+      Bignat.equal (Exact.count ~cache:false cnf) (Exact.count cnf))
+
+let ddnnf_inprocess_invariance =
+  qtest ~count:200 "inprocessing does not change counts" projected_cnf_gen (fun cnf ->
+      Bignat.equal (Exact.count ~inprocess:false cnf) (Exact.count cnf))
+
+let ddnnf_trace_evaluates =
+  qtest ~count:200 "trace evaluation = streamed count" projected_cnf_gen (fun cnf ->
+      let t = Exact.Dnnf.compile cnf in
+      Bignat.equal (Exact.Dnnf.model_count t) (Exact.count cnf))
+
+let ddnnf_trace_shape () =
+  (* (x1) ∧ (x3 ∨ x4) over 4 vars: x1 is forced (factor 1), x2 is free
+     (×2), the disjunction contributes 3 — the worked example of
+     DESIGN.md §11.  The root must be a Free node crediting exactly one
+     variable over the rest of the trace. *)
+  let t =
+    Exact.Dnnf.compile (Cnf.make ~nvars:4 [ [| Lit.pos 1 |]; [| Lit.pos 3; Lit.pos 4 |] ])
+  in
+  check Alcotest.string "worked example count" "6"
+    (Bignat.to_string (Exact.Dnnf.model_count t));
+  (match Exact.Dnnf.node t (Exact.Dnnf.root t) with
+  | Exact.Dnnf.Free { vars; child } -> (
+      check Alcotest.int "one var freed at the root" 1 vars;
+      match Exact.Dnnf.node t child with
+      | Exact.Dnnf.Decision _ -> ()
+      | _ -> Alcotest.fail "expected a decision under the root")
+  | _ -> Alcotest.fail "expected a Free root");
+  (* shared leaves at fixed positions *)
+  check Alcotest.bool "leaf 0 is False" true (Exact.Dnnf.node t 0 = Exact.Dnnf.False);
+  check Alcotest.bool "leaf 1 is True" true (Exact.Dnnf.node t 1 = Exact.Dnnf.True)
+
+let ddnnf_torn_budget () =
+  (* a timed-out run leaves no residue: a torn run followed by full
+     runs yields identical counts (each call allocates fresh state) *)
+  let analyzer = Mcml_props.Props.analyzer ~scope:5 in
+  let cnf =
+    Mcml_alloy.Analyzer.cnf ~negate:true ~symmetry:true analyzer ~pred:"PreOrder"
+  in
+  let torn = Exact.count_opt ~budget:0.02 cnf in
+  check Alcotest.bool "torn run times out" true (torn = None);
+  let full = Exact.count cnf in
+  let again = Exact.count cnf in
+  check Alcotest.string "deterministic after a torn run" (Bignat.to_string full)
+    (Bignat.to_string again)
+
 (* --- approx ------------------------------------------------------------------- *)
 
 let approx_exact_below_pivot =
@@ -211,6 +284,15 @@ let () =
           Alcotest.test_case "component product" `Quick exact_components;
           Alcotest.test_case "determined auxiliaries" `Quick exact_aux_determined;
           Alcotest.test_case "timeout" `Quick exact_timeout;
+        ] );
+      ( "ddnnf",
+        [
+          Alcotest.test_case "all 16 properties = brute" `Slow ddnnf_all_properties;
+          ddnnf_cache_invariance;
+          ddnnf_inprocess_invariance;
+          ddnnf_trace_evaluates;
+          Alcotest.test_case "trace shape (worked example)" `Quick ddnnf_trace_shape;
+          Alcotest.test_case "torn-budget determinism" `Slow ddnnf_torn_budget;
         ] );
       ( "approx",
         [

@@ -262,6 +262,121 @@ let xor_empty () =
   Xor.add_to_solver s2 ~vars:[] ~rhs:false;
   check Alcotest.bool "empty xor = 0 is sat" true (Solver.solve s2 = Solver.Sat)
 
+(* --- inprocess ---------------------------------------------------------- *)
+
+(* Reference projected model count by exhaustive enumeration: the
+   number of distinct projection-variable assignments extendable to a
+   model.  Small inputs only. *)
+let brute_proj_count (cnf : Cnf.t) =
+  let n = cnf.Cnf.nvars in
+  let proj = Cnf.projection_vars cnf in
+  let seen = Hashtbl.create 64 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let a = Array.make (n + 1) false in
+    for v = 1 to n do
+      a.(v) <- mask land (1 lsl (v - 1)) <> 0
+    done;
+    if Cnf.eval cnf a then begin
+      let key = Array.fold_left (fun acc v -> (acc * 2) + Bool.to_int a.(v)) 1 proj in
+      Hashtbl.replace seen key ()
+    end
+  done;
+  Hashtbl.length seen
+
+let inprocess_cnf_gen =
+  let open QCheck2.Gen in
+  let* nvars = int_range 2 10 in
+  let* nclauses = int_range 0 30 in
+  let* raw =
+    list_size (return nclauses)
+      (list_size (int_range 1 3) (pair (int_range 1 nvars) bool))
+  in
+  let* proj_mask = int_range 0 ((1 lsl nvars) - 1) in
+  let clauses =
+    List.map (fun lits -> Array.of_list (List.map (fun (v, s) -> Lit.make v s) lits)) raw
+  in
+  let projection =
+    List.init nvars (fun i -> i + 1)
+    |> List.filter (fun v -> proj_mask land (1 lsl (v - 1)) <> 0)
+    |> Array.of_list
+  in
+  let cnf =
+    if Array.length projection = 0 then Cnf.make ~nvars clauses
+    else Cnf.make ~projection ~nvars clauses
+  in
+  return cnf
+
+let inprocess_preserves_projected_count =
+  qtest ~count:500 "inprocess preserves the projected model count"
+    inprocess_cnf_gen (fun cnf ->
+      let r = Inprocess.simplify cnf in
+      r.Inprocess.cnf.Cnf.nvars = cnf.Cnf.nvars
+      && r.Inprocess.cnf.Cnf.projection = cnf.Cnf.projection
+      && brute_proj_count r.Inprocess.cnf = brute_proj_count cnf)
+
+let inprocess_subsumption () =
+  (* (x1) subsumes (x1 ∨ x2): the fat clause must go, the forced
+     projected unit must be re-emitted *)
+  let cnf =
+    Cnf.make ~projection:[| 1; 2 |] ~nvars:2
+      [ [| Lit.pos 1 |]; [| Lit.pos 1; Lit.pos 2 |] ]
+  in
+  let r = Inprocess.simplify cnf in
+  check Alcotest.bool "unit applied" true (r.Inprocess.stats.Inprocess.units >= 1);
+  check Alcotest.int "only the re-emitted unit remains" 1
+    (Cnf.num_clauses r.Inprocess.cnf);
+  check Alcotest.int "projected count preserved" 2 (brute_proj_count r.Inprocess.cnf)
+
+let inprocess_self_subsumption () =
+  (* (x1 ∨ x2) strengthens (¬x1 ∨ x2 ∨ x3) to (x2 ∨ x3) *)
+  let cnf =
+    Cnf.make ~projection:[| 1; 2; 3 |] ~nvars:3
+      [ [| Lit.pos 1; Lit.pos 2 |]; [| Lit.neg_of_var 1; Lit.pos 2; Lit.pos 3 |] ]
+  in
+  let r = Inprocess.simplify cnf in
+  check Alcotest.bool "a literal was stripped" true
+    (r.Inprocess.stats.Inprocess.strengthened >= 1);
+  check Alcotest.int "projected count preserved" (brute_proj_count cnf)
+    (brute_proj_count r.Inprocess.cnf)
+
+let inprocess_eliminates_auxiliary () =
+  (* x3 ↔ (x1 ∧ x2) with projection {1,2}: x3 is eliminable, all its
+     resolvents are tautologies, so the whole definition vanishes *)
+  let cnf =
+    Cnf.make ~projection:[| 1; 2 |] ~nvars:3
+      [
+        [| Lit.neg_of_var 3; Lit.pos 1 |];
+        [| Lit.neg_of_var 3; Lit.pos 2 |];
+        [| Lit.pos 3; Lit.neg_of_var 1; Lit.neg_of_var 2 |];
+      ]
+  in
+  let r = Inprocess.simplify cnf in
+  check Alcotest.int "aux eliminated" 1 r.Inprocess.stats.Inprocess.eliminated;
+  check Alcotest.int "no clauses left" 0 (Cnf.num_clauses r.Inprocess.cnf);
+  check Alcotest.int "projected count preserved" 4 (brute_proj_count r.Inprocess.cnf)
+
+let inprocess_never_eliminates_projected () =
+  (* with projection = None every variable is projected: elimination
+     must not fire, and the full model count must be preserved *)
+  let cnf =
+    Cnf.make ~nvars:3
+      [
+        [| Lit.neg_of_var 3; Lit.pos 1 |];
+        [| Lit.neg_of_var 3; Lit.pos 2 |];
+        [| Lit.pos 3; Lit.neg_of_var 1; Lit.neg_of_var 2 |];
+      ]
+  in
+  let r = Inprocess.simplify cnf in
+  check Alcotest.int "nothing eliminated" 0 r.Inprocess.stats.Inprocess.eliminated;
+  check Alcotest.int "full count preserved" (brute_proj_count cnf)
+    (brute_proj_count r.Inprocess.cnf)
+
+let inprocess_unsat () =
+  let cnf = Cnf.make ~nvars:2 [ [| Lit.pos 1 |]; [| Lit.neg_of_var 1 |] ] in
+  let r = Inprocess.simplify cnf in
+  check Alcotest.int "single empty clause" 1 (Cnf.num_clauses r.Inprocess.cnf);
+  check Alcotest.int "count 0" 0 (brute_proj_count r.Inprocess.cnf)
+
 let () =
   Alcotest.run "sat"
     [
@@ -294,5 +409,14 @@ let () =
           Alcotest.test_case "solution counts" `Quick xor_counts;
           xor_semantics;
           Alcotest.test_case "empty xor" `Quick xor_empty;
+        ] );
+      ( "inprocess",
+        [
+          inprocess_preserves_projected_count;
+          Alcotest.test_case "subsumption" `Quick inprocess_subsumption;
+          Alcotest.test_case "self-subsumption" `Quick inprocess_self_subsumption;
+          Alcotest.test_case "auxiliary elimination" `Quick inprocess_eliminates_auxiliary;
+          Alcotest.test_case "projected vars kept" `Quick inprocess_never_eliminates_projected;
+          Alcotest.test_case "unsat collapses" `Quick inprocess_unsat;
         ] );
     ]
