@@ -40,6 +40,25 @@ for p in Antisymmetric Bijective Connex Equivalence Function Functional \
 done
 echo "   32/32 exact counts identical to brute enumeration"
 
+echo "== approx incremental gate: one solver per round vs scratch per query =="
+# the incremental path (native parity rows behind activation literals,
+# model replay, learnt-clause reuse) must not change a single estimate:
+# cell counts are set cardinalities, so both modes at the same seed
+# must agree byte for byte on every property
+for p in Antisymmetric Bijective Connex Equivalence Function Functional \
+  Injective Irreflexive NonStrictOrder PartialOrder PreOrder Reflexive \
+  StrictOrder Surjective TotalOrder Transitive; do
+  inc="$("$MCML" count -p "$p" -s 4 --backend approx --approx-rounds 3 \
+    | sed -n 's/^count = \([0-9]*\) .*/\1/p')"
+  scr="$("$MCML" count -p "$p" -s 4 --backend approx --approx-rounds 3 \
+    --approx-scratch | sed -n 's/^count = \([0-9]*\) .*/\1/p')"
+  [ -n "$inc" ] && [ "$inc" = "$scr" ] || {
+    echo "FAIL: incremental='$inc' scratch='$scr' for $p scope 4" >&2
+    exit 1
+  }
+done
+echo "   16/16 approx estimates identical between incremental and scratch"
+
 echo "== smoke: mcml stats --trace =="
 trace="$(mktemp /tmp/mcml_trace.XXXXXX.jsonl)"
 out="$(dune exec bin/main.exe -- stats -p Reflexive -s 3 --trace "$trace")"

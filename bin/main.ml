@@ -203,7 +203,35 @@ let list_cmd =
 
 let count_cmd =
   let negate = Arg.(value & flag & info [ "negate" ] ~doc:"Count the negation.") in
-  let run () prop scope symmetry negate backend budget =
+  let approx_scratch =
+    Arg.(
+      value & flag
+      & info [ "approx-scratch" ]
+          ~doc:
+            "Debug path for the approx backend: a fresh solver per XOR-cell \
+             query instead of one assumption-driven solver per round. Same \
+             estimates (check.sh byte-diffs them), no learnt-clause reuse.")
+  in
+  let approx_rounds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "approx-rounds" ] ~docv:"T"
+          ~doc:"Override the approx backend's number of median rounds.")
+  in
+  let run () prop scope symmetry negate backend budget approx_scratch approx_rounds =
+    let backend =
+      match backend with
+      | Mcml_counting.Counter.Approx c ->
+          let c = { c with Mcml_counting.Approx.scratch = approx_scratch } in
+          let c =
+            match approx_rounds with
+            | None -> c
+            | Some _ -> { c with Mcml_counting.Approx.max_rounds = approx_rounds }
+          in
+          Mcml_counting.Counter.Approx c
+      | b -> b
+    in
     let scope = Option.value scope ~default:(default_scope prop ~symmetry) in
     let analyzer = Props.analyzer ~scope in
     Printf.printf "%s at scope %d (%s, %s): counting...\n%!" prop.Props.name scope
@@ -228,7 +256,7 @@ let count_cmd =
     (Cmd.info "count" ~doc:"Model-count a property at a scope.")
     Term.(
       const run $ obs_term $ prop_arg $ scope_arg $ symmetry_arg $ negate $ backend_arg
-      $ budget_arg)
+      $ budget_arg $ approx_scratch $ approx_rounds)
 
 (* --- enumerate --------------------------------------------------------------- *)
 

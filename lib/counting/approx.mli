@@ -10,10 +10,25 @@
     [(1+ε)]-approximation-with-probability-[1-δ] guarantee.
 
     All randomness is drawn from a seeded SplitMix64 stream created
-    per call from [config.seed], so counts are reproducible and, in
-    particular, independent of how calls interleave across domains.
+    per call from [config.seed]: each median round draws its full pool
+    of [n] parity constraints up-front (a query for [m] constraints
+    uses the pool's first [m]), so counts are reproducible and, in
+    particular, independent of how calls interleave across domains and
+    of which [m] values the galloping search happens to probe.
 
-    {b Thread safety.}  Each [count] call owns its solver, RNG, and
+    By default each round keeps {e one persistent solver}: the pool's
+    XORs sit behind activation literals ({!Mcml_sat.Xor.add_guarded})
+    toggled per query via [Solver.solve ~assumptions], per-cell
+    blocking clauses are guarded so they retire when the cell changes,
+    and learnt clauses survive the whole binary search.  Because a
+    cell count is the cardinality of a set of projected assignments —
+    min(|cell|, pivot+1), independent of the order models are
+    enumerated in — the estimates are {e bit-identical} to the
+    scratch-solver path ([config.scratch = true], a fresh solver per
+    query) under the same seed; `bin/check.sh` and the test suite
+    assert exactly that.
+
+    {b Thread safety.}  Each [count] call owns its solvers, RNG, and
     search state; concurrent calls from different domains do not
     interact.  Deadlines use the monotonic clock. *)
 
@@ -25,17 +40,31 @@ type config = {
   seed : int;
   max_rounds : int option;
       (** override the δ-derived number of medians (speed knob) *)
+  max_conflicts : int;
+      (** per-SAT-query conflict budget, 0 = unlimited; exhaustion
+          raises {!Inconclusive} instead of silently undercounting *)
+  scratch : bool;
+      (** debug path: fresh solver per query instead of one guarded
+          solver per round; same estimates, no learnt-clause reuse *)
 }
 
 val default : config
-(** ε = 0.8, δ = 0.2, seed 1, rounds as dictated by δ. *)
+(** ε = 0.8, δ = 0.2, seed 1, rounds as dictated by δ, unlimited
+    conflicts, incremental (non-scratch) solving. *)
 
 exception Timeout
+
+exception Inconclusive
+(** A bounded SAT query returned [Unknown] (per-query [max_conflicts]
+    exhausted), so no sound cell count exists.  Never raised with the
+    default unlimited conflict budget. *)
 
 val count : ?budget:float -> ?config:config -> Cnf.t -> Bignat.t
 (** [count cnf] estimates the projected model count.
 
     @param budget wall-clock limit in seconds.
-    @raise Timeout when the budget is exhausted. *)
+    @raise Timeout when the budget is exhausted.
+    @raise Inconclusive when a query exhausts [config.max_conflicts]. *)
 
 val count_opt : ?budget:float -> ?config:config -> Cnf.t -> Bignat.t option
+(** [None] on {!Timeout}; {!Inconclusive} still escapes. *)

@@ -1,25 +1,34 @@
 open Mcml_logic
 
-type outcome = { models : bool array list; complete : bool }
+type status = Complete | Limit | Unknown
 
-let run ?(limit = max_int) ?(on_model = fun _ -> ()) (cnf : Cnf.t) =
+type outcome = { models : bool array list; complete : bool; status : status }
+
+let string_of_status = function
+  | Complete -> "complete"
+  | Limit -> "limit"
+  | Unknown -> "unknown"
+
+let run ?(limit = max_int) ?(max_conflicts = 0) ?(keep_models = true)
+    ?(on_model = fun _ -> ()) (cnf : Cnf.t) =
   let sp = Mcml_obs.Obs.start "sat.enumerate" in
   let t0 = if Mcml_obs.Obs.enabled () then Mcml_obs.Obs.monotonic_s () else 0.0 in
   let projection = Cnf.projection_vars cnf in
   let s = Solver.of_cnf cnf in
   let models = ref [] in
   let n = ref 0 in
-  let complete = ref false in
+  let status = ref Limit in
   let continue = ref true in
   while !continue do
     if !n >= limit then begin
+      status := Limit;
       continue := false
     end
     else
-      match Solver.solve s with
+      match Solver.solve ~max_conflicts s with
       | Solver.Sat ->
           let m = Array.map (fun v -> Solver.model_value s v) projection in
-          models := m :: !models;
+          if keep_models then models := m :: !models;
           incr n;
           on_model m;
           (* block this projected assignment *)
@@ -29,9 +38,14 @@ let run ?(limit = max_int) ?(on_model = fun _ -> ()) (cnf : Cnf.t) =
           in
           Solver.add_clause s blocking
       | Solver.Unsat ->
-          complete := true;
+          status := Complete;
           continue := false
-      | Solver.Unknown -> continue := false
+      | Solver.Unknown ->
+          (* conflict budget exhausted: the models found so far are a
+             genuine subset, but the enumeration is NOT complete and,
+             unlike [Limit], did not stop where the caller asked it to *)
+          status := Unknown;
+          continue := false
   done;
   if Mcml_obs.Obs.enabled () then begin
     let open Mcml_obs in
@@ -43,16 +57,14 @@ let run ?(limit = max_int) ?(on_model = fun _ -> ()) (cnf : Cnf.t) =
         [
           ("models", Obs.Int !n);
           ("blocking_clauses", Obs.Int !n);
-          ("complete", Obs.Bool !complete);
+          ("status", Obs.Str (string_of_status !status));
+          ("complete", Obs.Bool (!status = Complete));
           ("models_per_sec", Obs.Float (if dt > 0.0 then float_of_int !n /. dt else 0.0));
         ]
   end;
-  { models = !models; complete = !complete }
+  { models = !models; complete = !status = Complete; status = !status }
 
 let count ?limit cnf =
   let n = ref 0 in
-  let outcome =
-    run ?limit ~on_model:(fun _ -> incr n) cnf
-  in
-  ignore outcome.models;
+  let outcome = run ?limit ~keep_models:false ~on_model:(fun _ -> incr n) cnf in
   (!n, outcome.complete)

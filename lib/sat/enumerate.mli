@@ -8,18 +8,40 @@
 
 open Mcml_logic
 
+type status =
+  | Complete  (** the solver proved there are no further models *)
+  | Limit  (** stopped because [limit] models were produced *)
+  | Unknown
+      (** stopped because a solve exhausted [max_conflicts]: the models
+          seen are a genuine subset, but nothing was proved about the
+          rest of the space *)
+
 type outcome = {
   models : bool array list;
       (** each model restricted to the projection set, in the order of
-          [Cnf.projection_vars]; most recent first *)
-  complete : bool;  (** [false] iff [limit] stopped the enumeration *)
+          [Cnf.projection_vars]; most recent first.  Empty when
+          [keep_models] is false. *)
+  complete : bool;  (** [status = Complete] *)
+  status : status;  (** why the enumeration stopped *)
 }
 
-val run : ?limit:int -> ?on_model:(bool array -> unit) -> Cnf.t -> outcome
+val run :
+  ?limit:int ->
+  ?max_conflicts:int ->
+  ?keep_models:bool ->
+  ?on_model:(bool array -> unit) ->
+  Cnf.t ->
+  outcome
 (** [run cnf] enumerates all models of [cnf] projected onto its
     projection set.  [limit] bounds the number of models (default:
-    unlimited); [on_model] is called on each model as it is found. *)
+    unlimited); [max_conflicts] is a per-solve conflict budget
+    (default 0 = unlimited; exhaustion yields [status = Unknown]
+    rather than silently posing as the end of the space); [on_model]
+    is called on each model as it is found.  [keep_models] (default
+    true) controls whether models are accumulated in the outcome —
+    pass false for count-only or [on_model]-streaming uses so large
+    enumerations don't hold every model live. *)
 
 val count : ?limit:int -> Cnf.t -> int * bool
 (** Number of projected models (and whether enumeration completed)
-    without retaining them. *)
+    without retaining them ([keep_models = false]). *)

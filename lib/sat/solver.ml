@@ -11,6 +11,16 @@ type clause = {
 
 let dummy_clause = { lits = [||]; activity = 0.0; mark = false; learnt = false }
 
+(* A native parity (XOR) constraint: [xr_mask] selects variables by bit
+   position in the solver's declared parity-variable order, [xr_rhs] is
+   the required parity, and [xr_guard] (0 = none) is an activation
+   variable — the row only bites while its guard is assigned true, so a
+   caller can toggle whole constraint pools per solve via assumptions
+   without encoding a single CNF clause. *)
+type xrow = { xr_mask : int; xr_rhs : bool; xr_guard : int }
+
+let dummy_xrow = { xr_mask = 0; xr_rhs = false; xr_guard = 0 }
+
 type t = {
   mutable nvars : int;
   mutable ok : bool; (* false once root-level unsatisfiability is detected *)
@@ -35,6 +45,12 @@ type t = {
   mutable decisions : int;
   mutable propagations : int;
   mutable model_snapshot : bool array;
+  mutable core : Lit.t list; (* final conflict over the last solve's assumptions *)
+  mutable xvars : int array; (* parity bit position -> solver variable *)
+  mutable xrows : xrow array;
+  mutable xnrows : int;
+  mutable xunits : int; (* literals forced by parity reasoning *)
+  mutable xconflicts : int; (* conflicts detected by parity reasoning *)
 }
 
 let var_decay = 1.0 /. 0.95
@@ -67,6 +83,12 @@ let create_raw ?(nvars = 0) () =
       decisions = 0;
       propagations = 0;
       model_snapshot = [||];
+      core = [];
+      xvars = [||];
+      xrows = [||];
+      xnrows = 0;
+      xunits = 0;
+      xconflicts = 0;
     }
   in
   s
@@ -269,6 +291,185 @@ let propagate s : clause option =
      confl := Some c);
   !confl
 
+(* --- native parity constraints (Gauss--Jordan over GF(2)) ------------- *)
+
+(* CNF-encoded XOR chains are where CDCL goes to die: the chunked
+   encoding propagates only chunk-locally, and refuting a cell whose
+   parity system is infeasible takes an exponential resolution proof.
+   Instead, active rows are kept as bitmask equations and a forward
+   elimination runs at every propagation fixpoint: it finds EVERY
+   literal and conflict implied by the whole system under the current
+   assignment (full GAC on the conjunction of XORs, not per-chunk), and
+   synthesizes ordinary reason clauses — tagged with the guards'
+   negations, so learnt clauses derived from them stay sound when a
+   different row subset is active in a later solve. *)
+
+let parity_max_vars = 62
+
+let parity_reset s ~vars =
+  if Array.length vars > parity_max_vars then
+    invalid_arg "Solver.parity_reset: too many variables";
+  Array.iter
+    (fun v ->
+      if v < 1 || v > s.nvars then invalid_arg "Solver.parity_reset: unknown variable")
+    vars;
+  s.xvars <- Array.copy vars;
+  s.xrows <- [||];
+  s.xnrows <- 0
+
+let parity_add s ~mask ~rhs ~guard =
+  if guard <> 0 && (guard < 1 || guard > s.nvars) then
+    invalid_arg "Solver.parity_add: unknown guard variable";
+  if mask lsr Array.length s.xvars <> 0 then
+    invalid_arg "Solver.parity_add: mask outside the declared variables";
+  let cap = Array.length s.xrows in
+  if s.xnrows = cap then begin
+    let a = Array.make (max 8 (2 * cap)) dummy_xrow in
+    Array.blit s.xrows 0 a 0 cap;
+    s.xrows <- a
+  end;
+  if s.xnrows >= parity_max_vars then invalid_arg "Solver.parity_add: too many rows";
+  s.xrows.(s.xnrows) <- { xr_mask = mask; xr_rhs = rhs; xr_guard = guard };
+  s.xnrows <- s.xnrows + 1
+
+type parity_outcome = P_quiet | P_progress | P_conflict of clause
+
+let mask_parity m =
+  let x = ref m and p = ref false in
+  while !x <> 0 do
+    x := !x land (!x - 1);
+    p := not !p
+  done;
+  !p
+
+let parity_check s : parity_outcome =
+  if s.xnrows = 0 then P_quiet
+  else begin
+    let nb = Array.length s.xvars in
+    let amask = ref 0 and tmask = ref 0 in
+    for i = 0 to nb - 1 do
+      let a = s.assign.(s.xvars.(i)) in
+      if a >= 0 then begin
+        amask := !amask lor (1 lsl i);
+        if a = 1 then tmask := !tmask lor (1 lsl i)
+      end
+    done;
+    let amask = !amask and tmask = !tmask in
+    (* one derived clause: the sum of input rows [og], with support
+       [dm] (original variable space) and parity [b].  For a unit, the
+       implied literal goes first, as [analyze] expects of a reason. *)
+    let clause_of ?implied ~dm ~b:_ ~og () =
+      let lits = ref [] in
+      let obits = ref og in
+      while !obits <> 0 do
+        let i = ref 0 in
+        while !obits land (1 lsl !i) = 0 do
+          incr i
+        done;
+        obits := !obits lxor (1 lsl !i);
+        let g = s.xrows.(!i).xr_guard in
+        if g <> 0 then lits := Lit.neg_of_var g :: !lits
+      done;
+      let skip = match implied with Some l -> Lit.var l | None -> 0 in
+      let dbits = ref dm in
+      while !dbits <> 0 do
+        let j = ref 0 in
+        while !dbits land (1 lsl !j) = 0 do
+          incr j
+        done;
+        dbits := !dbits lxor (1 lsl !j);
+        let v = s.xvars.(!j) in
+        if v <> skip then lits := Lit.make v (s.assign.(v) = 0) :: !lits
+      done;
+      let lits = match implied with Some l -> l :: !lits | None -> !lits in
+      { lits = Array.of_list lits; activity = 0.0; mark = false; learnt = false }
+    in
+    (* gather active rows, then forward-eliminate their residuals *)
+    let k = s.xnrows in
+    let res = Array.make k 0 in
+    let dm = Array.make k 0 in
+    let rhs = Array.make k false in
+    let og = Array.make k 0 in
+    let npiv = ref 0 in
+    let conflict = ref None in
+    (try
+       for i = 0 to k - 1 do
+         let r = s.xrows.(i) in
+         if r.xr_guard = 0 || s.assign.(r.xr_guard) = 1 then begin
+           let cres = ref (r.xr_mask land lnot amask) in
+           let cdm = ref r.xr_mask in
+           let crhs = ref (r.xr_rhs <> mask_parity (r.xr_mask land tmask)) in
+           let cog = ref (1 lsl i) in
+           for p = 0 to !npiv - 1 do
+             (* pivot bit = lowest set bit of res.(p) *)
+             let pb = res.(p) land -res.(p) in
+             if !cres land pb <> 0 then begin
+               cres := !cres lxor res.(p);
+               cdm := !cdm lxor dm.(p);
+               crhs := !crhs <> rhs.(p);
+               cog := !cog lxor og.(p)
+             end
+           done;
+           if !cres = 0 then begin
+             if !crhs then begin
+               s.xconflicts <- s.xconflicts + 1;
+               conflict := Some (clause_of ~dm:!cdm ~b:!crhs ~og:!cog ());
+               raise Exit
+             end
+             (* 0 = 0: redundant under the current assignment; drop *)
+           end
+           else begin
+             res.(!npiv) <- !cres;
+             dm.(!npiv) <- !cdm;
+             rhs.(!npiv) <- !crhs;
+             og.(!npiv) <- !cog;
+             incr npiv
+           end
+         end
+       done
+     with Exit -> ());
+    match !conflict with
+    | Some c -> P_conflict c
+    | None ->
+        (* every pivot row whose residual is a single variable forces
+           it; residual bits were unassigned when the pass started, and
+           distinct pivot rows force distinct variables *)
+        let progressed = ref false in
+        for p = 0 to !npiv - 1 do
+          let r = res.(p) in
+          if r land (r - 1) = 0 then begin
+            let j = ref 0 in
+            while r land (1 lsl !j) = 0 do
+              incr j
+            done;
+            let v = s.xvars.(!j) in
+            (* [rhs] is the rhs of the RESIDUAL equation — the assigned
+               variables are already folded in — so the last free
+               variable must equal it directly *)
+            let l = Lit.make v rhs.(p) in
+            let reason = clause_of ~implied:l ~dm:dm.(p) ~b:rhs.(p) ~og:og.(p) () in
+            s.xunits <- s.xunits + 1;
+            enqueue s l reason;
+            progressed := true
+          end
+        done;
+        if !progressed then P_progress else P_quiet
+  end
+
+(* Clause propagation to fixpoint, then parity reasoning; repeat until
+   neither has anything left.  Parity runs only at clause fixpoints, so
+   a conflict it reports always involves an assignment made since the
+   previous fixpoint — i.e. a literal of the current decision level —
+   which is exactly the invariant [analyze] needs. *)
+let rec propagate_all s : clause option =
+  match propagate s with
+  | Some c -> Some c
+  | None -> (
+      match parity_check s with
+      | P_conflict c -> Some c
+      | P_progress -> propagate_all s
+      | P_quiet -> None)
+
 (* --- backtracking ---------------------------------------------------- *)
 
 let cancel_until s lvl =
@@ -336,6 +537,43 @@ let analyze s (confl : clause) : Lit.t list * int =
   in
   List.iter (fun q -> s.seen.(Lit.var q) <- false) !learnt;
   (!uip :: !learnt, blevel)
+
+(* Final-conflict analysis: assumption [p] is falsified by the current
+   (purely assumption-driven) prefix of the trail.  Walk the implication
+   graph backwards from [¬p]; every pseudo-decision reached (a trail
+   literal above the root with no reason — i.e. an earlier assumption)
+   joins the core.  The result is the subset of the passed assumptions,
+   [p] included, whose conjunction the clause database refutes. *)
+let analyze_final s (p : Lit.t) : Lit.t list =
+  if s.level.(Lit.var p) = 0 then [ p ]
+  else begin
+    let core = ref [ p ] in
+    s.seen.(Lit.var p) <- true;
+    let bottom = Vec.get s.trail_lim 0 in
+    for i = Vec.size s.trail - 1 downto bottom do
+      let l = Lit.of_index (Vec.get s.trail i) in
+      let v = Lit.var l in
+      if s.seen.(v) then begin
+        s.seen.(v) <- false;
+        let r = s.reason.(v) in
+        if r == dummy_clause then
+          (* an assumption pseudo-decision: part of the core *)
+          core := l :: !core
+        else
+          (* expand the reason, skipping the implied variable [v]
+             itself: re-marking it here would leave a stale seen flag
+             behind (the walk is already past it) that silently corrupts
+             the next conflict analysis *)
+          Array.iter
+            (fun q ->
+              let w = Lit.var q in
+              if w <> v && s.level.(w) > 0 then s.seen.(w) <- true)
+            r.lits
+      end
+    done;
+    s.seen.(Lit.var p) <- false;
+    !core
+  end
 
 (* --- clause attachment ----------------------------------------------- *)
 
@@ -424,7 +662,13 @@ let reduce_db s =
     s.watches;
   let kept = List.filter (fun c -> not c.mark) learnts in
   Vec.clear s.learnts;
-  List.iter (Vec.push s.learnts) kept
+  List.iter (Vec.push s.learnts) kept;
+  if Mcml_obs.Obs.enabled () then begin
+    let nkept = List.length kept in
+    Mcml_obs.Obs.add "solver.reduce_dbs" 1;
+    Mcml_obs.Obs.add "solver.learnts_kept" nkept;
+    Mcml_obs.Obs.add "solver.learnts_deleted" (n - nkept)
+  end
 
 (* --- search ------------------------------------------------------------ *)
 
@@ -453,83 +697,128 @@ let luby y x =
   done;
   Float.pow y (float_of_int !seq)
 
-exception Done of result
+(* Internal search outcome: a conflict at the root level refutes the
+   clause database itself (the solver is dead), while a conflict forced
+   by the assumption prefix only refutes this particular [solve] call
+   and leaves a final-conflict core behind. *)
+type outcome = O_sat | O_unsat_root | O_unsat_assumptions | O_unknown
 
-(* Run until SAT, UNSAT, restart-budget exhaustion (returns Unknown with
-   state reset to the root level) or global conflict budget exhaustion. *)
-let search s ~max_conflicts ~restart_budget : result =
+exception Done of outcome
+
+(* Run until SAT, UNSAT, restart-budget exhaustion (returns [O_unknown]
+   with state reset to the root level) or per-call conflict ceiling.
+   [assumptions] are replayed as pseudo-decisions at levels [1..k]
+   before any search decision is made, so restarts re-establish them
+   automatically; a falsified assumption terminates the call with its
+   final-conflict core in [s.core]. *)
+let search s ~assumptions ~conflict_ceiling ~restart_budget : outcome =
   let remaining = ref restart_budget in
+  let n_assumptions = Array.length assumptions in
   try
     while true do
-      (match propagate s with
+      (match propagate_all s with
       | Some confl ->
           s.conflicts <- s.conflicts + 1;
           if decision_level s = 0 then begin
             s.ok <- false;
-            raise (Done Unsat)
+            raise (Done O_unsat_root)
           end;
           let lits, blevel = analyze s confl in
           cancel_until s blevel;
           add_learnt s lits;
-          if not s.ok then raise (Done Unsat);
+          if not s.ok then raise (Done O_unsat_root);
           s.var_inc <- s.var_inc *. var_decay;
           s.cla_inc <- s.cla_inc *. clause_decay;
           decr remaining;
-          if max_conflicts > 0 && s.conflicts >= max_conflicts then begin
+          if conflict_ceiling > 0 && s.conflicts >= conflict_ceiling then begin
             cancel_until s 0;
-            raise (Done Unknown)
+            raise (Done O_unknown)
           end;
           if !remaining <= 0 then begin
             cancel_until s 0;
-            raise (Done Unknown)
+            raise (Done O_unknown)
           end
       | None ->
           if Vec.size s.learnts >= max 4000 (Vec.size s.clauses / 2) then reduce_db s;
-          let v = pick_branch_var s in
-          if v = 0 then raise (Done Sat)
-          else begin
+          (* re-establish assumption pseudo-decisions below any search
+             decision; an already-true assumption still opens a (dummy)
+             level so the level/assumption-index correspondence holds *)
+          let next = ref None in
+          while !next = None && decision_level s < n_assumptions do
+            let p = assumptions.(decision_level s) in
+            match value_lit s p with
+            | 1 -> Vec.push s.trail_lim (Vec.size s.trail)
+            | 0 ->
+                s.core <- analyze_final s p;
+                raise (Done O_unsat_assumptions)
+            | _ -> next := Some p
+          done;
+          let decide p =
             s.decisions <- s.decisions + 1;
             Vec.push s.trail_lim (Vec.size s.trail);
-            enqueue s (Lit.make v s.polarity.(v)) dummy_clause
-          end)
+            enqueue s p dummy_clause
+          in
+          (match !next with
+          | Some p -> decide p
+          | None ->
+              let v = pick_branch_var s in
+              if v = 0 then raise (Done O_sat)
+              else decide (Lit.make v s.polarity.(v))))
     done;
     assert false
   with Done r -> r
 
-let solve_core ~max_conflicts s =
+let solve_core ~max_conflicts ~assumptions s =
+  s.core <- [];
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
+    (* the conflict budget is per call: cap the lifetime counter at its
+       value on entry plus the allowance *)
+    let ceiling = if max_conflicts > 0 then s.conflicts + max_conflicts else 0 in
     let rec loop round =
       let budget = int_of_float (100.0 *. luby 2.0 round) in
-      match search s ~max_conflicts ~restart_budget:budget with
-      | Sat ->
+      match search s ~assumptions ~conflict_ceiling:ceiling ~restart_budget:budget with
+      | O_sat ->
           s.model_snapshot <-
             Array.init (s.nvars + 1) (fun v -> v >= 1 && s.assign.(v) = 1);
           cancel_until s 0;
           Sat
-      | Unsat -> Unsat
-      | Unknown ->
-          if max_conflicts > 0 && s.conflicts >= max_conflicts then Unknown
-          else loop (round + 1)
+      | O_unsat_root -> Unsat
+      | O_unsat_assumptions ->
+          cancel_until s 0;
+          Unsat
+      | O_unknown ->
+          if ceiling > 0 && s.conflicts >= ceiling then Unknown else loop (round + 1)
     in
     loop 0
   end
 
 let string_of_result = function Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unknown"
 
-let solve ?(max_conflicts = 0) s =
-  if not (Mcml_obs.Obs.enabled ()) then solve_core ~max_conflicts s
+let solve ?(max_conflicts = 0) ?(assumptions = []) s =
+  List.iter
+    (fun l ->
+      let v = Lit.var l in
+      if v < 1 || v > s.nvars then
+        invalid_arg "Solver.solve: unknown assumption variable")
+    assumptions;
+  let assumptions = Array.of_list assumptions in
+  if not (Mcml_obs.Obs.enabled ()) then solve_core ~max_conflicts ~assumptions s
   else begin
     let open Mcml_obs in
     let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
+    let xu0 = s.xunits and xc0 = s.xconflicts in
     let sp = Obs.start "solver.solve" in
-    let r = solve_core ~max_conflicts s in
+    let r = solve_core ~max_conflicts ~assumptions s in
     let dc = s.conflicts - c0 and dd = s.decisions - d0 and dp = s.propagations - p0 in
     Obs.add "solver.solves" 1;
+    if Array.length assumptions > 0 then Obs.add "solver.assumption_solves" 1;
     Obs.add "solver.conflicts" dc;
     Obs.add "solver.decisions" dd;
     Obs.add "solver.propagations" dp;
+    Obs.add "solver.parity_units" (s.xunits - xu0);
+    Obs.add "solver.parity_conflicts" (s.xconflicts - xc0);
     Obs.finish sp
       ~attrs:
         [
@@ -537,12 +826,15 @@ let solve ?(max_conflicts = 0) s =
           ("conflicts", Obs.Int dc);
           ("decisions", Obs.Int dd);
           ("propagations", Obs.Int dp);
+          ("assumptions", Obs.Int (Array.length assumptions));
           ("learnts", Obs.Int (Vec.size s.learnts));
           ("vars", Obs.Int s.nvars);
           ("clauses", Obs.Int (Vec.size s.clauses));
         ];
     r
   end
+
+let unsat_core s = s.core
 
 let model_value s v =
   if v < 1 || v > s.nvars then invalid_arg "Solver.model_value";

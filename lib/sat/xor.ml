@@ -60,3 +60,27 @@ let add_to_solver s ~vars ~rhs =
     Mcml_obs.Obs.add "xor.clauses" (List.length cs)
   end;
   List.iter (Solver.add_clause s) cs
+
+let add_guarded s ~vars ~rhs =
+  let g = Solver.new_var s in
+  let aux = ref [] in
+  let fresh () =
+    let v = Solver.new_var s in
+    aux := v :: !aux;
+    v
+  in
+  let cs = clauses_of ~fresh ~vars ~rhs in
+  if Mcml_obs.Obs.enabled () then begin
+    Mcml_obs.Obs.add "xor.guarded_constraints" 1;
+    Mcml_obs.Obs.add "xor.clauses" (List.length cs)
+  end;
+  (* ¬g ∨ C: the constraint only bites while g is assumed true.  With g
+     assumed false every clause is satisfied by the guard literal. *)
+  List.iter (fun c -> Solver.add_clause s (Lit.neg_of_var g :: c)) cs;
+  (* g ∨ ¬aux: a disabled constraint's chain auxiliaries would otherwise
+     be left unconstrained, and the solver would have to branch on every
+     one of them in every solve; pinning them false turns that into unit
+     propagation.  Projected counts are unaffected — auxiliaries are
+     never in the sampling set.  *)
+  List.iter (fun v -> Solver.add_clause s [ Lit.pos g; Lit.neg_of_var v ]) !aux;
+  g

@@ -214,6 +214,59 @@ let approx_unsat () =
 let approx_pivot_formula () =
   check Alcotest.int "pivot(0.8)" 50 (2 * int_of_float (ceil (4.92 *. ((1.0 +. (1.0 /. 0.8)) ** 2.0))))
 
+let approx_incremental_equals_scratch =
+  (* the tentpole invariant: one guarded solver per round (assumptions
+     toggling XORs, guarded blocking clauses, surviving learnt clauses)
+     must produce estimates bit-identical to a fresh solver per query,
+     across seeds and formulas — cell counts are sets of models *)
+  qtest ~count:200 "incremental estimate = scratch estimate (bit-identical)"
+    QCheck2.Gen.(pair projected_cnf_gen (int_range 0 1_000_000))
+    (fun (cnf, seed) ->
+      let cfg = { Approx.default with Approx.seed; max_rounds = Some 3 } in
+      Bignat.equal
+        (Approx.count ~config:cfg cnf)
+        (Approx.count ~config:{ cfg with Approx.scratch = true } cnf))
+
+let approx_modes_all_properties () =
+  (* the same invariant on the real workload: every property of the
+     study at a scope where the counts sit well above the pivot *)
+  let analyzer = Mcml_props.Props.analyzer ~scope:4 in
+  List.iter
+    (fun p ->
+      let pred = p.Mcml_props.Props.pred in
+      let cnf = Mcml_alloy.Analyzer.cnf ~negate:false ~symmetry:false analyzer ~pred in
+      let cfg = { Approx.default with Approx.seed = 7; max_rounds = Some 3 } in
+      let incremental = Approx.count ~config:cfg cnf in
+      let scratch = Approx.count ~config:{ cfg with Approx.scratch = true } cnf in
+      check Alcotest.string (p.Mcml_props.Props.name ^ " scope 4")
+        (Bignat.to_string incremental)
+        (Bignat.to_string scratch))
+    Mcml_props.Props.all
+
+let approx_inconclusive () =
+  (* php(7,6) is far beyond a 1-conflict budget: the counter must refuse
+     to report rather than undercount (Unknown used to pose as Unsat) *)
+  let pigeons = 7 and holes = 6 in
+  let var p h = (p * holes) + h + 1 in
+  let clauses = ref [] in
+  for p = 0 to pigeons - 1 do
+    clauses := Array.of_list (List.init holes (fun h -> Lit.pos (var p h))) :: !clauses
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        clauses :=
+          [| Lit.neg_of_var (var p1 h); Lit.neg_of_var (var p2 h) |] :: !clauses
+      done
+    done
+  done;
+  let cnf = Cnf.make ~nvars:(pigeons * holes) !clauses in
+  Alcotest.check_raises "inconclusive surfaces" Approx.Inconclusive (fun () ->
+      ignore
+        (Approx.count
+           ~config:{ Approx.default with Approx.max_conflicts = 1 }
+           cnf))
+
 (* --- metamorphic relations ---------------------------------------------------------- *)
 
 let metamorphic_exact =
@@ -301,6 +354,10 @@ let () =
           Alcotest.test_case "deterministic by seed" `Quick approx_deterministic;
           Alcotest.test_case "unsat" `Quick approx_unsat;
           Alcotest.test_case "pivot formula" `Quick approx_pivot_formula;
+          approx_incremental_equals_scratch;
+          Alcotest.test_case "incremental = scratch on all 16 properties" `Slow
+            approx_modes_all_properties;
+          Alcotest.test_case "inconclusive surfaces" `Quick approx_inconclusive;
         ] );
       ( "metamorphic",
         [

@@ -173,6 +173,83 @@ let solver_stats () =
   check Alcotest.int "legacy accessors agree" st.Solver.propagations
     (Solver.num_propagations s)
 
+(* --- assumptions -------------------------------------------------------------- *)
+
+let solver_assumptions_basic () =
+  (* (1 ∨ 2) ∧ (¬1 ∨ 3) under each polarity of variable 1 *)
+  let s = Solver.create ~nvars:3 () in
+  Solver.add_clause s [ Lit.pos 1; Lit.pos 2 ];
+  Solver.add_clause s [ Lit.neg_of_var 1; Lit.pos 3 ];
+  check Alcotest.bool "sat under [1]" true
+    (Solver.solve ~assumptions:[ Lit.pos 1 ] s = Solver.Sat);
+  check Alcotest.bool "model forces 1" true (Solver.model_value s 1);
+  check Alcotest.bool "model propagates 3" true (Solver.model_value s 3);
+  check Alcotest.bool "sat under [¬1]" true
+    (Solver.solve ~assumptions:[ Lit.neg_of_var 1 ] s = Solver.Sat);
+  check Alcotest.bool "model forces ¬1 and 2" true
+    ((not (Solver.model_value s 1)) && Solver.model_value s 2);
+  (* assumptions are per-call: an unconstrained solve is unaffected *)
+  check Alcotest.bool "sat with no assumptions" true (Solver.solve s = Solver.Sat)
+
+let solver_assumptions_core () =
+  (* ¬1 ∨ ¬2 refutes assuming {1, 2}; assumption 3 is irrelevant and
+     must stay out of the final-conflict core *)
+  let s = Solver.create ~nvars:3 () in
+  Solver.add_clause s [ Lit.neg_of_var 1; Lit.neg_of_var 2 ];
+  let assumptions = [ Lit.pos 3; Lit.pos 1; Lit.pos 2 ] in
+  check Alcotest.bool "unsat under assumptions" true
+    (Solver.solve ~assumptions s = Solver.Unsat);
+  let core = Solver.unsat_core s in
+  let mem l = List.exists (Lit.equal l) core in
+  check Alcotest.bool "core ⊆ assumptions" true
+    (List.for_all (fun l -> List.exists (Lit.equal l) assumptions) core);
+  check Alcotest.bool "1 in core" true (mem (Lit.pos 1));
+  check Alcotest.bool "2 in core" true (mem (Lit.pos 2));
+  check Alcotest.bool "irrelevant 3 not in core" false (mem (Lit.pos 3));
+  (* the refutation did not poison the clause database *)
+  check Alcotest.bool "sat without assumptions" true (Solver.solve s = Solver.Sat);
+  check Alcotest.bool "core cleared by later solve" true (Solver.unsat_core s = [])
+
+let solver_assumptions_unknown_var () =
+  let s = Solver.create ~nvars:2 () in
+  Alcotest.check_raises "unknown assumption variable"
+    (Invalid_argument "Solver.solve: unknown assumption variable") (fun () ->
+      ignore (Solver.solve ~assumptions:[ Lit.pos 7 ] s))
+
+let assumptions_gen =
+  let open QCheck2.Gen in
+  let* cnf = cnf_gen in
+  let* raw = list_size (int_range 0 4) (pair (int_range 1 cnf.Cnf.nvars) bool) in
+  return (cnf, List.map (fun (v, s) -> Lit.make v s) raw)
+
+let solver_assumptions_agree_with_units =
+  qtest ~count:300 "solve under assumptions = solve with unit clauses"
+    assumptions_gen
+    (fun (cnf, assumptions) ->
+      let with_units extra =
+        Cnf.make ~nvars:cnf.Cnf.nvars
+          (Array.to_list cnf.Cnf.clauses @ List.map (fun l -> [| l |]) extra)
+      in
+      let s = Solver.of_cnf cnf in
+      let r = Solver.solve ~assumptions s in
+      let expected = brute_sat (with_units assumptions) in
+      (match r with
+      | Solver.Sat ->
+          expected
+          && List.for_all
+               (fun l -> Solver.model_value s (Lit.var l) = Lit.sign l)
+               assumptions
+      | Solver.Unsat ->
+          (not expected)
+          && (let core = Solver.unsat_core s in
+              List.for_all
+                (fun l -> List.exists (Lit.equal l) assumptions)
+                core
+              && not (brute_sat (with_units core)))
+      | Solver.Unknown -> false)
+      (* and the assumptions leave no trace in later solves *)
+      && (Solver.solve s = Solver.Sat) = brute_sat cnf)
+
 (* --- enumeration -------------------------------------------------------------- *)
 
 let enumeration_count_matches_brute =
@@ -210,6 +287,45 @@ let enumeration_projected () =
   let n, complete = Enumerate.count cnf in
   check Alcotest.bool "complete" true complete;
   check Alcotest.int "one projected model" 1 n
+
+let enumeration_keep_models () =
+  (* free space over 4 vars: all 16 models stream to on_model but none
+     are retained *)
+  let cnf = Cnf.make ~nvars:4 [ [| Lit.pos 1; Lit.neg_of_var 1 |] ] in
+  let seen = ref 0 in
+  let outcome = Enumerate.run ~keep_models:false ~on_model:(fun _ -> incr seen) cnf in
+  check Alcotest.bool "complete" true outcome.Enumerate.complete;
+  check Alcotest.bool "status Complete" true (outcome.Enumerate.status = Enumerate.Complete);
+  check Alcotest.int "no models retained" 0 (List.length outcome.Enumerate.models);
+  check Alcotest.int "all 16 streamed" 16 !seen
+
+(* pigeonhole as a [Cnf.t] (the solver-level [pigeonhole] above builds
+   its clauses directly) *)
+let php_cnf pigeons holes =
+  let var p h = (p * holes) + h + 1 in
+  let clauses = ref [] in
+  for p = 0 to pigeons - 1 do
+    clauses := Array.of_list (List.init holes (fun h -> Lit.pos (var p h))) :: !clauses
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        clauses := [| Lit.neg_of_var (var p1 h); Lit.neg_of_var (var p2 h) |] :: !clauses
+      done
+    done
+  done;
+  Cnf.make ~nvars:(pigeons * holes) !clauses
+
+let enumeration_unknown () =
+  (* a 1-conflict budget cannot decide php(6,5): the enumeration must
+     say so instead of posing as the end of the space *)
+  let outcome = Enumerate.run ~max_conflicts:1 (php_cnf 6 5) in
+  check Alcotest.bool "status Unknown" true (outcome.Enumerate.status = Enumerate.Unknown);
+  check Alcotest.bool "not complete" false outcome.Enumerate.complete;
+  (* whereas a limit-stop is reported as Limit, not Unknown *)
+  let cnf = Cnf.make ~nvars:4 [ [| Lit.pos 1; Lit.neg_of_var 1 |] ] in
+  let limited = Enumerate.run ~limit:5 cnf in
+  check Alcotest.bool "status Limit" true (limited.Enumerate.status = Enumerate.Limit)
 
 (* --- xor ------------------------------------------------------------------------- *)
 
@@ -261,6 +377,38 @@ let xor_empty () =
   let s2 = Solver.create ~nvars:1 () in
   Xor.add_to_solver s2 ~vars:[] ~rhs:false;
   check Alcotest.bool "empty xor = 0 is sat" true (Solver.solve s2 = Solver.Sat)
+
+let xor_guarded_roundtrip () =
+  (* one solver, one guarded odd-parity constraint over 4 vars.  With
+     the guard assumed the space has 2^3 = 8 models, with it disabled
+     all 2^4 = 16 — and re-enabling restores 8, i.e. disabling leaves
+     no residue.  Each enumeration blocks models behind its own fresh
+     cell literal, exactly like the incremental approximate counter. *)
+  let k = 4 in
+  let s = Solver.create ~nvars:k () in
+  let g = Xor.add_guarded s ~vars:(List.init k (fun i -> i + 1)) ~rhs:true in
+  let count_under guard_lit =
+    let cell = Solver.new_var s in
+    let assumptions = [ Lit.pos cell; guard_lit ] in
+    let n = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Solver.solve ~assumptions s with
+      | Solver.Sat ->
+          incr n;
+          Solver.add_clause s
+            (Lit.neg_of_var cell
+            :: List.init k (fun i ->
+                   Lit.make (i + 1) (not (Solver.model_value s (i + 1)))))
+      | _ -> continue := false
+    done;
+    (* retire this cell's blocking clauses *)
+    Solver.add_clause s [ Lit.neg_of_var cell ];
+    !n
+  in
+  check Alcotest.int "enabled: odd parity" 8 (count_under (Lit.pos g));
+  check Alcotest.int "disabled: free space" 16 (count_under (Lit.neg_of_var g));
+  check Alcotest.int "re-enabled: odd parity again" 8 (count_under (Lit.pos g))
 
 (* --- inprocess ---------------------------------------------------------- *)
 
@@ -397,18 +545,28 @@ let () =
           Alcotest.test_case "unknown variable" `Quick solver_unknown_var;
           Alcotest.test_case "statistics" `Quick solver_stats;
         ] );
+      ( "assumptions",
+        [
+          Alcotest.test_case "basic sat/unsat" `Quick solver_assumptions_basic;
+          Alcotest.test_case "unsat core" `Quick solver_assumptions_core;
+          Alcotest.test_case "unknown variable" `Quick solver_assumptions_unknown_var;
+          solver_assumptions_agree_with_units;
+        ] );
       ( "enumerate",
         [
           enumeration_count_matches_brute;
           enumeration_models_distinct_and_valid;
           Alcotest.test_case "limit" `Quick enumeration_limit;
           Alcotest.test_case "projection" `Quick enumeration_projected;
+          Alcotest.test_case "keep_models off" `Quick enumeration_keep_models;
+          Alcotest.test_case "unknown status" `Quick enumeration_unknown;
         ] );
       ( "xor",
         [
           Alcotest.test_case "solution counts" `Quick xor_counts;
           xor_semantics;
           Alcotest.test_case "empty xor" `Quick xor_empty;
+          Alcotest.test_case "guarded round-trip" `Quick xor_guarded_roundtrip;
         ] );
       ( "inprocess",
         [
